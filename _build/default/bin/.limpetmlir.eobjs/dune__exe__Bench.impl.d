@@ -1,0 +1,1 @@
+bin/bench.ml: Arg Cmd Cmdliner Codegen Float Fmt List Machine Models Perf Sim Term

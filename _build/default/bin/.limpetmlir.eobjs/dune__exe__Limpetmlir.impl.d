@@ -1,0 +1,1 @@
+bin/limpetmlir.ml: Arg Cmd Cmdliner Codegen Easyml Filename Fmt Ir List Machine Models Passes Runtime Sim Sys Term

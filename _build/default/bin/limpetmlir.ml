@@ -1,0 +1,308 @@
+(* limpetMLIR command-line driver.
+
+   Subcommands:
+     list                   catalogue of bundled ionic models
+     inspect MODEL          analyzed model (states, methods, LUTs, warnings)
+     emit MODEL             generated IR (scalar baseline or vector kernel)
+     run MODEL              simulate and print an action-potential trace
+     passes MODEL           before/after op counts for each optimization pass
+
+   Models are resolved against the bundled registry first; a path to an
+   EasyML file works everywhere a model name does. *)
+
+open Cmdliner
+
+let load_model (name : string) : Easyml.Model.t =
+  match Models.Registry.find name with
+  | Some e -> Models.Registry.model e
+  | None ->
+      if Sys.file_exists name then
+        let ic = open_in_bin name in
+        let src = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Easyml.Sema.analyze_source
+          ~name:Filename.(remove_extension (basename name))
+          src
+      else
+        Fmt.failwith "unknown model %s (not in registry, not a file)" name
+
+let config ?(spline = false) ~width ~layout ~no_lut ~autovec () :
+    Codegen.Config.t =
+  let base =
+    if autovec then Codegen.Config.autovec ~width
+    else if width = 1 then Codegen.Config.baseline
+    else Codegen.Config.mlir ~width
+  in
+  let base =
+    match Runtime.Layout.of_string layout with
+    | Some l -> { base with layout = l }
+    | None when layout = "" -> base
+    | None -> Fmt.failwith "unknown layout %s (aos, soa, aosoa<N>)" layout
+  in
+  { base with use_lut = not no_lut; lut_spline = spline }
+
+(* -- common args ---------------------------------------------------- *)
+
+let model_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL")
+
+let width_arg =
+  Arg.(value & opt int 8 & info [ "w"; "width" ] ~docv:"W"
+         ~doc:"Vector width: 1 (scalar baseline), 2 (SSE), 4 (AVX2), 8 (AVX-512).")
+
+let layout_arg =
+  Arg.(value & opt string "" & info [ "layout" ] ~docv:"L"
+         ~doc:"Data layout override: aos, soa, or aosoa<N>.")
+
+let no_lut_arg =
+  Arg.(value & flag & info [ "no-lut" ] ~doc:"Disable lookup-table generation.")
+
+let autovec_arg =
+  Arg.(value & flag & info [ "autovec" ]
+         ~doc:"icc-style auto-vectorization cost profile (see paper section 5).")
+
+let spline_arg =
+  Arg.(value & flag & info [ "spline" ]
+         ~doc:"Cubic (Catmull-Rom) lookup-table interpolation instead of \
+               linear (the paper's section 7 future-work item).")
+
+(* -- list ----------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List the bundled ionic models." in
+  let run () =
+    Fmt.pr "%-24s %-7s %-11s %s@." "name" "class" "fidelity" "description";
+    List.iter
+      (fun (e : Models.Model_def.entry) ->
+        Fmt.pr "%-24s %-7s %-11s %s@." e.name
+          (Models.Model_def.cls_name e.cls)
+          (match e.fidelity with
+          | Models.Model_def.Faithful -> "faithful"
+          | Structural -> "structural")
+          e.description)
+      Models.Registry.all;
+    List.iter
+      (fun (c, n) -> Fmt.pr "@.%d %s" n (Models.Model_def.cls_name c))
+      (Models.Registry.class_counts ());
+    Fmt.pr " = %d models@." (List.length Models.Registry.all)
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* -- inspect -------------------------------------------------------- *)
+
+let inspect_cmd =
+  let doc = "Show the analyzed form of a model." in
+  let run name =
+    let m = load_model name in
+    Fmt.pr "%a@." Easyml.Model.pp m;
+    List.iter (Fmt.pr "warning: %s@.") m.warnings
+  in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ model_arg)
+
+(* -- emit ----------------------------------------------------------- *)
+
+let emit_cmd =
+  let doc = "Print the generated IR module for a model." in
+  let no_opt =
+    Arg.(value & flag & info [ "no-opt" ] ~doc:"Skip the optimization pipeline.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the IR to a file instead of stdout (re-loadable with \
+                 the parse subcommand).")
+  in
+  let run name width layout no_lut autovec spline no_opt output =
+    let m = load_model name in
+    let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
+    let g = Codegen.Kernel.generate ~optimize:(not no_opt) cfg m in
+    (match Ir.Verifier.verify_module g.modl with
+    | [] -> ()
+    | errs -> Fmt.epr "%s@." (Ir.Verifier.errors_to_string errs));
+    match output with
+    | None -> Fmt.pr "%a@." Ir.Printer.pp_module g.modl
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Ir.Printer.module_to_string g.modl);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "wrote %s@." path
+  in
+  Cmd.v (Cmd.info "emit" ~doc)
+    Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
+          $ autovec_arg $ spline_arg $ no_opt $ output)
+
+(* -- run ------------------------------------------------------------ *)
+
+let run_cmd =
+  let doc = "Simulate a model and print an action-potential trace." in
+  let cells =
+    Arg.(value & opt int 16 & info [ "cells" ] ~docv:"N" ~doc:"Number of cells.")
+  in
+  let steps =
+    Arg.(value & opt int 50_000 & info [ "steps" ] ~docv:"N"
+           ~doc:"Number of 0.01 ms time steps.")
+  in
+  let dt = Arg.(value & opt float 0.01 & info [ "dt" ] ~docv:"MS") in
+  let every =
+    Arg.(value & opt int 1000 & info [ "trace-every" ] ~docv:"N"
+           ~doc:"Print the trace every N steps (0 = summary only).")
+  in
+  let threads = Arg.(value & opt int 1 & info [ "threads" ] ~docv:"T") in
+  let run name width layout no_lut autovec spline cells steps dt every threads
+      =
+    let m = load_model name in
+    let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
+    let g = Codegen.Kernel.generate cfg m in
+    let d = Sim.Driver.create g ~ncells:cells ~dt in
+    let stim = Sim.Stim.default in
+    Fmt.pr "# model=%s config=%s cells=%d steps=%d dt=%gms@." m.name
+      (Codegen.Config.describe cfg) cells steps dt;
+    if every > 0 then Fmt.pr "# t_ms Vm Iion@.";
+    let compute_time = ref 0.0 in
+    for s = 1 to steps do
+      compute_time :=
+        !compute_time +. Sim.Driver.step_timed ~nthreads:threads ~stim d;
+      if every > 0 && s mod every = 0 then
+        Fmt.pr "%8.2f %10.4f %10.4f@." (Sim.Driver.time d) (Sim.Driver.vm d 0)
+          (Sim.Driver.ext d "Iion" 0)
+    done;
+    Fmt.pr "# compute stage: %.3f s wall clock@." !compute_time;
+    let r = Machine.Perfmodel.run_kernel g ~ncells:cells ~steps ~nthreads:threads in
+    Fmt.pr "# machine model prediction on the paper's platform: %.3f s@."
+      r.Machine.Perfmodel.seconds
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
+          $ autovec_arg $ spline_arg $ cells $ steps $ dt $ every $ threads)
+
+(* -- passes --------------------------------------------------------- *)
+
+let passes_cmd =
+  let doc = "Show per-pass op-count reductions on a model's kernel." in
+  let run name width =
+    let m = load_model name in
+    let cfg =
+      if width = 1 then Codegen.Config.baseline else Codegen.Config.mlir ~width
+    in
+    let g = Codegen.Kernel.generate ~optimize:false cfg m in
+    let count () =
+      List.fold_left (fun n f -> n + Ir.Func.op_count f) 0 g.modl.Ir.Func.m_funcs
+    in
+    Fmt.pr "%-14s %8s@." "pass" "ops";
+    Fmt.pr "%-14s %8d@." "(none)" (count ());
+    List.iter
+      (fun (name, p) ->
+        ignore (Passes.Pass.run_on_module p g.modl);
+        Fmt.pr "%-14s %8d@." name (count ()))
+      Passes.Pipeline.by_name;
+    match Ir.Verifier.verify_module g.modl with
+    | [] -> Fmt.pr "module verifies after pipeline@."
+    | errs -> Fmt.epr "%s@." (Ir.Verifier.errors_to_string errs)
+  in
+  Cmd.v (Cmd.info "passes" ~doc) Term.(const run $ model_arg $ width_arg)
+
+(* -- parse ---------------------------------------------------------- *)
+
+let parse_cmd =
+  let doc = "Parse and verify a saved IR module (emit -o output)." in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let ic = open_in_bin file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Ir.Parser.parse_module_result text with
+    | Error e -> Fmt.epr "parse error: %s@." e
+    | Ok m -> (
+        match Ir.Verifier.verify_module m with
+        | [] ->
+            Fmt.pr "%s: %d function(s), %d ops, verifies OK@." m.Ir.Func.m_name
+              (List.length m.Ir.Func.m_funcs)
+              (List.fold_left (fun n f -> n + Ir.Func.op_count f) 0
+                 m.Ir.Func.m_funcs)
+        | errs -> Fmt.epr "%s@." (Ir.Verifier.errors_to_string errs))
+  in
+  Cmd.v (Cmd.info "parse" ~doc) Term.(const run $ file)
+
+(* -- cost ----------------------------------------------------------- *)
+
+let cost_cmd =
+  let doc =
+    "Machine-model analysis of a model's kernel: per-cell cycles, flops, \
+     bytes, roofline position and projected runtime."
+  in
+  let cells = Arg.(value & opt int 8192 & info [ "cells" ] ~docv:"N") in
+  let steps = Arg.(value & opt int 100_000 & info [ "steps" ] ~docv:"N") in
+  let threads = Arg.(value & opt int 1 & info [ "threads" ] ~docv:"T") in
+  let run name width layout no_lut autovec spline cells steps threads =
+    let m = load_model name in
+    let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
+    let g = Codegen.Kernel.generate cfg m in
+    let k = Machine.Kcost.of_kernel g in
+    Fmt.pr "kernel %s (%s)@." m.name (Codegen.Config.describe cfg);
+    Fmt.pr "  per cell per step: %.1f cycles, %.1f flops, %.1f bytes@."
+      k.Machine.Kcost.cycles_per_cell k.Machine.Kcost.flops_per_cell
+      k.Machine.Kcost.bytes_per_cell;
+    Fmt.pr "  loads/stores per cell: %.1f / %.1f@." k.Machine.Kcost.loads_per_cell
+      k.Machine.Kcost.stores_per_cell;
+    let r = Machine.Perfmodel.run_kernel g ~ncells:cells ~steps ~nthreads:threads in
+    Fmt.pr "  projected on the paper's platform (%d cells, %d steps, %dT):@."
+      cells steps threads;
+    Fmt.pr "    time %.2f s  (compute %.2f s, memory %.2f s, sync %.2f s)@."
+      r.Machine.Perfmodel.seconds r.Machine.Perfmodel.compute_seconds
+      r.Machine.Perfmodel.memory_seconds r.Machine.Perfmodel.sync_seconds;
+    Fmt.pr "    %.1f GFlop/s at %.3f Flops/Byte@." r.Machine.Perfmodel.gflops
+      r.Machine.Perfmodel.oi
+  in
+  Cmd.v (Cmd.info "cost" ~doc)
+    Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
+          $ autovec_arg $ spline_arg $ cells $ steps $ threads)
+
+(* -- import-mmt ------------------------------------------------------ *)
+
+let import_mmt_cmd =
+  let doc =
+    "Translate a Myokit MMT file to EasyML (the 'external translators' box \
+     of the paper's Figure 1)."
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let vm =
+    Arg.(value & opt string "membrane.V" & info [ "vm" ] ~docv:"COMP.VAR"
+           ~doc:"Variable exported as the Vm external.")
+  in
+  let iion =
+    Arg.(value & opt string "membrane.i_ion" & info [ "iion" ] ~docv:"COMP.VAR"
+           ~doc:"Variable exported as the Iion external output.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Also analyze, generate and verify the translated model.")
+  in
+  let run file vm iion check =
+    let ic = open_in_bin file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let t = Easyml.Mmt.parse text in
+    let easyml = Easyml.Mmt.to_easyml ~vm ~iion t in
+    print_string easyml;
+    if check then begin
+      let m = Easyml.Sema.analyze_source ~name:t.Easyml.Mmt.name easyml in
+      let g = Codegen.Kernel.generate (Codegen.Config.mlir ~width:8) m in
+      Ir.Verifier.verify_module_exn g.modl;
+      Fmt.epr "# %s: %d states, %d externals; vector kernel verifies OK@."
+        m.name (List.length m.states) (List.length m.externals)
+    end
+  in
+  Cmd.v (Cmd.info "import-mmt" ~doc)
+    Term.(const run $ file $ vm $ iion $ check)
+
+let main =
+  let doc =
+    "limpetMLIR (OCaml reproduction): EasyML ionic models to vectorized IR"
+  in
+  Cmd.group (Cmd.info "limpetmlir" ~doc)
+    [
+      list_cmd; inspect_cmd; emit_cmd; parse_cmd; run_cmd; passes_cmd;
+      cost_cmd; import_mmt_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

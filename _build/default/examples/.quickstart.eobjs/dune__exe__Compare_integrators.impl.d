@@ -1,0 +1,1 @@
+examples/compare_integrators.ml: Codegen Easyml Float Fmt List Printf Sim

@@ -1,0 +1,1 @@
+examples/compare_integrators.mli:

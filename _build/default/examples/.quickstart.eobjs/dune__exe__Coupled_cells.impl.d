@@ -1,0 +1,1 @@
+examples/coupled_cells.ml: Codegen Float Fmt List Models Sim

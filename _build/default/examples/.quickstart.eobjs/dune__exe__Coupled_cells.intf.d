@@ -1,0 +1,1 @@
+examples/coupled_cells.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codegen Easyml Float Fmt Ir List Machine Sim

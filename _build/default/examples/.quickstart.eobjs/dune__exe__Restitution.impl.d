@@ -1,0 +1,1 @@
+examples/restitution.ml: Array Codegen Float Fmt List Models Option Sim Sys

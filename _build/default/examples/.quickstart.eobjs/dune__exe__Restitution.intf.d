@@ -1,0 +1,1 @@
+examples/restitution.mli:

@@ -1,0 +1,1 @@
+examples/single_cell_ap.ml: Array Codegen Float Fmt List Models Sim Sys

@@ -1,0 +1,1 @@
+examples/single_cell_ap.mli:

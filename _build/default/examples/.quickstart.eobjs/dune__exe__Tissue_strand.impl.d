@@ -1,0 +1,1 @@
+examples/tissue_strand.ml: Array Codegen Float Fmt List Models Printf Sim Solver

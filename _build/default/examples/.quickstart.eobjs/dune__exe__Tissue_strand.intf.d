@@ -1,0 +1,1 @@
+examples/tissue_strand.mli:

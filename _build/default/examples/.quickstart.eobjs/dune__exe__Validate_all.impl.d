@@ -1,0 +1,1 @@
+examples/validate_all.ml: Codegen Easyml Float Fmt Ir List Models Printexc Sim

@@ -1,0 +1,1 @@
+examples/validate_all.mli:

@@ -1,0 +1,40 @@
+(* Development harness: sweep all 43 models through frontend -> codegen ->
+   verifier -> 300 simulated steps, scalar vs AVX-512-width vector. *)
+let () =
+  let bad = ref 0 in
+  List.iter (fun (e : Models.Model_def.entry) ->
+    let name = e.name in
+    (try
+      let m = Models.Registry.model e in
+      List.iter (fun w -> Fmt.pr "  [%s] warn: %s@." name w) m.warnings;
+      let gs = Codegen.Kernel.generate Codegen.Config.baseline m in
+      let gv = Codegen.Kernel.generate (Codegen.Config.mlir ~width:8) m in
+      (match Ir.Verifier.verify_module gs.modl @ Ir.Verifier.verify_module gv.modl with
+       | [] -> ()
+       | errs -> failwith (Ir.Verifier.errors_to_string errs));
+      let ds = Sim.Driver.create gs ~ncells:8 ~dt:0.01 in
+      let dv = Sim.Driver.create gv ~ncells:8 ~dt:0.01 in
+      let stim = Sim.Stim.make ~amplitude:40.0 ~start:1.0 ~duration:2.0 () in
+      for _ = 1 to 300 do
+        Sim.Driver.step ~stim ds; Sim.Driver.step ~stim dv
+      done;
+      let ss = Sim.Driver.snapshot ds 3 and sv = Sim.Driver.snapshot dv 3 in
+      let max_rel = List.fold_left2 (fun acc (_, a) (_, b) ->
+        let d = Float.abs (a -. b) /. (Float.abs a +. 1e-12) in Float.max acc d)
+        0.0 ss sv in
+      let finite = List.for_all (fun (_, v) -> Float.is_finite v) ss
+                   && Float.is_finite (Sim.Driver.vm ds 3) in
+      let nstates = List.length m.states in
+      let lutcols = List.fold_left (fun a p -> a + Easyml.Lut_cones.n_columns p) 0 gs.lut_plans in
+      if not finite then begin incr bad;
+        Fmt.pr "FAIL %-22s non-finite state after 300 steps (Vm=%g)@." name (Sim.Driver.vm ds 3);
+        List.iter (fun (n,v) -> if not (Float.is_finite v) then Fmt.pr "    %s = %g@." n v) ss
+      end else if max_rel > 1e-9 then begin incr bad;
+        Fmt.pr "FAIL %-22s scalar/vector diverge (max rel %g)@." name max_rel
+      end else
+        Fmt.pr "ok   %-22s states=%2d lutcols=%3d Vm=%8.3f@." name nstates lutcols (Sim.Driver.vm ds 3)
+    with ex ->
+      incr bad;
+      Fmt.pr "FAIL %-22s %s@." name (Printexc.to_string ex)))
+    Models.Registry.all;
+  Fmt.pr "@.%d failures out of %d models@." !bad (List.length Models.Registry.all)

@@ -1,0 +1,1 @@
+lib/codegen/config.ml: Printf Runtime

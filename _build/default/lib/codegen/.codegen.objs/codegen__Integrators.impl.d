@@ -1,0 +1,1 @@
+lib/codegen/integrators.ml: Ast Deriv Easyml Eval Fold Linearity Model Stdlib

@@ -1,0 +1,1 @@
+lib/codegen/integrators.mli: Easyml

@@ -1,0 +1,1 @@
+lib/codegen/kernel.ml: Builder Config Easyml Fun Func Integrators Ir List Lower Passes Runtime String Ty Value

@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Builder Easyml Fmt Hashtbl Ir List Op Value

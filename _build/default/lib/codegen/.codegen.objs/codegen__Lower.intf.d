@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Easyml Format Ir

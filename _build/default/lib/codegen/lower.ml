@@ -1,0 +1,91 @@
+(** Expression lowering: EasyML AST → IR ops.
+
+    A single lowering path serves both the scalar baseline and the vector
+    limpetMLIR generator: the only difference is the width of the values
+    bound in the environment.  Conditionals become [arith.select] over both
+    evaluated branches (the SIMD-friendly if-conversion the paper discusses
+    in §5); logical operators are therefore non-short-circuiting, which is
+    sound for the arithmetic guards ionic models use. *)
+
+open Ir
+
+exception Lower_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Lower_error s)) fmt
+
+type env = {
+  lookup : string -> Value.t option;  (** variable bindings *)
+  width : int;  (** width of the values being computed *)
+  b : Builder.t;
+}
+
+let make_env ~(b : Builder.t) ~(width : int)
+    (bindings : (string * Value.t) list) : env =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) bindings;
+  { lookup = Hashtbl.find_opt tbl; width; b }
+
+let bind (env : env) (extra : (string * Value.t) list) : env =
+  let prev = env.lookup in
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) extra;
+  {
+    env with
+    lookup =
+      (fun name ->
+        match Hashtbl.find_opt tbl name with
+        | Some v -> Some v
+        | None -> prev name);
+  }
+
+(* Lower a float constant at the environment's width. *)
+let const (env : env) (f : float) : Value.t =
+  let c = Builder.constf env.b f in
+  Builder.broadcast env.b ~width:env.width c
+
+let rec lower_num (env : env) (e : Easyml.Ast.expr) : Value.t =
+  let open Easyml.Ast in
+  match e with
+  | Num f -> const env f
+  | Var x -> (
+      match env.lookup x with
+      | Some v -> v
+      | None -> fail "lower: unbound variable %s" x)
+  | Unary (Neg, a) -> Builder.negf env.b (lower_num env a)
+  | Unary (Not, _) | Binary ((Lt | Le | Gt | Ge | Eq | Ne | And | Or), _, _) ->
+      (* boolean used as a number: 1.0 / 0.0, C-style *)
+      let c = lower_bool env e in
+      Builder.select env.b c (const env 1.0) (const env 0.0)
+  | Binary (Add, a, b) -> Builder.addf env.b (lower_num env a) (lower_num env b)
+  | Binary (Sub, a, b) -> Builder.subf env.b (lower_num env a) (lower_num env b)
+  | Binary (Mul, a, b) -> Builder.mulf env.b (lower_num env a) (lower_num env b)
+  | Binary (Div, a, b) -> Builder.divf env.b (lower_num env a) (lower_num env b)
+  | Call ("min", [ a; b ]) | Call ("fmin", [ a; b ]) ->
+      Builder.minf env.b (lower_num env a) (lower_num env b)
+  | Call ("max", [ a; b ]) | Call ("fmax", [ a; b ]) ->
+      Builder.maxf env.b (lower_num env a) (lower_num env b)
+  | Call (f, args) -> Builder.math env.b f (List.map (lower_num env) args)
+  | Ternary (c, t, f) ->
+      let cv = lower_bool env c in
+      let tv = lower_num env t and fv = lower_num env f in
+      Builder.select env.b cv tv fv
+
+and lower_bool (env : env) (e : Easyml.Ast.expr) : Value.t =
+  let open Easyml.Ast in
+  match e with
+  | Binary (Lt, a, b) -> Builder.cmpf env.b Op.Lt (lower_num env a) (lower_num env b)
+  | Binary (Le, a, b) -> Builder.cmpf env.b Op.Le (lower_num env a) (lower_num env b)
+  | Binary (Gt, a, b) -> Builder.cmpf env.b Op.Gt (lower_num env a) (lower_num env b)
+  | Binary (Ge, a, b) -> Builder.cmpf env.b Op.Ge (lower_num env a) (lower_num env b)
+  | Binary (Eq, a, b) -> Builder.cmpf env.b Op.Eq (lower_num env a) (lower_num env b)
+  | Binary (Ne, a, b) -> Builder.cmpf env.b Op.Ne (lower_num env a) (lower_num env b)
+  | Binary (And, a, b) -> Builder.andb env.b (lower_bool env a) (lower_bool env b)
+  | Binary (Or, a, b) -> Builder.orb env.b (lower_bool env a) (lower_bool env b)
+  | Unary (Not, a) -> Builder.notb env.b (lower_bool env a)
+  | Ternary (c, t, f) ->
+      let cv = lower_bool env c in
+      Builder.select env.b cv (lower_bool env t) (lower_bool env f)
+  | e ->
+      (* numeric value used as a condition: e != 0.0 *)
+      let v = lower_num env e in
+      Builder.cmpf env.b Op.Ne v (const env 0.0)

@@ -1,0 +1,29 @@
+(** Expression lowering: EasyML AST -> IR ops, width-polymorphic (the same
+    path serves scalar and vector code generation; conditionals become
+    [arith.select] over both branches). *)
+
+exception Lower_error of string
+
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Lower_error} with a formatted message. *)
+
+type env = {
+  lookup : string -> Ir.Value.t option;
+  width : int;
+  b : Ir.Builder.t;
+}
+
+val make_env :
+  b:Ir.Builder.t -> width:int -> (string * Ir.Value.t) list -> env
+
+val bind : env -> (string * Ir.Value.t) list -> env
+(** Extend with additional bindings (shadowing). *)
+
+val const : env -> float -> Ir.Value.t
+(** A literal at the environment's width. *)
+
+val lower_num : env -> Easyml.Ast.expr -> Ir.Value.t
+(** Lower as a numeric value (booleans become 1.0/0.0 selects). *)
+
+val lower_bool : env -> Easyml.Ast.expr -> Ir.Value.t
+(** Lower as an i1-like condition (numbers compare against 0.0). *)

@@ -1,0 +1,1 @@
+lib/easyml/ast.ml: Float Fmt Hashtbl List Loc String

@@ -1,0 +1,1 @@
+lib/easyml/builtins.ml: Array Float Hashtbl List Printf String

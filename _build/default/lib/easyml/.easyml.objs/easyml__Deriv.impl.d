@@ -1,0 +1,1 @@
+lib/easyml/deriv.ml: Ast Eval Float Fold List Printf String

@@ -1,0 +1,1 @@
+lib/easyml/eval.ml: Array Ast Builtins List

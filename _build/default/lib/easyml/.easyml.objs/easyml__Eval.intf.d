@@ -1,0 +1,1 @@
+lib/easyml/eval.mli: Ast

@@ -1,0 +1,1 @@
+lib/easyml/fold.ml: Ast Builtins Eval Float Hashtbl List

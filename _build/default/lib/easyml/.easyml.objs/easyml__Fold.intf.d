@@ -1,0 +1,1 @@
+lib/easyml/fold.mli: Ast Hashtbl

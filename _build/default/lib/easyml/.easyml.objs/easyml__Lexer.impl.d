@@ -1,0 +1,1 @@
+lib/easyml/lexer.ml: Buffer List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/easyml/lexer.mli: Loc Token

@@ -1,0 +1,1 @@
+lib/easyml/linearity.ml: Ast Deriv Eval Float Fold List

@@ -1,0 +1,1 @@
+lib/easyml/linearity.mli: Ast

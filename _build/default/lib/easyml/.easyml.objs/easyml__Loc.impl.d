@@ -1,0 +1,1 @@
+lib/easyml/loc.ml: Fmt

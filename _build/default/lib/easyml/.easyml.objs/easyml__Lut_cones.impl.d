@@ -1,0 +1,1 @@
+lib/easyml/lut_cones.ml: Ast Builtins Eval List Model Printf Set String

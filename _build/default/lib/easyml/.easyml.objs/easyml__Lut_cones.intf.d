@@ -1,0 +1,1 @@
+lib/easyml/lut_cones.mli: Ast Model

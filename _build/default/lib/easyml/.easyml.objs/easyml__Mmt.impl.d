@@ -1,0 +1,1 @@
+lib/easyml/mmt.ml: Ast Buffer Fmt Hashtbl Linearity List Model Option Parser Sema String

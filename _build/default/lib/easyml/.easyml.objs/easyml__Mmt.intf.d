@@ -1,0 +1,1 @@
+lib/easyml/mmt.mli: Ast Model

@@ -1,0 +1,1 @@
+lib/easyml/model.ml: Ast Float Fmt Linearity List Option String

@@ -1,0 +1,1 @@
+lib/easyml/parser.ml: Ast Fmt Lexer List Loc Token

@@ -1,0 +1,1 @@
+lib/easyml/parser.mli: Ast Loc

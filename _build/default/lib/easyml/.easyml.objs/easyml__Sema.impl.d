@@ -1,0 +1,1 @@
+lib/easyml/sema.ml: Ast Builtins Fmt Fold Hashtbl Linearity List Loc Map Model Option Parser Set String

@@ -1,0 +1,1 @@
+lib/easyml/sema.mli: Ast Model

@@ -1,0 +1,1 @@
+lib/easyml/token.ml: Loc Printf

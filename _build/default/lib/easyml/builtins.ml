@@ -1,0 +1,77 @@
+(** Built-in mathematical functions recognized by EasyML.
+
+    openCARP's limpet frontend exposes the C math library plus a couple of
+    conveniences ([square], [cube]).  We record the arity for semantic checks
+    and a reference OCaml implementation used by the constant folder, the AST
+    evaluator and lookup-table construction. *)
+
+type t = {
+  name : string;
+  arity : int;
+  eval : float array -> float;
+  flops : int;
+      (** cost in "equivalent floating point operations", used by the
+          machine model; transcendental functions count for many flops *)
+}
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let register name arity flops eval =
+  Hashtbl.replace table name { name; arity; eval; flops }
+
+let () =
+  register "square" 1 1 (fun a -> a.(0) *. a.(0));
+  register "cube" 1 2 (fun a -> a.(0) *. a.(0) *. a.(0));
+  register "exp" 1 20 (fun a -> Float.exp a.(0));
+  register "expm1" 1 20 (fun a -> Float.expm1 a.(0));
+  register "log" 1 20 (fun a -> Float.log a.(0));
+  register "log1p" 1 20 (fun a -> Float.log1p a.(0));
+  register "log10" 1 20 (fun a -> Float.log10 a.(0));
+  register "log2" 1 20 (fun a -> Float.log2 a.(0));
+  register "sqrt" 1 4 (fun a -> Float.sqrt a.(0));
+  register "cbrt" 1 20 (fun a -> Float.cbrt a.(0));
+  register "pow" 2 40 (fun a -> Float.pow a.(0) a.(1));
+  register "fabs" 1 1 (fun a -> Float.abs a.(0));
+  register "abs" 1 1 (fun a -> Float.abs a.(0));
+  register "floor" 1 1 (fun a -> Float.floor a.(0));
+  register "ceil" 1 1 (fun a -> Float.ceil a.(0));
+  register "round" 1 1 (fun a -> Float.round a.(0));
+  register "trunc" 1 1 (fun a -> Float.trunc a.(0));
+  register "sin" 1 20 (fun a -> Float.sin a.(0));
+  register "cos" 1 20 (fun a -> Float.cos a.(0));
+  register "tan" 1 25 (fun a -> Float.tan a.(0));
+  register "tanh" 1 25 (fun a -> Float.tanh a.(0));
+  register "sinh" 1 25 (fun a -> Float.sinh a.(0));
+  register "cosh" 1 25 (fun a -> Float.cosh a.(0));
+  register "asin" 1 25 (fun a -> Float.asin a.(0));
+  register "acos" 1 25 (fun a -> Float.acos a.(0));
+  register "atan" 1 25 (fun a -> Float.atan a.(0));
+  register "atan2" 2 30 (fun a -> Float.atan2 a.(0) a.(1));
+  register "fmod" 2 8 (fun a -> Float.rem a.(0) a.(1));
+  register "min" 2 1 (fun a -> Float.min a.(0) a.(1));
+  register "max" 2 1 (fun a -> Float.max a.(0) a.(1));
+  register "fmin" 2 1 (fun a -> Float.min a.(0) a.(1));
+  register "fmax" 2 1 (fun a -> Float.max a.(0) a.(1));
+  register "hypot" 2 10 (fun a -> Float.hypot a.(0) a.(1))
+
+let find (name : string) : t option = Hashtbl.find_opt table name
+let mem (name : string) : bool = Hashtbl.mem table name
+
+let arity_exn (name : string) : int =
+  match find name with
+  | Some b -> b.arity
+  | None -> invalid_arg ("Builtins.arity_exn: unknown function " ^ name)
+
+let eval_exn (name : string) (args : float array) : float =
+  match find name with
+  | Some b ->
+      if Array.length args <> b.arity then
+        invalid_arg
+          (Printf.sprintf "Builtins.eval_exn: %s expects %d args, got %d" name
+             b.arity (Array.length args))
+      else b.eval args
+  | None -> invalid_arg ("Builtins.eval_exn: unknown function " ^ name)
+
+let all () : t list =
+  Hashtbl.fold (fun _ b acc -> b :: acc) table []
+  |> List.sort (fun a b -> String.compare a.name b.name)

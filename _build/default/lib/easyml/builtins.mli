@@ -1,0 +1,18 @@
+(** Built-in mathematical functions recognized by EasyML (the C math
+    library plus openCARP's [square]/[cube] conveniences). *)
+
+type t = {
+  name : string;
+  arity : int;
+  eval : float array -> float;
+  flops : int;
+      (** cost in equivalent flops, used by the machine model and the
+          lookup-table "expensive" heuristic *)
+}
+
+val find : string -> t option
+val mem : string -> bool
+val arity_exn : string -> int
+val eval_exn : string -> float array -> float
+val all : unit -> t list
+(** All builtins, sorted by name. *)

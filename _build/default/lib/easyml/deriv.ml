@@ -1,0 +1,113 @@
+(** Symbolic differentiation of EasyML expressions.
+
+    Used by the Rush–Larsen / Sundnes lowering (which needs ∂f/∂y of a gate's
+    derivative expression) and by the markov_be Newton refinement.  Ternaries
+    differentiate branch-wise (the guard is treated as constant w.r.t. the
+    variable, which matches how openCARP linearizes gating equations). *)
+
+exception Not_differentiable of string
+
+let zero = Ast.Num 0.0
+let one = Ast.Num 1.0
+let is_zero = function Ast.Num 0.0 -> true | _ -> false
+let is_one = function Ast.Num 1.0 -> true | _ -> false
+
+(* Smart constructors that elide the structural zeros/ones the product and
+   chain rules introduce.  Folding [e * 0 -> 0] here is deliberate even
+   though it is not IEEE-safe in general: derivatives of terms that do not
+   mention the variable are *structurally* zero, and keeping the dead factor
+   would defeat the affine-in-y analysis Rush–Larsen depends on (openCARP's
+   limpet frontend simplifies the same way). *)
+let ( + ) a b = if is_zero a then b else if is_zero b then a else Ast.Binary (Ast.Add, a, b)
+let ( - ) a b =
+  if is_zero b then a
+  else if is_zero a then Ast.Unary (Ast.Neg, b)
+  else Ast.Binary (Ast.Sub, a, b)
+let ( * ) a b =
+  if is_zero a || is_zero b then zero
+  else if is_one a then b
+  else if is_one b then a
+  else Ast.Binary (Ast.Mul, a, b)
+let ( / ) a b = if is_zero a then zero else Ast.Binary (Ast.Div, a, b)
+let neg a = if is_zero a then zero else Ast.Unary (Ast.Neg, a)
+let call f args = Ast.Call (f, args)
+
+(* Equal branches make the guard irrelevant (EasyML guards are pure); this
+   lets the structural zeros inside guarded rate functions reach the
+   zero-eliding constructors above. *)
+let tern c a b = if Ast.equal_expr a b then a else Ast.Ternary (c, a, b)
+
+let rec d (x : string) (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Num _ -> zero
+  | Ast.Var v -> if String.equal v x then one else zero
+  | Ast.Unary (Ast.Neg, a) -> neg (d x a)
+  | Ast.Unary (Ast.Not, _) -> zero
+  | Ast.Binary (op, a, b) -> (
+      match op with
+      | Ast.Add -> d x a + d x b
+      | Ast.Sub -> d x a - d x b
+      | Ast.Mul -> (d x a * b) + (a * d x b)
+      | Ast.Div -> ((d x a * b) - (a * d x b)) / (b * b)
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.And | Ast.Or
+        ->
+          (* boolean results are piecewise constant *)
+          zero)
+  | Ast.Ternary (c, t, f) -> tern c (d x t) (d x f)
+  | Ast.Call (f, args) -> (
+      let chain inner outer = outer * d x inner in
+      match (f, args) with
+      | "square", [ a ] -> chain a (Ast.Num 2.0 * a)
+      | "cube", [ a ] -> chain a (Ast.Num 3.0 * a * a)
+      | "exp", [ a ] -> chain a (call "exp" [ a ])
+      | "expm1", [ a ] -> chain a (call "exp" [ a ])
+      | "log", [ a ] -> chain a (one / a)
+      | "log1p", [ a ] -> chain a (one / (one + a))
+      | "log10", [ a ] -> chain a (one / (a * Ast.Num (Float.log 10.)))
+      | "log2", [ a ] -> chain a (one / (a * Ast.Num (Float.log 2.)))
+      | "sqrt", [ a ] -> chain a (one / (Ast.Num 2.0 * call "sqrt" [ a ]))
+      | "cbrt", [ a ] ->
+          chain a (one / (Ast.Num 3.0 * call "cbrt" [ a ] * call "cbrt" [ a ]))
+      | "sin", [ a ] -> chain a (call "cos" [ a ])
+      | "cos", [ a ] -> chain a (neg (call "sin" [ a ]))
+      | "tan", [ a ] ->
+          chain a (one + (call "tan" [ a ] * call "tan" [ a ]))
+      | "tanh", [ a ] ->
+          chain a (one - (call "tanh" [ a ] * call "tanh" [ a ]))
+      | "sinh", [ a ] -> chain a (call "cosh" [ a ])
+      | "cosh", [ a ] -> chain a (call "sinh" [ a ])
+      | "asin", [ a ] -> chain a (one / call "sqrt" [ one - (a * a) ])
+      | "acos", [ a ] -> chain a (neg (one / call "sqrt" [ one - (a * a) ]))
+      | "atan", [ a ] -> chain a (one / (one + (a * a)))
+      | "fabs", [ a ] | "abs", [ a ] ->
+          chain a (Ast.Ternary (Ast.Binary (Ast.Ge, a, zero), one, neg one))
+      | "floor", [ _ ] | "ceil", [ _ ] | "round", [ _ ] | "trunc", [ _ ] -> zero
+      | "pow", [ a; b ] ->
+          (* d(a^b) = a^b * (b' ln a + b a'/a) *)
+          call "pow" [ a; b ]
+          * ((d x b * call "log" [ a ]) + (b * d x a / a))
+      | "min", [ a; b ] | "fmin", [ a; b ] ->
+          tern (Ast.Binary (Ast.Le, a, b)) (d x a) (d x b)
+      | "max", [ a; b ] | "fmax", [ a; b ] ->
+          tern (Ast.Binary (Ast.Ge, a, b)) (d x a) (d x b)
+      | "atan2", [ a; b ] ->
+          (((d x a * b) - (a * d x b)) / ((a * a) + (b * b)))
+      | "hypot", [ a; b ] ->
+          (((a * d x a) + (b * d x b)) / call "hypot" [ a; b ])
+      | "fmod", [ a; _ ] -> d x a
+      | _, _ ->
+          raise
+            (Not_differentiable
+               (Printf.sprintf "cannot differentiate call to %s/%d" f
+                  (List.length args))))
+
+(** [diff ~wrt e] returns ∂e/∂wrt, folded to remove the zero terms the
+    product/chain rules introduce. *)
+let diff ~(wrt : string) (e : Ast.expr) : Ast.expr = Fold.fold_alist [] (d wrt e)
+
+(** Central-difference numerical derivative, used by tests to validate the
+    symbolic result. *)
+let numeric ~(wrt : string) (env : (string * float) list) (e : Ast.expr)
+    ~(at : float) ~(h : float) : float =
+  let ev v = Eval.eval_alist ((wrt, v) :: List.remove_assoc wrt env) e in
+  (ev (at +. h) -. ev (at -. h)) /. (2.0 *. h)

@@ -1,0 +1,18 @@
+(** Symbolic differentiation of EasyML expressions, used by the
+    Rush-Larsen/Sundnes lowering and markov_be's Newton refinement. *)
+
+exception Not_differentiable of string
+
+val diff : wrt:string -> Ast.expr -> Ast.expr
+(** ∂e/∂wrt, with structural zeros elided and ternary guards treated as
+    constant w.r.t. the variable (how openCARP linearizes gates).
+    @raise Not_differentiable for calls with no derivative rule. *)
+
+val numeric :
+  wrt:string ->
+  (string * float) list ->
+  Ast.expr ->
+  at:float ->
+  h:float ->
+  float
+(** Central-difference derivative, for validating the symbolic result. *)

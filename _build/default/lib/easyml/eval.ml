@@ -1,0 +1,68 @@
+(** Reference evaluator for EasyML expressions.
+
+    Used by the constant-folding preprocessor, the lookup-table builder, the
+    differential tests against the IR execution engines, and the property
+    tests.  Booleans follow C semantics: comparisons yield 1.0 / 0.0 and any
+    non-zero value is truthy. *)
+
+exception Unbound of string
+exception Unknown_function of string
+
+let truthy (f : float) = f <> 0.0
+let of_bool (b : bool) = if b then 1.0 else 0.0
+
+let rec eval (env : string -> float) (e : Ast.expr) : float =
+  match e with
+  | Ast.Num f -> f
+  | Ast.Var v -> env v
+  | Ast.Unary (Ast.Neg, a) -> -.eval env a
+  | Ast.Unary (Ast.Not, a) -> of_bool (not (truthy (eval env a)))
+  | Ast.Binary (op, a, b) -> (
+      match op with
+      | Ast.And ->
+          (* short-circuit like C *)
+          if truthy (eval env a) then of_bool (truthy (eval env b)) else 0.0
+      | Ast.Or -> if truthy (eval env a) then 1.0 else of_bool (truthy (eval env b))
+      | _ ->
+          let x = eval env a and y = eval env b in
+          (match op with
+          | Ast.Add -> x +. y
+          | Ast.Sub -> x -. y
+          | Ast.Mul -> x *. y
+          | Ast.Div -> x /. y
+          | Ast.Lt -> of_bool (x < y)
+          | Ast.Le -> of_bool (x <= y)
+          | Ast.Gt -> of_bool (x > y)
+          | Ast.Ge -> of_bool (x >= y)
+          | Ast.Eq -> of_bool (x = y)
+          | Ast.Ne -> of_bool (x <> y)
+          | Ast.And | Ast.Or -> assert false))
+  | Ast.Call (f, args) -> (
+      match Builtins.find f with
+      | None -> raise (Unknown_function f)
+      | Some b ->
+          if List.length args <> b.arity then
+            (* arity errors are reported by the semantic checker; treating
+               the call as unknown here keeps the constant folder from
+               silently evaluating a malformed call *)
+            raise (Unknown_function f)
+          else
+            let vals = Array.of_list (List.map (eval env) args) in
+            b.eval vals)
+  | Ast.Ternary (c, t, f) -> if truthy (eval env c) then eval env t else eval env f
+
+(** Evaluate with an association-list environment. *)
+let eval_alist (bindings : (string * float) list) (e : Ast.expr) : float =
+  eval
+    (fun v ->
+      match List.assoc_opt v bindings with
+      | Some f -> f
+      | None -> raise (Unbound v))
+    e
+
+(** Evaluate an expression with no free variables. *)
+let eval_const (e : Ast.expr) : float option =
+  match eval (fun v -> raise (Unbound v)) e with
+  | f -> Some f
+  | exception Unbound _ -> None
+  | exception Unknown_function _ -> None

@@ -1,0 +1,15 @@
+(** Reference evaluator for EasyML expressions (C boolean semantics:
+    comparisons yield 1.0/0.0, any non-zero value is truthy). *)
+
+exception Unbound of string
+exception Unknown_function of string
+
+val truthy : float -> bool
+val of_bool : bool -> float
+
+val eval : (string -> float) -> Ast.expr -> float
+(** @raise Unbound / Unknown_function (also on arity mismatch). *)
+
+val eval_alist : (string * float) list -> Ast.expr -> float
+val eval_const : Ast.expr -> float option
+(** [Some v] iff the expression has no free variables and evaluates. *)

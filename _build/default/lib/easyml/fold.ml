@@ -1,0 +1,75 @@
+(** Compile-time preprocessor (paper §3.2).
+
+    Propagates constant-qualified values (model parameters and literals)
+    through expressions and folds any operation whose operands are all known
+    at compile time — arithmetic, math calls, comparisons, and conditions.
+    This mirrors limpetMLIR's preprocessor which runs as part of the code
+    generation phase. *)
+
+(* Identities that are safe for IEEE-754 doubles for the *finite* value
+   ranges ionic models operate on.  We deliberately do not fold [x *. 0.]
+   to [0.] (it would be wrong for infinities/NaN produced at runtime). *)
+let simplify_identities (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Binary (Ast.Add, x, Ast.Num 0.0) | Ast.Binary (Ast.Add, Ast.Num 0.0, x)
+    ->
+      x
+  | Ast.Binary (Ast.Sub, x, Ast.Num 0.0) -> x
+  | Ast.Binary (Ast.Mul, x, Ast.Num 1.0) | Ast.Binary (Ast.Mul, Ast.Num 1.0, x)
+    ->
+      x
+  | Ast.Binary (Ast.Div, x, Ast.Num 1.0) -> x
+  | Ast.Unary (Ast.Neg, Ast.Unary (Ast.Neg, x)) -> x
+  | e -> e
+
+(** [fold_expr consts e] rewrites [e], replacing variables bound in [consts]
+    by their value and collapsing fully-constant subtrees. *)
+let rec fold_expr (consts : (string, float) Hashtbl.t) (e : Ast.expr) : Ast.expr
+    =
+  match e with
+  | Ast.Num _ -> e
+  | Ast.Var v -> (
+      match Hashtbl.find_opt consts v with
+      | Some f -> Ast.Num f
+      | None -> e)
+  | Ast.Unary (op, a) -> (
+      let a' = fold_expr consts a in
+      match (op, a') with
+      | Ast.Neg, Ast.Num f -> Ast.Num (-.f)
+      | Ast.Not, Ast.Num f -> Ast.Num (Eval.of_bool (not (Eval.truthy f)))
+      | _ -> simplify_identities (Ast.Unary (op, a')))
+  | Ast.Binary (op, a, b) -> (
+      let a' = fold_expr consts a and b' = fold_expr consts b in
+      match (a', b') with
+      | Ast.Num _, Ast.Num _ -> (
+          match Eval.eval_const (Ast.Binary (op, a', b')) with
+          | Some f -> Ast.Num f
+          | None -> Ast.Binary (op, a', b'))
+      | _ -> simplify_identities (Ast.Binary (op, a', b')))
+  | Ast.Call (f, args) -> (
+      let args' = List.map (fold_expr consts) args in
+      let all_const = List.for_all (function Ast.Num _ -> true | _ -> false) args' in
+      if all_const && Builtins.mem f then
+        match Eval.eval_const (Ast.Call (f, args')) with
+        | Some v when Float.is_finite v -> Ast.Num v
+        | _ -> Ast.Call (f, args')
+      else Ast.Call (f, args'))
+  | Ast.Ternary (c, t, f) -> (
+      let c' = fold_expr consts c in
+      match c' with
+      | Ast.Num v -> if Eval.truthy v then fold_expr consts t else fold_expr consts f
+      | _ ->
+          let t' = fold_expr consts t and f' = fold_expr consts f in
+          (* both branches identical: the guard is irrelevant (guards are
+             pure in EasyML); this collapses the (c ? 0 : 0) terms symbolic
+             differentiation produces inside guarded rate functions *)
+          if Ast.equal_expr t' f' then t' else Ast.Ternary (c', t', f'))
+
+(** Fold with an association list of constants. *)
+let fold_alist (consts : (string * float) list) (e : Ast.expr) : Ast.expr =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) consts;
+  fold_expr tbl e
+
+(** True when the expression folded to a literal. *)
+let is_const = function Ast.Num _ -> true | _ -> false

@@ -1,0 +1,10 @@
+(** Compile-time preprocessor (paper §3.2): constant propagation and
+    folding over expressions, plus IEEE-safe identities. *)
+
+val simplify_identities : Ast.expr -> Ast.expr
+val fold_expr : (string, float) Hashtbl.t -> Ast.expr -> Ast.expr
+(** Replace variables bound in the table by literals and collapse
+    fully-constant subtrees (non-finite results are left unfolded). *)
+
+val fold_alist : (string * float) list -> Ast.expr -> Ast.expr
+val is_const : Ast.expr -> bool

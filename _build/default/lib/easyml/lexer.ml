@@ -1,0 +1,194 @@
+(** Hand-written lexer for EasyML.
+
+    Menhir is not available in this environment, and the DSL is small enough
+    that a hand-rolled lexer + recursive-descent parser is both simpler and
+    easier to produce good diagnostics from. *)
+
+exception Error of Loc.t * string
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let create (src : string) : t = { src; pos = 0; line = 1; col = 1 }
+let loc (lx : t) : Loc.t = Loc.make ~line:lx.line ~col:lx.col
+let is_eof (lx : t) = lx.pos >= String.length lx.src
+let peek_char (lx : t) = if is_eof lx then '\000' else lx.src.[lx.pos]
+
+let peek_char2 (lx : t) =
+  if lx.pos + 1 >= String.length lx.src then '\000' else lx.src.[lx.pos + 1]
+
+let advance (lx : t) =
+  if not (is_eof lx) then begin
+    (if lx.src.[lx.pos] = '\n' then begin
+       lx.line <- lx.line + 1;
+       lx.col <- 1
+     end
+     else lx.col <- lx.col + 1);
+    lx.pos <- lx.pos + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia (lx : t) =
+  match peek_char lx with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance lx;
+      skip_trivia lx
+  | '#' ->
+      (* line comment, EasyML style *)
+      while (not (is_eof lx)) && peek_char lx <> '\n' do
+        advance lx
+      done;
+      skip_trivia lx
+  | '/' when peek_char2 lx = '/' ->
+      while (not (is_eof lx)) && peek_char lx <> '\n' do
+        advance lx
+      done;
+      skip_trivia lx
+  | '/' when peek_char2 lx = '*' ->
+      let start = loc lx in
+      advance lx;
+      advance lx;
+      let rec close () =
+        if is_eof lx then raise (Error (start, "unterminated block comment"))
+        else if peek_char lx = '*' && peek_char2 lx = '/' then begin
+          advance lx;
+          advance lx
+        end
+        else begin
+          advance lx;
+          close ()
+        end
+      in
+      close ();
+      skip_trivia lx
+  | _ -> ()
+
+let lex_number (lx : t) : Token.t =
+  let start_pos = lx.pos in
+  let start_loc = loc lx in
+  while is_digit (peek_char lx) do
+    advance lx
+  done;
+  if peek_char lx = '.' && not (is_ident_start (peek_char2 lx)) then begin
+    advance lx;
+    while is_digit (peek_char lx) do
+      advance lx
+    done
+  end;
+  (match peek_char lx with
+  | 'e' | 'E' ->
+      advance lx;
+      (match peek_char lx with '+' | '-' -> advance lx | _ -> ());
+      if not (is_digit (peek_char lx)) then
+        raise (Error (loc lx, "malformed exponent in numeric literal"));
+      while is_digit (peek_char lx) do
+        advance lx
+      done
+  | _ -> ());
+  let text = String.sub lx.src start_pos (lx.pos - start_pos) in
+  match float_of_string_opt text with
+  | Some f -> Token.NUMBER f
+  | None -> raise (Error (start_loc, "malformed numeric literal " ^ text))
+
+let lex_ident (lx : t) : Token.t =
+  let start_pos = lx.pos in
+  while is_ident_char (peek_char lx) do
+    advance lx
+  done;
+  let text = String.sub lx.src start_pos (lx.pos - start_pos) in
+  match text with
+  | "group" -> Token.KW_GROUP
+  | "if" -> Token.KW_IF
+  | "elif" -> Token.KW_ELIF
+  | "else" -> Token.KW_ELSE
+  | _ -> Token.IDENT text
+
+let lex_string (lx : t) : Token.t =
+  let start_loc = loc lx in
+  advance lx;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if is_eof lx then raise (Error (start_loc, "unterminated string literal"))
+    else
+      match peek_char lx with
+      | '"' -> advance lx
+      | c ->
+          Buffer.add_char buf c;
+          advance lx;
+          go ()
+  in
+  go ();
+  Token.STRING (Buffer.contents buf)
+
+let next (lx : t) : Token.spanned =
+  skip_trivia lx;
+  let l = loc lx in
+  let mk tok = { Token.tok; loc = l } in
+  if is_eof lx then mk Token.EOF
+  else
+    let c = peek_char lx in
+    if is_digit c then mk (lex_number lx)
+    else if c = '.' && is_digit (peek_char2 lx) then mk (lex_number lx)
+    else if is_ident_start c then mk (lex_ident lx)
+    else if c = '"' then mk (lex_string lx)
+    else begin
+      advance lx;
+      let two expected tok_two tok_one =
+        if peek_char lx = expected then begin
+          advance lx;
+          mk tok_two
+        end
+        else mk tok_one
+      in
+      match c with
+      | '+' -> mk Token.PLUS
+      | '-' -> mk Token.MINUS
+      | '*' -> mk Token.STAR
+      | '^' -> mk Token.CARET
+      | '/' -> mk Token.SLASH
+      | '<' -> two '=' Token.LE Token.LT
+      | '>' -> two '=' Token.GE Token.GT
+      | '=' -> two '=' Token.EQEQ Token.ASSIGN
+      | '!' -> two '=' Token.NEQ Token.BANG
+      | '&' ->
+          if peek_char lx = '&' then begin
+            advance lx;
+            mk Token.ANDAND
+          end
+          else raise (Error (l, "expected '&&'"))
+      | '|' ->
+          if peek_char lx = '|' then begin
+            advance lx;
+            mk Token.OROR
+          end
+          else raise (Error (l, "expected '||'"))
+      | '?' -> mk Token.QUESTION
+      | ':' -> mk Token.COLON
+      | '(' -> mk Token.LPAREN
+      | ')' -> mk Token.RPAREN
+      | '{' -> mk Token.LBRACE
+      | '}' -> mk Token.RBRACE
+      | ';' -> mk Token.SEMI
+      | ',' -> mk Token.COMMA
+      | '.' -> mk Token.DOT
+      | c -> raise (Error (l, Printf.sprintf "unexpected character %C" c))
+    end
+
+(** Tokenize a full source string. Raises {!Error} on lexical errors. *)
+let tokenize (src : string) : Token.spanned list =
+  let lx = create src in
+  let rec go acc =
+    let t = next lx in
+    if Token.equal t.tok Token.EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,12 @@
+(** Hand-written lexer for EasyML (supports [#], [//] and block comments). *)
+
+exception Error of Loc.t * string
+
+type t
+
+val create : string -> t
+val next : t -> Token.spanned
+(** Next token; returns EOF at end of input. @raise Error on lexical errors. *)
+
+val tokenize : string -> Token.spanned list
+(** Whole input as a token list ending in EOF. @raise Error. *)

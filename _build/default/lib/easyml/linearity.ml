@@ -1,0 +1,58 @@
+(** Affine decomposition of gate derivative expressions.
+
+    The Rush–Larsen method applies to state variables whose derivative is
+    affine in the variable itself: [diff_y = A + B*y] with [A], [B]
+    independent of [y] (the classic gating form [(y_inf - y)/tau] with
+    [B = -1/tau], [A = y_inf/tau]).  The exact update is then
+
+      y(t+dt) = -A/B + (y + A/B) * exp(B*dt).
+
+    We extract [B] by symbolic differentiation and [A] by substituting
+    [y := 0]; the decomposition is exact iff the derivative of [B] w.r.t.
+    [y] vanishes and [y] does not appear inside any branch guard (where the
+    substitution would change control flow). *)
+
+type t = {
+  a : Ast.expr;  (** constant term, independent of the gate variable *)
+  b : Ast.expr;  (** linear coefficient, independent of the gate variable *)
+}
+
+(* Does [y] occur inside a condition position (ternary guard, comparison,
+   logical operator)?  If so the y := 0 substitution used for [A] would be
+   unsound. *)
+let rec occurs_in_guard (y : string) (e : Ast.expr) : bool =
+  let mentions e = List.mem y (Ast.free_vars e) in
+  match e with
+  | Ast.Num _ | Ast.Var _ -> false
+  | Ast.Unary (Ast.Not, a) -> mentions a
+  | Ast.Unary (_, a) -> occurs_in_guard y a
+  | Ast.Binary ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne), a, b) ->
+      (* the comparison itself is a guard-like value *)
+      mentions a || mentions b
+  | Ast.Binary ((Ast.And | Ast.Or), a, b) -> mentions a || mentions b
+  | Ast.Binary (_, a, b) -> occurs_in_guard y a || occurs_in_guard y b
+  | Ast.Call (_, args) -> List.exists (occurs_in_guard y) args
+  | Ast.Ternary (c, t, f) ->
+      mentions c || occurs_in_guard y t || occurs_in_guard y f
+
+(** [affine ~y f] returns [Some {a; b}] when [f = a + b*y] exactly. *)
+let affine ~(y : string) (f : Ast.expr) : t option =
+  if occurs_in_guard y f then None
+  else
+    match Deriv.diff ~wrt:y f with
+    | exception Deriv.Not_differentiable _ -> None
+    | b ->
+        if List.mem y (Ast.free_vars b) then None
+        else
+          let a = Fold.fold_alist [] (Ast.subst ~x:y ~by:(Ast.Num 0.0) f) in
+          if List.mem y (Ast.free_vars a) then None else Some { a; b }
+
+(** Validation helper for tests: numerically check that [f ≈ a + b*y] at a
+    sample point. *)
+let check_at (dec : t) ~(y : string) (f : Ast.expr) (env : (string * float) list)
+    : float =
+  let fv = Eval.eval_alist env f in
+  let yv = Eval.eval_alist env (Ast.Var y) in
+  let av = Eval.eval_alist env dec.a in
+  let bv = Eval.eval_alist env dec.b in
+  Float.abs (fv -. (av +. (bv *. yv)))

@@ -1,0 +1,14 @@
+(** Affine decomposition of gate derivatives: [diff_y = a + b*y] with
+    [a], [b] independent of [y] — the precondition of Rush-Larsen. *)
+
+type t = { a : Ast.expr; b : Ast.expr }
+
+val occurs_in_guard : string -> Ast.expr -> bool
+(** Does the variable appear inside a comparison/guard position (where the
+    [y := 0] substitution used for [a] would be unsound)? *)
+
+val affine : y:string -> Ast.expr -> t option
+(** [Some] iff the decomposition is exact. *)
+
+val check_at : t -> y:string -> Ast.expr -> (string * float) list -> float
+(** |f − (a + b·y)| at a sample point, for tests. *)

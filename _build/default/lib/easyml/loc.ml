@@ -1,0 +1,11 @@
+(** Source locations for diagnostics.
+
+    EasyML models are short, so we keep locations lightweight: a line/column
+    pair pointing at the start of the lexeme. *)
+
+type t = { line : int; col : int }
+
+let none = { line = 0; col = 0 }
+let make ~line ~col = { line; col }
+let pp ppf { line; col } = Fmt.pf ppf "%d:%d" line col
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,108 @@
+(** Lookup-table cone detection.
+
+    A [.lookup(lo,hi,step)] markup on a variable [V] (typically the membrane
+    potential [Vm]) asks the code generator to tabulate every expression that
+    depends only on [V].  We call such a maximal subexpression a *cone*.
+    At simulation time each table row holds the cone values for one grid
+    point of [V]; the kernel replaces the cone computation by a linear
+    interpolation between two rows (openCARP's [LUT_interpRow]).
+
+    [dt] is treated as table-pure: it is fixed for a whole simulation and the
+    tables are (re)built once [dt] is known, which lets the Rush–Larsen
+    coefficients [exp(b*dt)] be tabulated exactly as openCARP does. *)
+
+module SSet = Set.Make (String)
+
+type column = {
+  col_index : int;
+  col_expr : Ast.expr;  (** expression of the lookup variable (and dt) *)
+}
+
+type t = {
+  spec : Model.lut_spec;
+  columns : column list;
+}
+
+let pure_vars (spec : Model.lut_spec) : SSet.t =
+  SSet.of_list [ spec.Model.lut_var; "dt" ]
+
+(* Worth tabulating: contains a transcendental call or a division, and is
+   not a trivially small expression.  Tabulating [Vm + 47] would waste a
+   column and memory bandwidth. *)
+let expensive (e : Ast.expr) : bool =
+  let rec has_costly = function
+    | Ast.Num _ | Ast.Var _ -> false
+    | Ast.Unary (_, a) -> has_costly a
+    | Ast.Binary (Ast.Div, _, _) -> true
+    | Ast.Binary (_, a, b) -> has_costly a || has_costly b
+    | Ast.Ternary (a, b, c) -> has_costly a || has_costly b || has_costly c
+    | Ast.Call (f, args) -> (
+        List.exists has_costly args
+        ||
+        match Builtins.find f with Some b -> b.flops >= 8 | None -> false)
+  in
+  Ast.size e >= 3 && has_costly e
+
+let is_pure (pure : SSet.t) (e : Ast.expr) : bool =
+  List.for_all (fun v -> SSet.mem v pure) (Ast.free_vars e)
+
+(** Collect the maximal pure-and-expensive subtrees of [e] (top-down: once a
+    subtree qualifies we do not descend into it). *)
+let rec collect_cones (pure : SSet.t) (e : Ast.expr) (acc : Ast.expr list ref) :
+    unit =
+  if is_pure pure e && expensive e then begin
+    if not (List.exists (Ast.equal_expr e) !acc) then acc := e :: !acc
+  end
+  else
+    match e with
+    | Ast.Num _ | Ast.Var _ -> ()
+    | Ast.Unary (_, a) -> collect_cones pure a acc
+    | Ast.Binary (_, a, b) ->
+        collect_cones pure a acc;
+        collect_cones pure b acc
+    | Ast.Call (_, args) -> List.iter (fun a -> collect_cones pure a acc) args
+    | Ast.Ternary (a, b, c) ->
+        collect_cones pure a acc;
+        collect_cones pure b acc;
+        collect_cones pure c acc
+
+(** The variable name under which codegen binds column [i] of the table for
+    [lut_var]. *)
+let column_var (spec : Model.lut_spec) (i : int) : string =
+  Printf.sprintf "__lut_%s_%d" spec.Model.lut_var i
+
+(** Replace every occurrence of a column expression by its column variable. *)
+let rewrite (t : t) (e : Ast.expr) : Ast.expr =
+  let rec go e =
+    match
+      List.find_opt (fun c -> Ast.equal_expr c.col_expr e) t.columns
+    with
+    | Some c -> Ast.Var (column_var t.spec c.col_index)
+    | None -> (
+        match e with
+        | Ast.Num _ | Ast.Var _ -> e
+        | Ast.Unary (op, a) -> Ast.Unary (op, go a)
+        | Ast.Binary (op, a, b) -> Ast.Binary (op, go a, go b)
+        | Ast.Call (f, args) -> Ast.Call (f, List.map go args)
+        | Ast.Ternary (a, b, c) -> Ast.Ternary (go a, go b, go c))
+  in
+  go e
+
+(** Build the table plan for one lookup spec given every expression the
+    kernel will evaluate (assign right-hand sides, derivative expressions,
+    integrator coefficient expressions). *)
+let plan (spec : Model.lut_spec) (exprs : Ast.expr list) : t =
+  let pure = pure_vars spec in
+  let acc = ref [] in
+  List.iter (fun e -> collect_cones pure e acc) exprs;
+  let columns =
+    List.rev !acc |> List.mapi (fun i e -> { col_index = i; col_expr = e })
+  in
+  { spec; columns }
+
+let n_columns (t : t) = List.length t.columns
+
+(** Evaluate column [c] at grid value [x] (reference semantics, used to fill
+    the table and by tests). *)
+let eval_column ~(dt : float) (t : t) (c : column) (x : float) : float =
+  Eval.eval_alist [ (t.spec.Model.lut_var, x); ("dt", dt) ] c.col_expr

@@ -1,0 +1,25 @@
+(** Lookup-table cone detection: maximal subexpressions that depend only on
+    the lookup variable (and [dt], fixed per run) and are worth
+    tabulating.  Each distinct cone becomes a table column. *)
+
+type column = { col_index : int; col_expr : Ast.expr }
+type t = { spec : Model.lut_spec; columns : column list }
+
+val expensive : Ast.expr -> bool
+(** Worth tabulating: contains a transcendental call or division and is not
+    trivially small. *)
+
+val plan : Model.lut_spec -> Ast.expr list -> t
+(** Collect and deduplicate the cones of every expression the kernel will
+    evaluate. *)
+
+val n_columns : t -> int
+
+val column_var : Model.lut_spec -> int -> string
+(** The variable name codegen binds column [i] to. *)
+
+val rewrite : t -> Ast.expr -> Ast.expr
+(** Replace every cone occurrence by its column variable. *)
+
+val eval_column : dt:float -> t -> column -> float -> float
+(** Reference evaluation of a column at a grid value. *)

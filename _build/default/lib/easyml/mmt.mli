@@ -1,0 +1,42 @@
+(** MMT (Myokit) → EasyML translator: the "external translators" box of the
+    paper's Figure 1, for a practical MMT subset (components, [dot()]
+    equations, [use] aliases, unit annotations, [^]/[if]/[piecewise]). *)
+
+exception Error of { line : int; msg : string }
+
+type definition = {
+  d_comp : string;  (** owning component *)
+  d_var : string;  (** flattened name, [component__var] *)
+  d_dot : bool;  (** true for state equations *)
+  d_rhs : Ast.expr;
+}
+
+type t = {
+  name : string;
+  inits : (string * float) list;  (** flattened name → initial value *)
+  defs : definition list;
+}
+
+val parse : string -> t
+(** Parse and name-resolve an MMT document. @raise Error. *)
+
+val to_easyml :
+  ?lookup:(float * float * float) option ->
+  ?rl_gates:bool ->
+  vm:string ->
+  iion:string ->
+  t ->
+  string
+(** Render as EasyML.  [vm]/[iion] (as [comp.var] or flattened) become the
+    [Vm]/[Iion] externals; [rl_gates] (default true) marks affine gate
+    equations [.method(rush_larsen)]; [lookup] sets the Vm table bounds
+    (default [-100, 100] step 0.05, [None] disables). *)
+
+val import :
+  ?lookup:(float * float * float) option ->
+  ?rl_gates:bool ->
+  vm:string ->
+  iion:string ->
+  string ->
+  Model.t
+(** [parse] + [to_easyml] + semantic analysis in one step. *)

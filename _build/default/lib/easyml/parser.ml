@@ -1,0 +1,429 @@
+(** Recursive-descent parser for EasyML.
+
+    The grammar follows C expression precedence (as the EasyML reference
+    states).  Markup statements beginning with ['.'] attach to the most
+    recently named variable, which mirrors how openCARP model files are
+    written ([Vm; .external(); .nodal();]). *)
+
+exception Error of Loc.t * string
+
+type t = {
+  mutable toks : Token.spanned list;
+  mutable last_var : string option;
+      (** receiver for a leading-dot markup statement *)
+}
+
+let error loc fmt = Fmt.kstr (fun s -> raise (Error (loc, s))) fmt
+
+let peek (p : t) : Token.spanned =
+  match p.toks with
+  | [] -> { Token.tok = Token.EOF; loc = Loc.none }
+  | t :: _ -> t
+
+let advance (p : t) =
+  match p.toks with [] -> () | _ :: rest -> p.toks <- rest
+
+let expect (p : t) (tok : Token.t) : Loc.t =
+  let t = peek p in
+  if Token.equal t.tok tok then begin
+    advance p;
+    t.loc
+  end
+  else
+    error t.loc "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string t.tok)
+
+let expect_ident (p : t) : string * Loc.t =
+  let t = peek p in
+  match t.tok with
+  | Token.IDENT s ->
+      advance p;
+      (s, t.loc)
+  | other -> error t.loc "expected identifier but found %s" (Token.to_string other)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr (p : t) : Ast.expr = parse_ternary p
+
+and parse_ternary (p : t) : Ast.expr =
+  let cond = parse_or p in
+  match (peek p).tok with
+  | Token.QUESTION ->
+      advance p;
+      let e1 = parse_expr p in
+      let _ = expect p Token.COLON in
+      let e2 = parse_expr p in
+      Ast.Ternary (cond, e1, e2)
+  | _ -> cond
+
+and parse_or (p : t) : Ast.expr =
+  let rec loop acc =
+    match (peek p).tok with
+    | Token.OROR ->
+        advance p;
+        loop (Ast.Binary (Ast.Or, acc, parse_and p))
+    | _ -> acc
+  in
+  loop (parse_and p)
+
+and parse_and (p : t) : Ast.expr =
+  let rec loop acc =
+    match (peek p).tok with
+    | Token.ANDAND ->
+        advance p;
+        loop (Ast.Binary (Ast.And, acc, parse_equality p))
+    | _ -> acc
+  in
+  loop (parse_equality p)
+
+and parse_equality (p : t) : Ast.expr =
+  let rec loop acc =
+    match (peek p).tok with
+    | Token.EQEQ ->
+        advance p;
+        loop (Ast.Binary (Ast.Eq, acc, parse_relational p))
+    | Token.NEQ ->
+        advance p;
+        loop (Ast.Binary (Ast.Ne, acc, parse_relational p))
+    | _ -> acc
+  in
+  loop (parse_relational p)
+
+and parse_relational (p : t) : Ast.expr =
+  let rec loop acc =
+    match (peek p).tok with
+    | Token.LT ->
+        advance p;
+        loop (Ast.Binary (Ast.Lt, acc, parse_additive p))
+    | Token.LE ->
+        advance p;
+        loop (Ast.Binary (Ast.Le, acc, parse_additive p))
+    | Token.GT ->
+        advance p;
+        loop (Ast.Binary (Ast.Gt, acc, parse_additive p))
+    | Token.GE ->
+        advance p;
+        loop (Ast.Binary (Ast.Ge, acc, parse_additive p))
+    | _ -> acc
+  in
+  loop (parse_additive p)
+
+and parse_additive (p : t) : Ast.expr =
+  let rec loop acc =
+    match (peek p).tok with
+    | Token.PLUS ->
+        advance p;
+        loop (Ast.Binary (Ast.Add, acc, parse_multiplicative p))
+    | Token.MINUS ->
+        advance p;
+        loop (Ast.Binary (Ast.Sub, acc, parse_multiplicative p))
+    | _ -> acc
+  in
+  loop (parse_multiplicative p)
+
+and parse_multiplicative (p : t) : Ast.expr =
+  let rec loop acc =
+    match (peek p).tok with
+    | Token.STAR ->
+        advance p;
+        loop (Ast.Binary (Ast.Mul, acc, parse_unary p))
+    | Token.SLASH ->
+        advance p;
+        loop (Ast.Binary (Ast.Div, acc, parse_unary p))
+    | _ -> acc
+  in
+  loop (parse_unary p)
+
+and parse_unary (p : t) : Ast.expr =
+  match (peek p).tok with
+  | Token.MINUS -> (
+      advance p;
+      (* fold negated literals so -3.5 is a constant, as in C *)
+      match parse_unary p with
+      | Ast.Num f -> Ast.Num (-.f)
+      | e -> Ast.Unary (Ast.Neg, e))
+  | Token.BANG ->
+      advance p;
+      Ast.Unary (Ast.Not, parse_unary p)
+  | Token.PLUS ->
+      advance p;
+      parse_unary p
+  | _ -> parse_power p
+
+(* '^' is not core EasyML; it is accepted as an extension (used by the MMT
+   importer) and desugars to pow().  Right-associative, binds tighter than
+   unary minus on the left, looser on the exponent: -a^b = -(a^b), a^-b ok. *)
+and parse_power (p : t) : Ast.expr =
+  let base = parse_primary p in
+  match (peek p).tok with
+  | Token.CARET ->
+      advance p;
+      let expo = parse_unary p in
+      Ast.Call ("pow", [ base; expo ])
+  | _ -> base
+
+and parse_primary (p : t) : Ast.expr =
+  let t = peek p in
+  match t.tok with
+  | Token.NUMBER f ->
+      advance p;
+      Ast.Num f
+  | Token.IDENT name -> (
+      advance p;
+      match (peek p).tok with
+      | Token.LPAREN ->
+          advance p;
+          let args =
+            if Token.equal (peek p).tok Token.RPAREN then []
+            else
+              let rec loop acc =
+                let e = parse_expr p in
+                match (peek p).tok with
+                | Token.COMMA ->
+                    advance p;
+                    loop (e :: acc)
+                | _ -> List.rev (e :: acc)
+              in
+              loop []
+          in
+          let _ = expect p Token.RPAREN in
+          Ast.Call (name, args)
+      | _ -> Ast.Var name)
+  | Token.LPAREN ->
+      advance p;
+      let e = parse_expr p in
+      let _ = expect p Token.RPAREN in
+      e
+  | other -> error t.loc "expected expression but found %s" (Token.to_string other)
+
+(* ------------------------------------------------------------------ *)
+(* Markups                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A markup argument: a signed number, an identifier, or a string. *)
+let parse_markup_arg (p : t) : [ `Num of float | `Name of string | `Str of string ]
+    =
+  let t = peek p in
+  match t.tok with
+  | Token.MINUS -> (
+      advance p;
+      let t2 = peek p in
+      match t2.tok with
+      | Token.NUMBER f ->
+          advance p;
+          `Num (-.f)
+      | other ->
+          error t2.loc "expected number after '-' in markup, found %s"
+            (Token.to_string other))
+  | Token.NUMBER f ->
+      advance p;
+      `Num f
+  | Token.IDENT s ->
+      advance p;
+      `Name s
+  | Token.STRING s ->
+      advance p;
+      `Str s
+  | other -> error t.loc "expected markup argument, found %s" (Token.to_string other)
+
+(* Parses [.name(arg, ...)] with the leading dot already consumed by the
+   caller's lookahead decision but not yet removed from the stream. *)
+let parse_markup (p : t) : Loc.t * Ast.markup =
+  let loc = expect p Token.DOT in
+  let name, name_loc = expect_ident p in
+  let _ = expect p Token.LPAREN in
+  let args =
+    if Token.equal (peek p).tok Token.RPAREN then []
+    else
+      let rec loop acc =
+        let a = parse_markup_arg p in
+        match (peek p).tok with
+        | Token.COMMA ->
+            advance p;
+            loop (a :: acc)
+        | _ -> List.rev (a :: acc)
+      in
+      loop []
+  in
+  let _ = expect p Token.RPAREN in
+  let num = function
+    | `Num f -> f
+    | _ -> error name_loc "markup .%s expects numeric arguments" name
+  in
+  let markup =
+    match (name, args) with
+    | "external", [] -> Ast.External
+    | "nodal", [] -> Ast.Nodal
+    | "regional", [] -> Ast.Regional
+    | "param", [] -> Ast.Param
+    | "trace", [] -> Ast.Trace
+    | "store", [] -> Ast.Store
+    | "lookup", [ a; b; c ] -> Ast.Lookup (num a, num b, num c)
+    | "method", [ `Name m ] -> Ast.Method m
+    | "units", [ `Str u ] | "units", [ `Name u ] -> Ast.Units u
+    | "lookup", _ -> error name_loc ".lookup expects exactly (lo, hi, step)"
+    | "method", _ -> error name_loc ".method expects one method name"
+    | _ -> error name_loc "unknown markup .%s/%d" name (List.length args)
+  in
+  (loc, markup)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt (p : t) : Ast.stmt list =
+  let t = peek p in
+  match t.tok with
+  | Token.DOT -> (
+      let loc, m = parse_markup p in
+      let _ = expect p Token.SEMI in
+      match p.last_var with
+      | Some v -> [ Ast.MarkupOn (loc, v, m) ]
+      | None -> error loc "markup with no preceding variable")
+  | Token.KW_GROUP -> parse_group p
+  | Token.KW_IF -> [ parse_if p ]
+  | Token.IDENT name -> (
+      advance p;
+      match (peek p).tok with
+      | Token.ASSIGN ->
+          advance p;
+          let e = parse_expr p in
+          let _ = expect p Token.SEMI in
+          p.last_var <- Some name;
+          [ Ast.Assign (t.loc, name, e) ]
+      | Token.SEMI ->
+          advance p;
+          p.last_var <- Some name;
+          [ Ast.Decl (t.loc, name) ]
+      | other ->
+          error (peek p).loc "expected '=' or ';' after %s, found %s" name
+            (Token.to_string other))
+  | other -> error t.loc "expected statement but found %s" (Token.to_string other)
+
+(* group{ a; b = 1; } .markup1(); ... desugars to per-member declarations /
+   assignments followed by one markup per member per group markup. *)
+and parse_group (p : t) : Ast.stmt list =
+  let gloc = expect p Token.KW_GROUP in
+  let _ = expect p Token.LBRACE in
+  let members = ref [] in
+  let rec members_loop () =
+    match (peek p).tok with
+    | Token.RBRACE -> advance p
+    | Token.IDENT name ->
+        advance p;
+        (match (peek p).tok with
+        | Token.ASSIGN ->
+            advance p;
+            let e = parse_expr p in
+            members := (name, Some e) :: !members
+        | _ -> members := (name, None) :: !members);
+        let _ = expect p Token.SEMI in
+        members_loop ()
+    | other ->
+        error (peek p).loc "expected group member or '}', found %s"
+          (Token.to_string other)
+  in
+  members_loop ();
+  let members = List.rev !members in
+  (* trailing markup chain: .param(); or .nodal(); etc. applied to all *)
+  let markups = ref [] in
+  let rec markup_loop () =
+    match (peek p).tok with
+    | Token.DOT ->
+        let _, m = parse_markup p in
+        markups := m :: !markups;
+        (match (peek p).tok with
+        | Token.SEMI ->
+            advance p;
+            markup_loop ()
+        | Token.DOT -> markup_loop ()
+        | other ->
+            error (peek p).loc "expected ';' or '.' after group markup, found %s"
+              (Token.to_string other))
+    | _ -> ()
+  in
+  markup_loop ();
+  let markups = List.rev !markups in
+  (match members with
+  | [] -> ()
+  | _ ->
+      let last, _ = List.nth members (List.length members - 1) in
+      p.last_var <- Some last);
+  List.concat_map
+    (fun (name, init) ->
+      let base =
+        match init with
+        | None -> Ast.Decl (gloc, name)
+        | Some e -> Ast.Assign (gloc, name, e)
+      in
+      base :: List.map (fun m -> Ast.MarkupOn (gloc, name, m)) markups)
+    members
+
+and parse_if (p : t) : Ast.stmt =
+  let iloc = expect p Token.KW_IF in
+  let _ = expect p Token.LPAREN in
+  let cond = parse_expr p in
+  let _ = expect p Token.RPAREN in
+  let body = parse_block p in
+  let branches = ref [ (cond, body) ] in
+  let els = ref [] in
+  let rec tail () =
+    match (peek p).tok with
+    | Token.KW_ELIF ->
+        advance p;
+        let _ = expect p Token.LPAREN in
+        let c = parse_expr p in
+        let _ = expect p Token.RPAREN in
+        let b = parse_block p in
+        branches := (c, b) :: !branches;
+        tail ()
+    | Token.KW_ELSE -> (
+        advance p;
+        match (peek p).tok with
+        | Token.KW_IF ->
+            (* allow C-style [else if] *)
+            let nested = parse_if p in
+            els := [ nested ]
+        | _ -> els := parse_block p)
+    | _ -> ()
+  in
+  tail ();
+  Ast.If (iloc, List.rev !branches, !els)
+
+and parse_block (p : t) : Ast.stmt list =
+  let _ = expect p Token.LBRACE in
+  let acc = ref [] in
+  let rec loop () =
+    match (peek p).tok with
+    | Token.RBRACE -> advance p
+    | Token.EOF -> error (peek p).loc "unterminated block"
+    | _ ->
+        acc := List.rev_append (parse_stmt p) !acc;
+        loop ()
+  in
+  loop ();
+  List.rev !acc
+
+(** Parse a whole EasyML program. Raises {!Error} or {!Lexer.Error}. *)
+let parse_program (src : string) : Ast.program =
+  let p = { toks = Lexer.tokenize src; last_var = None } in
+  let acc = ref [] in
+  let rec loop () =
+    match (peek p).tok with
+    | Token.EOF -> ()
+    | _ ->
+        acc := List.rev_append (parse_stmt p) !acc;
+        loop ()
+  in
+  loop ();
+  List.rev !acc
+
+(** Convenience wrapper returning a result instead of raising. *)
+let parse (src : string) : (Ast.program, string) result =
+  match parse_program src with
+  | prog -> Ok prog
+  | exception Error (loc, msg) -> Error (Fmt.str "parse error at %a: %s" Loc.pp loc msg)
+  | exception Lexer.Error (loc, msg) ->
+      Error (Fmt.str "lexical error at %a: %s" Loc.pp loc msg)

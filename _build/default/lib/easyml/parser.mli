@@ -1,0 +1,10 @@
+(** Recursive-descent parser for EasyML (C expression precedence; markup
+    statements attach to the most recently named variable). *)
+
+exception Error of Loc.t * string
+
+val parse_program : string -> Ast.program
+(** @raise Error or {!Lexer.Error}. *)
+
+val parse : string -> (Ast.program, string) result
+(** Result-typed wrapper with rendered locations. *)

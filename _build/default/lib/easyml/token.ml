@@ -1,0 +1,73 @@
+(** Tokens produced by the EasyML lexer. *)
+
+type t =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string  (** used by unit annotations, e.g. [.units("mV")] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | QUESTION
+  | COLON
+  | ASSIGN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | DOT
+  | KW_GROUP
+  | KW_IF
+  | KW_ELIF
+  | KW_ELSE
+  | EOF
+
+type spanned = { tok : t; loc : Loc.t }
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER f -> Printf.sprintf "number %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | CARET -> "'^'"
+  | SLASH -> "'/'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | QUESTION -> "'?'"
+  | COLON -> "':'"
+  | ASSIGN -> "'='"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | KW_GROUP -> "'group'"
+  | KW_IF -> "'if'"
+  | KW_ELIF -> "'elif'"
+  | KW_ELSE -> "'else'"
+  | EOF -> "end of input"
+
+let equal (a : t) (b : t) = a = b

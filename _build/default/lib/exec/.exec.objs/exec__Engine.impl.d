@@ -1,0 +1,1 @@
+lib/exec/engine.ml: Array Easyml Float Fmt Func Hashtbl Ir Lazy List Op Rt Ty Value

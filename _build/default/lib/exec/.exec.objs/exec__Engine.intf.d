@@ -1,0 +1,1 @@
+lib/exec/engine.mli: Ir Rt

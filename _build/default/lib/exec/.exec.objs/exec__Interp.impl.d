@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Easyml Float Fmt Fun Func Hashtbl Ir List Op Rt Ty Value

@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Ir Rt

@@ -1,0 +1,1 @@
+lib/exec/rt.ml: Float Hashtbl List

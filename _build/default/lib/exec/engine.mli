@@ -1,0 +1,22 @@
+(** Closure-compiling execution engine: IR is compiled once into OCaml
+    closures over preallocated typed register files (the stand-in for
+    LLVM native code generation).  Vector ops execute their whole width
+    per dispatch, which is where the genuine wall-clock advantage of
+    vectorized kernels comes from in this port.
+
+    Compiled functions are NOT reentrant: each compilation owns one
+    register file, so use one compiled instance per thread (the driver
+    does). *)
+
+exception Exec_error of string
+
+type compiled = Rt.v array -> Rt.v array
+
+val compile_module :
+  ?externs:Rt.registry -> Ir.Func.modl -> string -> compiled
+(** Lazy per-function compiler; unknown names fall back to the extern
+    registry. Local calls between module functions are supported. *)
+
+val run :
+  ?externs:Rt.registry -> Ir.Func.modl -> string -> Rt.v array -> Rt.v array
+(** Compile and invoke one function. *)

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Easyml Fmt Func List Op Ty Value

@@ -1,0 +1,1 @@
+lib/ir/func.ml: List Op Ty Value

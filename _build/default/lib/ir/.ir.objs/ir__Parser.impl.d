@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Builder Float Fmt Func Hashtbl List Op Printf Result String Ty Value

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Fmt Func List Op String Ty Value

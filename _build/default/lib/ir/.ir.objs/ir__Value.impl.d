@@ -1,0 +1,1 @@
+lib/ir/value.ml: Fmt Int Map Set Ty

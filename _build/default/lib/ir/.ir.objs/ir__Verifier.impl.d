@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Easyml Fmt Func Int List Op Set String Ty Value

@@ -1,0 +1,1 @@
+lib/ir/verifier.mli: Format Func

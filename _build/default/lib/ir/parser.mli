@@ -1,0 +1,10 @@
+(** Parser for the textual IR emitted by {!Printer} (not a general MLIR
+    parser): lets kernels round-trip through files and gives the test
+    suite a strong printer/parser fixpoint property. *)
+
+exception Error of { line : int; msg : string }
+
+val parse_module : string -> Func.modl
+(** @raise Error with the offending line. *)
+
+val parse_module_result : string -> (Func.modl, string) result

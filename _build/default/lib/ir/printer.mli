@@ -1,0 +1,6 @@
+(** MLIR-style textual printer (the format of the paper's Listing 3). *)
+
+val pp_func : Format.formatter -> Func.func -> unit
+val pp_module : Format.formatter -> Func.modl -> unit
+val func_to_string : Func.func -> string
+val module_to_string : Func.modl -> string

@@ -1,0 +1,47 @@
+(** IR types.
+
+    A deliberately small lattice mirroring the MLIR types limpetMLIR uses:
+    [f64] scalars, [i64] indices, [i1] conditions, fixed-width vectors of
+    those, and 1-D dynamically-sized [memref]s of [f64] (cell state arrays,
+    external-variable arrays and lookup tables are all flat double buffers,
+    exactly as in the generated code of the paper's Listing 3). *)
+
+type t =
+  | F64
+  | I64
+  | I1
+  | Vec of int * t  (** [Vec (w, elem)]; [elem] must be scalar *)
+  | Memref  (** 1-D dynamically-sized buffer of f64 *)
+
+let rec pp ppf = function
+  | F64 -> Fmt.string ppf "f64"
+  | I64 -> Fmt.string ppf "i64"
+  | I1 -> Fmt.string ppf "i1"
+  | Vec (w, e) -> Fmt.pf ppf "vector<%dx%a>" w pp e
+  | Memref -> Fmt.string ppf "memref<?xf64>"
+
+let to_string t = Fmt.str "%a" pp t
+let equal (a : t) (b : t) = a = b
+
+let is_scalar = function F64 | I64 | I1 -> true | Vec _ | Memref -> false
+let is_float_like = function F64 | Vec (_, F64) -> true | _ -> false
+let is_int_like = function I64 | Vec (_, I64) -> true | _ -> false
+let is_bool_like = function I1 | Vec (_, I1) -> true | _ -> false
+
+(** Width of a vector type, 1 for scalars. *)
+let width = function Vec (w, _) -> w | _ -> 1
+
+(** Element type of a vector, identity on scalars. *)
+let elem = function Vec (_, e) -> e | t -> t
+
+(** [vec w t] is [t] when [w = 1], otherwise a vector of [t]. *)
+let vec (w : int) (t : t) : t =
+  if w <= 0 then invalid_arg "Ty.vec: non-positive width"
+  else if w = 1 then t
+  else
+    match t with
+    | F64 | I64 | I1 -> Vec (w, t)
+    | Vec _ | Memref -> invalid_arg "Ty.vec: element must be scalar"
+
+(** Map a scalar type to the same-shaped type as [like]. *)
+let like ~(like : t) (scalar : t) : t = vec (width like) scalar

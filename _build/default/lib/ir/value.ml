@@ -1,0 +1,22 @@
+(** SSA values. Each value is defined exactly once, either as a block
+    argument or as an op result. Identity is the numeric id. *)
+
+type t = { id : int; ty : Ty.t }
+
+let equal (a : t) (b : t) = Int.equal a.id b.id
+let compare (a : t) (b : t) = Int.compare a.id b.id
+let hash (a : t) = a.id
+let pp ppf (v : t) = Fmt.pf ppf "%%%d" v.id
+let pp_typed ppf (v : t) = Fmt.pf ppf "%%%d : %a" v.id Ty.pp v.ty
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

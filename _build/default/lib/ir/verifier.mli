@@ -1,0 +1,19 @@
+(** IR verifier: SSA (single definition, lexical dominance in single-block
+    regions), per-op typing, structured-control-flow well-formedness and
+    call-signature checks. *)
+
+type error = { in_func : string; op : string; msg : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Failed of error list
+
+val verify_func : ?modl:Func.modl -> Func.func -> error list
+(** Empty when the function is well-formed; pass [modl] to also check call
+    signatures. *)
+
+val verify_module : Func.modl -> error list
+val verify_module_exn : Func.modl -> unit
+(** @raise Failed with the error list. *)
+
+val errors_to_string : error list -> string

@@ -1,0 +1,1 @@
+lib/machine/ert.ml: Arch Float List

@@ -1,0 +1,1 @@
+lib/machine/ert.mli: Arch

@@ -1,0 +1,1 @@
+lib/machine/kcost.ml: Arch Array Codegen Easyml Func Hashtbl Ir List Op Ty Value

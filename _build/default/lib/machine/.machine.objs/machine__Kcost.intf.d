@@ -1,0 +1,1 @@
+lib/machine/kcost.mli: Arch Codegen Ir

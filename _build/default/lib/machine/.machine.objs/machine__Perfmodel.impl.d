@@ -1,0 +1,1 @@
+lib/machine/perfmodel.ml: Arch Codegen Easyml Float Kcost List

@@ -1,0 +1,1 @@
+lib/machine/perfmodel.mli: Arch Codegen Kcost

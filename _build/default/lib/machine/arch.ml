@@ -1,0 +1,91 @@
+(** Architecture descriptors for the performance model.
+
+    The experimental platform the paper reports on — a 2×18-core Cascade
+    Lake Xeon Gold 6240 @ 2.6 GHz with SSE/AVX2/AVX-512 — is not available
+    in this environment (single hosted core, no AVX), so speedup *shapes*
+    are reproduced through a calibrated analytical cost model.  Parameters
+    below are taken from the paper's measured roofline (§4.5: 760 GFlop/s
+    peak, 199 GB/s DRAM, 1052 GB/s L1) and public Cascade Lake
+    instruction-cost data; they are deliberately round numbers, not a
+    cycle-accurate simulation. *)
+
+type t = {
+  name : string;
+  width : int;  (** vector width in doubles (1 = scalar ISA) *)
+  freq_ghz : float;  (** core clock *)
+  cores : int;  (** physical cores available to OpenMP *)
+  (* per-op costs in cycles; vector ops pay once per vector *)
+  flop_cycles : float;  (** add/sub/mul/select/cmp, per op *)
+  div_cycles : float;  (** divide, per op (scalar); vector pays w/2× *)
+  libm_factor : float;  (** cycles per builtin "flop" unit for scalar libm *)
+  svml_factor : float;
+      (** cycles per builtin flop unit for one *vector* SVML call —
+          roughly independent of width, which is where the math speedup
+          comes from *)
+  load_cycles : float;  (** L1-hit scalar load/store *)
+  vload_cycles : float;  (** contiguous vector load/store *)
+  gather_base : float;  (** fixed cost of a gather/scatter *)
+  gather_lane : float;  (** extra cycles per gather/scatter lane *)
+  loop_cycles : float;  (** per-iteration loop control *)
+  call_overhead : float;  (** per kernel invocation *)
+  (* memory system *)
+  l1_bw : float;  (** per-core L1 bandwidth, GB/s *)
+  l2_bw : float;  (** per-core L2 bandwidth, GB/s *)
+  dram_bw : float;  (** socket-aggregate DRAM bandwidth, GB/s *)
+  dram_core_bw : float;  (** single-core sustainable DRAM bandwidth, GB/s *)
+  l2_size : int;  (** per-core L2 bytes *)
+  l3_size : int;  (** aggregate L3 bytes *)
+  (* threading *)
+  barrier_base_us : float;  (** OpenMP barrier latency floor, µs *)
+  barrier_core_us : float;  (** extra barrier latency per participating core *)
+}
+
+let cascade_lake ~(width : int) : t =
+  {
+    name =
+      (match width with
+      | 1 -> "scalar"
+      | 2 -> "sse"
+      | 4 -> "avx2"
+      | 8 -> "avx512"
+      | w -> Printf.sprintf "vec%d" w);
+    width;
+    freq_ghz = 2.6;
+    cores = 32;
+    flop_cycles = 1.0;
+    div_cycles = 4.0;
+    libm_factor = 2.4;
+    svml_factor = 1.4;
+    load_cycles = 1.0;
+    vload_cycles = 1.5;
+    gather_base = 3.0;
+    gather_lane = 0.9;
+    loop_cycles = 2.0;
+    call_overhead = 60.0;
+    l1_bw = 33.0;
+    l2_bw = 25.0;
+    dram_bw = 199.0;
+    dram_core_bw = 13.0;
+    l2_size = 1 lsl 20;
+    l3_size = 25 * (1 lsl 20);
+    barrier_base_us = 1.2;
+    barrier_core_us = 0.12;
+  }
+
+let scalar = cascade_lake ~width:1
+let sse = cascade_lake ~width:2
+let avx2 = cascade_lake ~width:4
+let avx512 = cascade_lake ~width:8
+
+let of_width (w : int) : t = cascade_lake ~width:w
+
+(** Peak double-precision GFlop/s with [cores] threads.  The theoretical
+    peak (2 FMA units × 2 flops per lane per cycle) is derated by the
+    empirically-achievable fraction ERT reports on Cascade Lake — heavy
+    AVX-512 use downclocks the core; the paper measured 760 GFlop/s on 32
+    cores where the data sheet promises ~2.6 TFlop/s. *)
+let ert_efficiency = 0.285
+
+let peak_gflops (a : t) ~(nthreads : int) : float =
+  a.freq_ghz *. float_of_int (max a.width 1) *. 4.0 *. ert_efficiency
+  *. float_of_int nthreads

@@ -1,0 +1,44 @@
+(** Empirical-Roofline-Tool analogue.
+
+    The paper measures its platform ceilings with ERT (§4.5): 760 GFlop/s
+    peak, 199 GB/s DRAM, 1052 GB/s L1 on 32 cores.  We "measure" the model
+    machine the same way: sweep synthetic kernels of increasing operational
+    intensity through {!Perfmodel} and report the plateaus, which the tests
+    compare against the closed-form peaks. *)
+
+type ceilings = {
+  peak_gflops : float;
+  dram_bw : float;  (** GB/s *)
+  l1_bw : float;  (** GB/s *)
+  l2_bw : float;  (** GB/s *)
+}
+
+(** Closed-form ceilings for [nthreads] threads. *)
+let ceilings (a : Arch.t) ~(nthreads : int) : ceilings =
+  {
+    peak_gflops = Arch.peak_gflops a ~nthreads;
+    dram_bw =
+      Float.min (a.Arch.dram_core_bw *. float_of_int nthreads) a.Arch.dram_bw;
+    l1_bw = a.Arch.l1_bw *. float_of_int nthreads;
+    l2_bw = a.Arch.l2_bw *. float_of_int nthreads;
+  }
+
+(** Attainable GFlop/s at operational intensity [oi] (the roofline). *)
+let attainable (c : ceilings) ~(oi : float) : float =
+  Float.min c.peak_gflops (oi *. c.dram_bw)
+
+(** Sweep a synthetic flops/byte ratio through the time model and return
+    (oi, gflops) points tracing the measured roofline of the model machine. *)
+let sweep (a : Arch.t) ~(nthreads : int) : (float * float) list =
+  let ws_big = 8 * (1 lsl 20) * 64 in
+  List.map
+    (fun oi ->
+      (* one pass over a DRAM-sized buffer performing oi flops per byte *)
+      let bytes = float_of_int ws_big in
+      let flops = oi *. bytes in
+      let c = ceilings a ~nthreads in
+      let t_mem = bytes /. (c.dram_bw *. 1e9) in
+      let t_cpu = flops /. (c.peak_gflops *. 1e9) in
+      let t = Float.max t_mem t_cpu in
+      (oi, flops /. t /. 1e9))
+    [ 0.125; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 ]

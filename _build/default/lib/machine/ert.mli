@@ -1,0 +1,15 @@
+(** Empirical-Roofline-Tool analogue: the model machine's measured
+    ceilings (the paper reports 760 GFlop/s, 199 GB/s DRAM, 1052 GB/s L1
+    on 32 cores). *)
+
+type ceilings = {
+  peak_gflops : float;
+  dram_bw : float;
+  l1_bw : float;
+  l2_bw : float;
+}
+
+val ceilings : Arch.t -> nthreads:int -> ceilings
+val attainable : ceilings -> oi:float -> float
+val sweep : Arch.t -> nthreads:int -> (float * float) list
+(** (operational intensity, achieved GFlop/s) points tracing the roofline. *)

@@ -1,0 +1,116 @@
+(** Execution-time model.
+
+    Combines the per-cell kernel cost with a memory-bandwidth roofline and
+    a fork/join threading model:
+
+      t_step(T) = max(compute_chunk / freq, bytes_chunk / BW(T, ws))
+                  + barrier(T)
+      total     = steps × t_step
+
+    The bandwidth tier depends on the per-run working set (state + tables +
+    externals): sets that fit the aggregate L2 stream at L2 speed, sets
+    within L3 at an intermediate speed, larger sets at DRAM speed with
+    per-core saturation — which is what makes small models flatten and
+    memory-bound models hit the bandwidth ceiling in Figs. 4 and 6. *)
+
+type workload = {
+  ncells : int;
+  steps : int;
+  nvars : int;  (** state variables per cell *)
+  n_ext : int;  (** external arrays *)
+  lut_bytes : int;  (** total lookup-table bytes *)
+}
+
+type result = {
+  seconds : float;
+  compute_seconds : float;  (** compute-bound component *)
+  memory_seconds : float;  (** bandwidth-bound component *)
+  sync_seconds : float;
+  gflops : float;  (** achieved GFlop/s *)
+  oi : float;  (** operational intensity, flops/byte *)
+  flops : float;  (** total flops *)
+  bytes : float;  (** total traffic *)
+}
+
+let working_set (w : workload) : float =
+  float_of_int
+    ((w.nvars * 8 * w.ncells) + (w.n_ext * 8 * w.ncells) + w.lut_bytes)
+
+(** Effective bandwidth in bytes/s for [nthreads] given the working set. *)
+let bandwidth (a : Arch.t) (w : workload) ~(nthreads : int) : float =
+  let ws = working_set w in
+  let t = float_of_int nthreads in
+  let l2_total = float_of_int (a.Arch.l2_size * nthreads) in
+  let l3 = float_of_int a.Arch.l3_size in
+  let gb = 1e9 in
+  if ws <= l2_total then a.Arch.l2_bw *. t *. gb
+  else if ws <= l3 then
+    (* L3-resident: well above DRAM, saturates with fewer cores *)
+    Float.min (2.5 *. a.Arch.dram_core_bw *. t) (2.0 *. a.Arch.dram_bw) *. gb
+  else Float.min (a.Arch.dram_core_bw *. t) a.Arch.dram_bw *. gb
+
+let barrier_seconds (a : Arch.t) ~(nthreads : int) : float =
+  if nthreads <= 1 then 0.0
+  else
+    (a.Arch.barrier_base_us +. (a.Arch.barrier_core_us *. float_of_int nthreads))
+    *. 1e-6
+
+(** Predicted execution time of a whole run. *)
+let time ?(step_overhead_s = 0.0) (a : Arch.t) (m : Kcost.metrics)
+    (w : workload) ~(nthreads : int) : result =
+  let cells_chunk = float_of_int ((w.ncells + nthreads - 1) / nthreads) in
+  let hz = a.Arch.freq_ghz *. 1e9 in
+  let compute_chunk =
+    ((cells_chunk *. m.Kcost.cycles_per_cell) +. m.Kcost.preamble_cycles) /. hz
+  in
+  let bw = bandwidth a w ~nthreads in
+  let bytes_step = float_of_int w.ncells *. m.Kcost.bytes_per_cell in
+  let mem_step = bytes_step /. bw in
+  let sync = barrier_seconds a ~nthreads in
+  let per_step = Float.max compute_chunk mem_step +. sync +. step_overhead_s in
+  let steps = float_of_int w.steps in
+  let seconds = steps *. per_step in
+  let flops = steps *. float_of_int w.ncells *. m.Kcost.flops_per_cell in
+  let bytes = steps *. bytes_step in
+  {
+    seconds;
+    compute_seconds = steps *. compute_chunk;
+    memory_seconds = steps *. mem_step;
+    sync_seconds = steps *. sync;
+    gflops = flops /. seconds /. 1e9;
+    oi = (if bytes > 0. then flops /. bytes else 0.);
+    flops;
+    bytes;
+  }
+
+(** Convenience: model a generated kernel end to end. *)
+let run_kernel (gen : Codegen.Kernel.t) ~(ncells : int) ~(steps : int)
+    ~(nthreads : int) : result =
+  let cfg = gen.Codegen.Kernel.cfg in
+  let a = Arch.of_width cfg.Codegen.Config.width in
+  let m = Kcost.of_kernel gen in
+  (* fixed per-step runtime overhead: bench loop, function-pointer
+     dispatch, and (for the vector kernels) the omp/vector runtime setup
+     and remainder handling — the term behind the paper's small-model
+     slowdowns *)
+  let step_overhead_s =
+    if cfg.Codegen.Config.width = 1 then 1.5e-6 else 6.0e-6
+  in
+  let lut_bytes =
+    List.fold_left
+      (fun acc (plan : Easyml.Lut_cones.t) ->
+        acc
+        + (Easyml.Model.lut_rows plan.Easyml.Lut_cones.spec
+          * Easyml.Lut_cones.n_columns plan * 8))
+      0 gen.Codegen.Kernel.lut_plans
+  in
+  let w =
+    {
+      ncells;
+      steps;
+      nvars = max 1 gen.Codegen.Kernel.nvars;
+      n_ext = List.length gen.Codegen.Kernel.ext_order;
+      lut_bytes;
+    }
+  in
+  time ~step_overhead_s a m w ~nthreads

@@ -1,0 +1,41 @@
+(** Execution-time model: kernel cost × cells × steps under a bandwidth
+    roofline and a fork/join thread model (see DESIGN.md for the
+    calibration story). *)
+
+type workload = {
+  ncells : int;
+  steps : int;
+  nvars : int;
+  n_ext : int;
+  lut_bytes : int;
+}
+
+type result = {
+  seconds : float;
+  compute_seconds : float;
+  memory_seconds : float;
+  sync_seconds : float;
+  gflops : float;
+  oi : float;  (** operational intensity, flops/byte *)
+  flops : float;
+  bytes : float;
+}
+
+val working_set : workload -> float
+val bandwidth : Arch.t -> workload -> nthreads:int -> float
+(** Effective bytes/s given the working set's cache tier. *)
+
+val barrier_seconds : Arch.t -> nthreads:int -> float
+
+val time :
+  ?step_overhead_s:float ->
+  Arch.t ->
+  Kcost.metrics ->
+  workload ->
+  nthreads:int ->
+  result
+
+val run_kernel :
+  Codegen.Kernel.t -> ncells:int -> steps:int -> nthreads:int -> result
+(** Model a generated kernel end to end, including the per-step runtime
+    overhead of its configuration. *)

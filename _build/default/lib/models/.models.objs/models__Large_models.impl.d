@@ -1,0 +1,1 @@
+lib/models/large_models.ml: Large_models2 Model_def

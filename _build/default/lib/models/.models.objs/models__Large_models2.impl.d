@@ -1,0 +1,1 @@
+lib/models/large_models2.ml: Large_models3 Model_def

@@ -1,0 +1,1 @@
+lib/models/large_models3.ml: Large_models4 Model_def

@@ -1,0 +1,1 @@
+lib/models/large_models4.ml: Model_def

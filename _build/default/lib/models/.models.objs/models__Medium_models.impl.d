@@ -1,0 +1,1 @@
+lib/models/medium_models.ml: Medium_models2 Model_def

@@ -1,0 +1,1 @@
+lib/models/medium_models2.ml: Medium_models3 Model_def

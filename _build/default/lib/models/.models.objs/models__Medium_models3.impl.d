@@ -1,0 +1,1 @@
+lib/models/medium_models3.ml: Model_def

@@ -1,0 +1,1 @@
+lib/models/registry.ml: Easyml Hashtbl Large_models List Medium_models Model_def Small_models String

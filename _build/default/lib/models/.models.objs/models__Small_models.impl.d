@@ -1,0 +1,1 @@
+lib/models/small_models.ml: Model_def

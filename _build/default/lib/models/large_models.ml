@@ -1,0 +1,403 @@
+(** Large-class models, part 1 (baseline runtime > 5 min in the paper).
+
+    Human/animal myocyte models with 20-40 state variables.  Structural
+    reproductions: current inventory, gate counts and integration-method
+    mix follow the published models (see DESIGN.md). *)
+
+open Model_def
+
+let courtemanche =
+  {
+    name = "Courtemanche";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "Courtemanche 1998 human atrial structure: 21 states, IKur with \
+       voltage-dependent conductance, full calcium subsystem (uptake, \
+       release, transfer, troponin/calmodulin/calsequestrin buffers).";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.00291;
+h; h_init = 0.965;
+j; j_init = 0.978;
+oa; oa_init = 0.0304;
+oi; oi_init = 0.999;
+ua; ua_init = 0.00496;
+ui; ui_init = 0.999;
+xr; xr_init = 0.0000329;
+xs; xs_init = 0.0187;
+d; d_init = 0.000137;
+f; f_init = 0.999;
+fca; fca_init = 0.775;
+u_g; u_g_init = 0.0;
+v_g; v_g_init = 1.0;
+w_g; w_g_init = 0.999;
+Nai; Nai_init = 11.17;
+Ki; Ki_init = 139.0;
+Cai; Cai_init = 0.000102;
+Caup; Caup_init = 1.49;
+Carel; Carel_init = 1.49;
+Fn_tr; Fn_tr_init = 0.0;
+Vm_init = -81.18;
+group{ g_Na = 7.8; g_to = 0.1652; g_kr = 0.0294; g_ks = 0.129;
+       g_caL = 0.1238; g_k1 = 0.09; RTF = 26.71; Nao = 140.0; Ko = 5.4;
+       Cao = 1.8; K_Q10 = 3.0; }.param();
+a_m = (fabs(Vm + 47.13) < 1e-6) ? 3.2
+      : 0.32*(Vm + 47.13)/(1.0 - exp(-0.1*(Vm + 47.13)));
+b_m = 0.08*exp(-Vm/11.0);
+diff_m = a_m*(1.0 - m) - b_m*m;  m; .method(rush_larsen);
+a_h = (Vm >= -40.0) ? 0.0 : 0.135*exp(-(80.0 + Vm)/6.8);
+b_h = (Vm >= -40.0) ? 1.0/(0.13*(1.0 + exp(-(Vm + 10.66)/11.1)))
+      : 3.56*exp(0.079*Vm) + 310000.0*exp(0.35*Vm);
+diff_h = a_h*(1.0 - h) - b_h*h;  h; .method(rush_larsen);
+a_j = (Vm >= -40.0) ? 0.0
+      : (-127140.0*exp(0.2444*Vm) - 0.00003474*exp(-0.04391*Vm))
+        *(Vm + 37.78)/(1.0 + exp(0.311*(Vm + 79.23)));
+b_j = (Vm >= -40.0)
+      ? 0.3*exp(-0.0000002535*Vm)/(1.0 + exp(-0.1*(Vm + 32.0)))
+      : 0.1212*exp(-0.01052*Vm)/(1.0 + exp(-0.1378*(Vm + 40.14)));
+diff_j = a_j*(1.0 - j) - b_j*j;  j; .method(rush_larsen);
+a_oa = 0.65/(exp(-(Vm + 10.0)/8.5) + exp(-(Vm - 30.0)/59.0));
+b_oa = 0.65/(2.5 + exp((Vm + 82.0)/17.0));
+tau_oa = 1.0/((a_oa + b_oa)*K_Q10);
+oa_inf = 1.0/(1.0 + exp(-(Vm + 20.47)/17.54));
+diff_oa = (oa_inf - oa)/tau_oa;  oa; .method(rush_larsen);
+a_oi = 1.0/(18.53 + exp((Vm + 113.7)/10.95));
+b_oi = 1.0/(35.56 + exp(-(Vm + 1.26)/7.44));
+tau_oi = 1.0/((a_oi + b_oi)*K_Q10);
+oi_inf = 1.0/(1.0 + exp((Vm + 43.1)/5.3));
+diff_oi = (oi_inf - oi)/tau_oi;  oi; .method(rush_larsen);
+a_ua = 0.65/(exp(-(Vm + 10.0)/8.5) + exp(-(Vm - 30.0)/59.0));
+b_ua = 0.65/(2.5 + exp((Vm + 82.0)/17.0));
+tau_ua = 1.0/((a_ua + b_ua)*K_Q10);
+ua_inf = 1.0/(1.0 + exp(-(Vm + 30.3)/9.6));
+diff_ua = (ua_inf - ua)/tau_ua;  ua; .method(rush_larsen);
+a_ui = 1.0/(21.0 + exp(-(Vm - 185.0)/28.0));
+b_ui = exp((Vm - 158.0)/16.0);
+tau_ui = 1.0/((a_ui + b_ui)*K_Q10);
+ui_inf = 1.0/(1.0 + exp((Vm - 99.45)/27.48));
+diff_ui = (ui_inf - ui)/tau_ui;  ui; .method(rush_larsen);
+a_xr = (fabs(Vm + 14.1) < 1e-6) ? 0.0015
+       : 0.0003*(Vm + 14.1)/(1.0 - exp(-(Vm + 14.1)/5.0));
+b_xr = (fabs(Vm - 3.3328) < 1e-6) ? 0.000378361
+       : 0.000073898*(Vm - 3.3328)/(exp((Vm - 3.3328)/5.1237) - 1.0);
+tau_xr = 1.0/(a_xr + b_xr);
+xr_inf = 1.0/(1.0 + exp(-(Vm + 14.1)/6.5));
+diff_xr = (xr_inf - xr)/tau_xr;  xr; .method(rush_larsen);
+a_xs = (fabs(Vm - 19.9) < 1e-6) ? 0.00068
+       : 0.00004*(Vm - 19.9)/(1.0 - exp(-(Vm - 19.9)/17.0));
+b_xs = (fabs(Vm - 19.9) < 1e-6) ? 0.000315
+       : 0.000035*(Vm - 19.9)/(exp((Vm - 19.9)/9.0) - 1.0);
+tau_xs = 0.5/(a_xs + b_xs);
+xs_inf = 1.0/sqrt(1.0 + exp(-(Vm - 19.9)/12.7));
+diff_xs = (xs_inf - xs)/tau_xs;  xs; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp(-(Vm + 10.0)/8.0));
+tau_d = (fabs(Vm + 10.0) < 1e-6) ? 4.579/(1.0 + 1.0)
+        : (1.0 - exp(-(Vm + 10.0)/6.24))/(0.035*(Vm + 10.0)*(1.0 + exp(-(Vm + 10.0)/6.24)));
+diff_d = (d_inf - d)/max(fabs(tau_d), 0.1);  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 28.0)/6.9));
+tau_f = 9.0/(0.0197*exp(-square(0.0337*(Vm + 10.0))) + 0.02);
+diff_f = (f_inf - f)/tau_f;  f; .method(rush_larsen);
+fca_inf = 1.0/(1.0 + Cai/0.00035);
+diff_fca = (fca_inf - fca)/2.0;
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Ca = 0.5*RTF*log(Cao/Cai);
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na);
+I_to = g_to*cube(oa)*oi*(Vm - E_K);
+g_kur = 0.005 + 0.05/(1.0 + exp(-(Vm - 15.0)/13.0));
+I_Kur = g_kur*cube(ua)*ui*(Vm - E_K);
+I_Kr = g_kr*xr*(Vm - E_K)/(1.0 + exp((Vm + 15.0)/22.4));
+I_Ks = g_ks*square(xs)*(Vm - E_K);
+I_CaL = g_caL*d*f*fca*(Vm - 65.0);
+I_K1 = g_k1*(Vm - E_K)/(1.0 + exp(0.07*(Vm + 80.0)));
+sigma_nak = (exp(Nao/67.3) - 1.0)/7.0;
+f_nak = 1.0/(1.0 + 0.1245*exp(-0.1*Vm/RTF) + 0.0365*sigma_nak*exp(-Vm/RTF));
+I_NaK = 0.6*f_nak*(Ko/(Ko + 1.5))*(1.0/(1.0 + pow(10.0/Nai, 1.5)));
+I_NaCa = 1600.0*(exp(0.35*Vm/RTF)*cube(Nai)*Cao - exp(-0.65*Vm/RTF)*cube(Nao)*Cai)
+         /((cube(87.5) + cube(Nao))*(1.38 + Cao)*(1.0 + 0.1*exp(-0.65*Vm/RTF)))*0.02;
+I_bCa = 0.00113*(Vm - E_Ca);
+I_bNa = 0.000674*(Vm - E_Na);
+I_pCa = 0.275*Cai/(Cai + 0.0005);
+Fn = 1000.0*(1e-15*0.0048*Carel*square(Cai/(Cai + 0.00035))
+     - 5e-13*(0.5*I_CaL - 0.2*I_NaCa))*1e9;
+diff_Fn_tr = (Fn - Fn_tr)/2.0;
+u_inf = 1.0/(1.0 + exp(-(Fn_tr - 0.3417)/0.01367));
+diff_u_g = (u_inf - u_g)/8.0;
+v_inf = 1.0 - 1.0/(1.0 + exp(-(Fn_tr - 0.6835)/0.01367));
+diff_v_g = (v_inf - v_g)/1.91;
+w_inf = 1.0 - 1.0/(1.0 + exp(-(Vm - 40.0)/17.0));
+tau_w = (fabs(Vm - 7.9) < 1e-6) ? 0.923
+        : 6.0*(1.0 - exp(-(Vm - 7.9)/5.0))/((1.0 + 0.3*exp(-(Vm - 7.9)/5.0))*(Vm - 7.9));
+diff_w_g = (w_inf - w_g)/max(fabs(tau_w), 0.1);  w_g; .method(rush_larsen);
+J_rel = 30.0*square(u_g)*v_g*w_g*(Carel - Cai)*0.01;
+J_up = 0.005/(1.0 + 0.00092/Cai);
+J_tr = (Caup - Carel)/180.0;
+diff_Caup = J_up - J_tr*0.05;
+diff_Carel = (J_tr*0.05 - J_rel)*0.2;
+diff_Cai = -0.00005*(I_CaL + I_bCa + I_pCa - 2.0*I_NaCa)
+           + (J_rel - J_up)*0.01 + 0.005*(0.000102 - Cai);
+diff_Nai = -0.00001*(I_Na + I_bNa + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_to + I_Kur + I_Kr + I_Ks + I_K1 - 2.0*I_NaK);
+Iion = I_Na + I_to + I_Kur + I_Kr + I_Ks + I_CaL + I_K1 + I_NaK + I_NaCa
+       + I_bCa + I_bNa + I_pCa;
+|};
+  }
+
+let tentusscher =
+  {
+    name = "TenTusscher";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "ten Tusscher 2004 human ventricular structure: 17 states, \
+       epicardial parameter set, calcium subspace with dyadic gate.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.0;
+h; h_init = 0.75;
+j; j_init = 0.75;
+d; d_init = 0.0;
+f; f_init = 1.0;
+fCa; fCa_init = 1.0;
+r; r_init = 0.0;
+s; s_init = 1.0;
+xr1; xr1_init = 0.0;
+xr2; xr2_init = 1.0;
+xs; xs_init = 0.0;
+g_gate; g_gate_init = 1.0;
+Nai; Nai_init = 11.6;
+Ki; Ki_init = 138.3;
+Cai; Cai_init = 0.0002;
+Casr; Casr_init = 0.2;
+Vm_init = -86.2;
+group{ g_Na = 14.838; g_caL = 0.000175; g_to = 0.294; g_kr = 0.096;
+       g_ks = 0.245; g_k1 = 5.405; RTF = 26.71; Nao = 140.0; Ko = 5.4;
+       Cao = 2.0; }.param();
+m_inf = 1.0/square(1.0 + exp((-56.86 - Vm)/9.03));
+a_m = 1.0/(1.0 + exp((-60.0 - Vm)/5.0));
+b_m = 0.1/(1.0 + exp((Vm + 35.0)/5.0)) + 0.1/(1.0 + exp((Vm - 50.0)/200.0));
+tau_m = a_m*b_m;
+diff_m = (m_inf - m)/tau_m;  m; .method(rush_larsen);
+h_inf = 1.0/square(1.0 + exp((Vm + 71.55)/7.43));
+a_h = (Vm >= -40.0) ? 0.0 : 0.057*exp(-(Vm + 80.0)/6.8);
+b_h = (Vm >= -40.0) ? 0.77/(0.13*(1.0 + exp(-(Vm + 10.66)/11.1)))
+      : 2.7*exp(0.079*Vm) + 310000.0*exp(0.3485*Vm);
+diff_h = (h_inf - h)*(a_h + b_h);  h; .method(rush_larsen);
+j_inf = h_inf;
+a_j = (Vm >= -40.0) ? 0.0
+      : (-25428.0*exp(0.2444*Vm) - 0.000006948*exp(-0.04391*Vm))
+        *(Vm + 37.78)/(1.0 + exp(0.311*(Vm + 79.23)));
+b_j = (Vm >= -40.0)
+      ? 0.6*exp(0.057*Vm)/(1.0 + exp(-0.1*(Vm + 32.0)))
+      : 0.02424*exp(-0.01052*Vm)/(1.0 + exp(-0.1378*(Vm + 40.14)));
+diff_j = (j_inf - j)*(a_j + b_j);  j; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp((-5.0 - Vm)/7.5));
+a_d = 1.4/(1.0 + exp((-35.0 - Vm)/13.0)) + 0.25;
+b_d = 1.4/(1.0 + exp((Vm + 5.0)/5.0));
+c_d = 1.0/(1.0 + exp((50.0 - Vm)/20.0));
+tau_d = a_d*b_d + c_d;
+diff_d = (d_inf - d)/tau_d;  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 20.0)/7.0));
+tau_f = 1125.0*exp(-square(Vm + 27.0)/240.0) + 80.0 + 165.0/(1.0 + exp((25.0 - Vm)/10.0));
+diff_f = (f_inf - f)/tau_f;  f; .method(rush_larsen);
+a_fca = 1.0/(1.0 + pow(Cai/0.000325, 8.0));
+b_fca = 0.1/(1.0 + exp((Cai - 0.0005)/0.0001));
+c_fca = 0.2/(1.0 + exp((Cai - 0.00075)/0.0008));
+fca_inf = (a_fca + b_fca + c_fca + 0.23)/1.46;
+diff_fCa = (fCa_inf_g - fCa)/2.0;
+fCa_inf_g = (fca_inf > fCa && Vm > -60.0) ? fCa : fca_inf;
+r_inf = 1.0/(1.0 + exp((20.0 - Vm)/6.0));
+tau_r = 9.5*exp(-square(Vm + 40.0)/1800.0) + 0.8;
+diff_r = (r_inf - r)/tau_r;  r; .method(rush_larsen);
+s_inf = 1.0/(1.0 + exp((Vm + 20.0)/5.0));
+tau_s = 85.0*exp(-square(Vm + 45.0)/320.0) + 5.0/(1.0 + exp((Vm - 20.0)/5.0)) + 3.0;
+diff_s = (s_inf - s)/tau_s;  s; .method(rush_larsen);
+xr1_inf = 1.0/(1.0 + exp((-26.0 - Vm)/7.0));
+a_xr1 = 450.0/(1.0 + exp((-45.0 - Vm)/10.0));
+b_xr1 = 6.0/(1.0 + exp((Vm + 30.0)/11.5));
+diff_xr1 = (xr1_inf - xr1)/(a_xr1*b_xr1);  xr1; .method(rush_larsen);
+xr2_inf = 1.0/(1.0 + exp((Vm + 88.0)/24.0));
+a_xr2 = 3.0/(1.0 + exp((-60.0 - Vm)/20.0));
+b_xr2 = 1.12/(1.0 + exp((Vm - 60.0)/20.0));
+diff_xr2 = (xr2_inf - xr2)/(a_xr2*b_xr2);  xr2; .method(rush_larsen);
+xs_inf = 1.0/(1.0 + exp((-5.0 - Vm)/14.0));
+a_xs = 1100.0/sqrt(1.0 + exp((-10.0 - Vm)/6.0));
+b_xs = 1.0/(1.0 + exp((Vm - 60.0)/20.0));
+diff_xs = (xs_inf - xs)/(a_xs*b_xs);  xs; .method(rush_larsen);
+g_inf = (Cai < 0.00035) ? 1.0/(1.0 + pow(Cai/0.00035, 6.0))
+        : 1.0/(1.0 + pow(Cai/0.00035, 16.0));
+diff_g_gate = (g_inf - g_gate)/2.0;
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Ca = 0.5*RTF*log(Cao/Cai);
+E_Ks = RTF*log((Ko + 0.03*Nao)/(Ki + 0.03*Nai));
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na);
+vff = Vm*2.0/RTF;
+I_CaL = g_caL*d*f*fCa*4.0*Vm*96485.0/RTF
+        *((fabs(vff) < 1e-6) ? (Cai - 0.341*Cao)
+          : (Cai*exp(vff) - 0.341*Cao)/(exp(vff) - 1.0))*0.5;
+I_to = g_to*r*s*(Vm - E_K);
+I_Kr = g_kr*sqrt(Ko/5.4)*xr1*xr2*(Vm - E_K);
+I_Ks = g_ks*square(xs)*(Vm - E_Ks);
+a_K1 = 0.1/(1.0 + exp(0.06*(Vm - E_K - 200.0)));
+b_K1 = (3.0*exp(0.0002*(Vm - E_K + 100.0)) + exp(0.1*(Vm - E_K - 10.0)))
+       /(1.0 + exp(-0.5*(Vm - E_K)));
+I_K1 = g_k1*sqrt(Ko/5.4)*(a_K1/(a_K1 + b_K1))*(Vm - E_K);
+I_NaK = 1.362*(Ko/(Ko + 1.0))*(Nai/(Nai + 40.0))
+        /(1.0 + 0.1245*exp(-0.1*Vm/RTF) + 0.0353*exp(-Vm/RTF));
+I_NaCa = 1000.0*(exp(0.35*Vm/RTF)*cube(Nai)*Cao - exp(-0.65*Vm/RTF)*cube(Nao)*Cai*2.5)
+         /((cube(87.5) + cube(Nao))*(1.38 + Cao)*(1.0 + 0.1*exp(-0.65*Vm/RTF)))*0.1;
+I_pCa = 0.825*Cai/(Cai + 0.0005);
+I_pK = 0.0146*(Vm - E_K)/(1.0 + exp((25.0 - Vm)/5.98));
+I_bNa = 0.00029*(Vm - E_Na);
+I_bCa = 0.000592*(Vm - E_Ca);
+J_leak = 0.00008*(Casr - Cai);
+J_up = 0.000425/(1.0 + square(0.00025/Cai));
+J_rel = (0.016464*square(Casr)/(square(0.25) + square(Casr)) + 0.008232)*d*g_gate*0.1;
+diff_Casr = 20.0*(J_up - J_rel - J_leak);
+diff_Cai = -0.00005*(I_CaL + I_bCa + I_pCa - 2.0*I_NaCa)
+           + (J_rel + J_leak - J_up) + 0.002*(0.0002 - Cai);
+diff_Nai = -0.00001*(I_Na + I_bNa + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_to + I_Kr + I_Ks + I_K1 + I_pK - 2.0*I_NaK);
+Iion = I_Na + I_CaL + I_to + I_Kr + I_Ks + I_K1 + I_NaK + I_NaCa
+       + I_pCa + I_pK + I_bNa + I_bCa;
+|};
+  }
+
+let tentusscher_panfilov =
+  {
+    name = "TenTusscherPanfilov";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "ten Tusscher & Panfilov 2006 update: 19 states, subspace calcium \
+       (Cass) and RyR occupancy with markov_be.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.00172;
+h; h_init = 0.7444;
+j; j_init = 0.7045;
+d; d_init = 0.00003373;
+f; f_init = 0.7888;
+f2; f2_init = 0.9755;
+fCass; fCass_init = 0.9953;
+r; r_init = 0.0000242;
+s; s_init = 0.999998;
+xr1; xr1_init = 0.00621;
+xr2; xr2_init = 0.4712;
+xs; xs_init = 0.0095;
+Rq; Rq_init = 0.9073;
+Nai; Nai_init = 8.604;
+Ki; Ki_init = 136.89;
+Cai; Cai_init = 0.000126;
+Cass; Cass_init = 0.00036;
+Casr; Casr_init = 3.64;
+Vm_init = -85.23;
+group{ g_Na = 14.838; g_caL = 0.0000398; g_to = 0.294; g_kr = 0.153;
+       g_ks = 0.392; g_k1 = 5.405; RTF = 26.71; Nao = 140.0; Ko = 5.4;
+       Cao = 2.0; }.param();
+m_inf = 1.0/square(1.0 + exp((-56.86 - Vm)/9.03));
+tau_m = (1.0/(1.0 + exp((-60.0 - Vm)/5.0)))
+        *(0.1/(1.0 + exp((Vm + 35.0)/5.0)) + 0.1/(1.0 + exp((Vm - 50.0)/200.0)));
+diff_m = (m_inf - m)/tau_m;  m; .method(rush_larsen);
+h_inf = 1.0/square(1.0 + exp((Vm + 71.55)/7.43));
+a_h = (Vm >= -40.0) ? 0.0 : 0.057*exp(-(Vm + 80.0)/6.8);
+b_h = (Vm >= -40.0) ? 0.77/(0.13*(1.0 + exp(-(Vm + 10.66)/11.1)))
+      : 2.7*exp(0.079*Vm) + 310000.0*exp(0.3485*Vm);
+diff_h = (h_inf - h)*(a_h + b_h);  h; .method(rush_larsen);
+a_j = (Vm >= -40.0) ? 0.0
+      : (-25428.0*exp(0.2444*Vm) - 0.000006948*exp(-0.04391*Vm))
+        *(Vm + 37.78)/(1.0 + exp(0.311*(Vm + 79.23)));
+b_j = (Vm >= -40.0)
+      ? 0.6*exp(0.057*Vm)/(1.0 + exp(-0.1*(Vm + 32.0)))
+      : 0.02424*exp(-0.01052*Vm)/(1.0 + exp(-0.1378*(Vm + 40.14)));
+diff_j = (h_inf - j)*(a_j + b_j);  j; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp((-8.0 - Vm)/7.5));
+tau_d = (1.4/(1.0 + exp((-35.0 - Vm)/13.0)) + 0.25)
+        *(1.4/(1.0 + exp((Vm + 5.0)/5.0))) + 1.0/(1.0 + exp((50.0 - Vm)/20.0));
+diff_d = (d_inf - d)/tau_d;  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 20.0)/7.0));
+tau_f = 1102.5*exp(-square(Vm + 27.0)/225.0) + 200.0/(1.0 + exp((13.0 - Vm)/10.0))
+        + 180.0/(1.0 + exp((Vm + 30.0)/10.0)) + 20.0;
+diff_f = (f_inf - f)/tau_f;  f; .method(rush_larsen);
+f2_inf = 0.67/(1.0 + exp((Vm + 35.0)/7.0)) + 0.33;
+tau_f2 = 562.0*exp(-square(Vm + 27.0)/240.0) + 31.0/(1.0 + exp((25.0 - Vm)/10.0))
+         + 80.0/(1.0 + exp((Vm + 30.0)/10.0));
+diff_f2 = (f2_inf - f2)/tau_f2;  f2; .method(rush_larsen);
+fCass_inf = 0.6/(1.0 + square(Cass/0.05)) + 0.4;
+tau_fCass = 80.0/(1.0 + square(Cass/0.05)) + 2.0;
+diff_fCass = (fCass_inf - fCass)/tau_fCass;
+r_inf = 1.0/(1.0 + exp((20.0 - Vm)/6.0));
+diff_r = (r_inf - r)/(9.5*exp(-square(Vm + 40.0)/1800.0) + 0.8);
+r; .method(rush_larsen);
+s_inf = 1.0/(1.0 + exp((Vm + 20.0)/5.0));
+diff_s = (s_inf - s)/(85.0*exp(-square(Vm + 45.0)/320.0)
+         + 5.0/(1.0 + exp((Vm - 20.0)/5.0)) + 3.0);
+s; .method(rush_larsen);
+xr1_inf = 1.0/(1.0 + exp((-26.0 - Vm)/7.0));
+diff_xr1 = (xr1_inf - xr1)/((450.0/(1.0 + exp((-45.0 - Vm)/10.0)))
+           *(6.0/(1.0 + exp((Vm + 30.0)/11.5))));
+xr1; .method(rush_larsen);
+xr2_inf = 1.0/(1.0 + exp((Vm + 88.0)/24.0));
+diff_xr2 = (xr2_inf - xr2)/((3.0/(1.0 + exp((-60.0 - Vm)/20.0)))
+           *(1.12/(1.0 + exp((Vm - 60.0)/20.0))));
+xr2; .method(rush_larsen);
+xs_inf = 1.0/(1.0 + exp((-5.0 - Vm)/14.0));
+diff_xs = (xs_inf - xs)/((1400.0/sqrt(1.0 + exp((5.0 - Vm)/6.0)))
+          *(1.0/(1.0 + exp((Vm - 35.0)/15.0))) + 80.0);
+xs; .method(rush_larsen);
+kcasr = 2.5 - 1.5/(1.0 + square(1.5/Casr));
+k1_ryr = 0.15/kcasr;
+k2_ryr = 0.045*kcasr;
+diff_Rq = -k2_ryr*Cass*Rq + 0.005*(1.0 - Rq);
+Rq; .method(markov_be);
+O_ryr = k1_ryr*square(Cass)*Rq/(0.06 + k1_ryr*square(Cass));
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Ca = 0.5*RTF*log(Cao/Cai);
+E_Ks = RTF*log((Ko + 0.03*Nao)/(Ki + 0.03*Nai));
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na);
+vff = Vm*2.0/RTF;
+I_CaL = g_caL*d*f*f2*fCass*4.0*Vm*96485.0/RTF
+        *((fabs(vff) < 1e-6) ? (0.25*Cass - 0.341*Cao)
+          : (0.25*Cass*exp(vff) - 0.341*Cao)/(exp(vff) - 1.0))*10.0;
+I_to = g_to*r*s*(Vm - E_K);
+I_Kr = g_kr*sqrt(Ko/5.4)*xr1*xr2*(Vm - E_K);
+I_Ks = g_ks*square(xs)*(Vm - E_Ks);
+a_K1 = 0.1/(1.0 + exp(0.06*(Vm - E_K - 200.0)));
+b_K1 = (3.0*exp(0.0002*(Vm - E_K + 100.0)) + exp(0.1*(Vm - E_K - 10.0)))
+       /(1.0 + exp(-0.5*(Vm - E_K)));
+I_K1 = g_k1*sqrt(Ko/5.4)*(a_K1/(a_K1 + b_K1))*(Vm - E_K);
+I_NaK = 2.724*(Ko/(Ko + 1.0))*(Nai/(Nai + 40.0))
+        /(1.0 + 0.1245*exp(-0.1*Vm/RTF) + 0.0353*exp(-Vm/RTF));
+I_NaCa = 1000.0*(exp(0.35*Vm/RTF)*cube(Nai)*Cao - exp(-0.65*Vm/RTF)*cube(Nao)*Cai*2.5)
+         /((cube(87.5) + cube(Nao))*(1.38 + Cao)*(1.0 + 0.1*exp(-0.65*Vm/RTF)))*0.1;
+I_pCa = 0.1238*Cai/(Cai + 0.0005);
+I_pK = 0.0146*(Vm - E_K)/(1.0 + exp((25.0 - Vm)/5.98));
+I_bNa = 0.00029*(Vm - E_Na);
+I_bCa = 0.000592*(Vm - E_Ca);
+J_rel = 0.102*O_ryr*(Casr - Cass);
+J_up = 0.006375/(1.0 + square(0.00025/Cai));
+J_xfer = 0.0038*(Cass - Cai);
+J_leak = 0.00036*(Casr - Cai);
+diff_Casr = 10.0*(J_up - J_rel*0.1 - J_leak);
+diff_Cass = -0.01*I_CaL + J_rel*0.05 - J_xfer*10.0;
+diff_Cai = -0.00005*(I_bCa + I_pCa - 2.0*I_NaCa) + J_xfer + J_leak - J_up
+           + 0.002*(0.000126 - Cai);
+diff_Nai = -0.00001*(I_Na + I_bNa + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_to + I_Kr + I_Ks + I_K1 + I_pK - 2.0*I_NaK);
+Iion = I_Na + I_CaL + I_to + I_Kr + I_Ks + I_K1 + I_NaK + I_NaCa
+       + I_pCa + I_pK + I_bNa + I_bCa;
+|};
+  }
+
+let entries_part1 : entry list = [ courtemanche; tentusscher; tentusscher_panfilov ]
+
+let entries : entry list = entries_part1 @ Large_models2.entries

@@ -1,0 +1,329 @@
+(** Large-class models, part 2 (structural reproductions). *)
+
+open Model_def
+
+(* A compact notation is used below: gates are written as inf/tau pairs on
+   adjacent lines.  Every model remains a distinct EasyML program with its
+   own currents, constants and state inventory. *)
+
+let ohara =
+  {
+    name = "OHara";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "O'Hara-Rudy 2011 human ventricular structure: the largest model in \
+       the suite (34 states) — dual-pathway INa inactivation, CaMK-split \
+       gates, subspace calcium.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.0074621;
+hf; hf_init = 0.692591;
+hs; hs_init = 0.692574;
+jg; jg_init = 0.692477;
+hsp; hsp_init = 0.448501;
+jp; jp_init = 0.692413;
+mL; mL_init = 0.000194015;
+hL; hL_init = 0.496116;
+hLp; hLp_init = 0.265885;
+a_g; a_g_init = 0.00101185;
+iF; iF_init = 0.999542;
+iS; iS_init = 0.589579;
+ap; ap_init = 0.000515567;
+iFp; iFp_init = 0.999542;
+iSp; iSp_init = 0.641861;
+d; d_init = 0.0000024;
+ff; ff_init = 1.0;
+fs; fs_init = 0.910671;
+fcaf; fcaf_init = 1.0;
+fcas; fcas_init = 0.99982;
+jca; jca_init = 0.999977;
+nca; nca_init = 0.00267171;
+xrf; xrf_init = 0.0000000082;
+xrs; xrs_init = 0.453988;
+xs1; xs1_init = 0.270492;
+xs2; xs2_init = 0.0001963;
+xk1; xk1_init = 0.996801;
+Jrelnp; Jrelnp_init = 0.0000000025;
+Jrelp; Jrelp_init = 0.0000000031;
+CaMKt; CaMKt_init = 0.0124065;
+Nai; Nai_init = 7.268;
+Ki; Ki_init = 144.65;
+Cai; Cai_init = 0.0000863;
+Cass; Cass_init = 0.0000858;
+Cansr; Cansr_init = 1.619;
+Cajsr; Cajsr_init = 1.571;
+Vm_init = -87.84;
+group{ g_Na = 75.0; g_NaL = 0.0075; g_to = 0.02; PCa = 0.0001;
+       g_Kr = 0.046; g_Ks = 0.0034; g_K1 = 0.1908; RTF = 26.71;
+       Nao = 140.0; Ko = 5.4; Cao = 1.8; KmCaMK = 0.15; aCaMK = 0.05;
+       bCaMK = 0.00068; CaMKo = 0.05; KmCaM = 0.0015; }.param();
+CaMKb = CaMKo*(1.0 - CaMKt)/(1.0 + KmCaM/Cass);
+CaMKa = CaMKb + CaMKt;
+diff_CaMKt = aCaMK*CaMKb*(CaMKb + CaMKt) - bCaMK*CaMKt;
+phi_mk = 1.0/(1.0 + KmCaMK/CaMKa);
+m_inf = 1.0/(1.0 + exp(-(Vm + 39.57)/9.871));
+tau_m = 1.0/(6.765*exp((Vm + 11.64)/34.77) + 8.552*exp(-(Vm + 77.42)/5.955));
+diff_m = (m_inf - m)/tau_m;  m; .method(rush_larsen);
+h_inf = 1.0/(1.0 + exp((Vm + 82.9)/6.086));
+tau_hf = 1.0/(0.00001432*exp(-(Vm + 1.196)/6.285) + 6.149*exp((Vm + 0.5096)/20.27));
+tau_hs = 1.0/(0.009794*exp(-(Vm + 17.95)/28.05) + 0.3343*exp((Vm + 5.73)/56.66));
+diff_hf = (h_inf - hf)/tau_hf;  hf; .method(rush_larsen);
+diff_hs = (h_inf - hs)/tau_hs;  hs; .method(rush_larsen);
+j_inf = h_inf;
+tau_j = 2.038 + 1.0/(0.02136*exp(-(Vm + 100.6)/8.281) + 0.3052*exp((Vm + 0.9941)/38.45));
+diff_jg = (j_inf - jg)/tau_j;  jg; .method(rush_larsen);
+hsp_inf = 1.0/(1.0 + exp((Vm + 89.1)/6.086));
+diff_hsp = (hsp_inf - hsp)/(3.0*tau_hs);  hsp; .method(rush_larsen);
+diff_jp = (j_inf - jp)/(1.46*tau_j);  jp; .method(rush_larsen);
+mL_inf = 1.0/(1.0 + exp(-(Vm + 42.85)/5.264));
+diff_mL = (mL_inf - mL)/tau_m;  mL; .method(rush_larsen);
+hL_inf = 1.0/(1.0 + exp((Vm + 87.61)/7.488));
+diff_hL = (hL_inf - hL)/200.0;  hL; .method(rush_larsen);
+hLp_inf = 1.0/(1.0 + exp((Vm + 93.81)/7.488));
+diff_hLp = (hLp_inf - hLp)/600.0;  hLp; .method(rush_larsen);
+a_inf = 1.0/(1.0 + exp(-(Vm - 14.34)/14.82));
+tau_a = 1.0515/(1.0/(1.2089*(1.0 + exp(-(Vm - 18.41)/29.38)))
+        + 3.5/(1.0 + exp((Vm + 100.0)/29.38)));
+diff_a_g = (a_inf - a_g)/tau_a;  a_g; .method(rush_larsen);
+i_inf = 1.0/(1.0 + exp((Vm + 43.94)/5.711));
+tau_iF = 4.562 + 1.0/(0.3933*exp(-(Vm + 100.0)/100.0) + 0.08004*exp((Vm + 50.0)/16.59));
+tau_iS = 23.62 + 1.0/(0.001416*exp(-(Vm + 96.52)/59.05) + 0.0000000017808*exp((Vm + 114.1)/8.079));
+diff_iF = (i_inf - iF)/tau_iF;  iF; .method(rush_larsen);
+diff_iS = (i_inf - iS)/tau_iS;  iS; .method(rush_larsen);
+ap_inf = 1.0/(1.0 + exp(-(Vm - 24.34)/14.82));
+diff_ap = (ap_inf - ap)/tau_a;  ap; .method(rush_larsen);
+diff_iFp = (i_inf - iFp)/(tau_iF*(1.0 + 0.5/(1.0 + exp((Vm + 70.0)/-20.0))));
+iFp; .method(rush_larsen);
+diff_iSp = (i_inf - iSp)/(tau_iS*(1.0 + 0.5/(1.0 + exp((Vm + 70.0)/-20.0))));
+iSp; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp(-(Vm + 3.94)/4.23));
+tau_d = 0.6 + 1.0/(exp(-0.05*(Vm + 6.0)) + exp(0.09*(Vm + 14.0)));
+diff_d = (d_inf - d)/tau_d;  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 19.58)/3.696));
+tau_ff = 7.0 + 1.0/(0.0045*exp(-(Vm + 20.0)/10.0) + 0.0045*exp((Vm + 20.0)/10.0));
+tau_fs = 1000.0 + 1.0/(0.000035*exp(-(Vm + 5.0)/4.0) + 0.000035*exp((Vm + 5.0)/6.0));
+diff_ff = (f_inf - ff)/tau_ff;  ff; .method(rush_larsen);
+diff_fs = (f_inf - fs)/tau_fs;  fs; .method(rush_larsen);
+fca_inf = f_inf;
+tau_fcaf = 7.0 + 1.0/(0.04*exp(-(Vm - 4.0)/7.0) + 0.04*exp((Vm - 4.0)/7.0));
+tau_fcas = 100.0 + 1.0/(0.00012*exp(-Vm/3.0) + 0.00012*exp(Vm/7.0));
+diff_fcaf = (fca_inf - fcaf)/tau_fcaf;  fcaf; .method(rush_larsen);
+diff_fcas = (fca_inf - fcas)/tau_fcas;  fcas; .method(rush_larsen);
+diff_jca = (fca_inf - jca)/75.0;  jca; .method(rush_larsen);
+anca = 1.0/(1.0 + square(0.002/Cass));
+diff_nca = anca*0.0019 - nca*0.0019/(1.0 + square(0.002/Cass));
+xr_inf = 1.0/(1.0 + exp(-(Vm + 8.337)/6.789));
+tau_xrf = 12.98 + 1.0/(0.3652*exp((Vm - 31.66)/3.869) + 0.00004123*exp(-(Vm - 47.78)/20.38));
+tau_xrs = 1.865 + 1.0/(0.06629*exp((Vm - 34.7)/7.355) + 0.00001128*exp(-(Vm - 29.74)/25.94));
+diff_xrf = (xr_inf - xrf)/tau_xrf;  xrf; .method(rush_larsen);
+diff_xrs = (xr_inf - xrs)/tau_xrs;  xrs; .method(rush_larsen);
+xs1_inf = 1.0/(1.0 + exp(-(Vm + 11.6)/8.932));
+tau_xs1 = 817.3 + 1.0/(0.0002326*exp((Vm + 48.28)/17.8) + 0.001292*exp(-(Vm + 210.0)/230.0));
+diff_xs1 = (xs1_inf - xs1)/tau_xs1;  xs1; .method(rush_larsen);
+tau_xs2 = 1.0/(0.01*exp((Vm - 50.0)/20.0) + 0.0193*exp(-(Vm + 66.54)/31.0));
+diff_xs2 = (xs1_inf - xs2)/tau_xs2;  xs2; .method(rush_larsen);
+xk1_inf = 1.0/(1.0 + exp(-(Vm + 2.5538*Ko + 144.59)/(1.5692*Ko + 3.8115)));
+tau_xk1 = 122.2/(exp(-(Vm + 127.2)/20.36) + exp((Vm + 236.8)/69.33));
+diff_xk1 = (xk1_inf - xk1)/tau_xk1;  xk1; .method(rush_larsen);
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Ks = RTF*log((Ko + 0.01833*Nao)/(Ki + 0.01833*Nai));
+h_tot = (1.0 - phi_mk)*(0.99*hf + 0.01*hs) + phi_mk*(0.99*hsp + 0.01*hs);
+j_tot = (1.0 - phi_mk)*jg + phi_mk*jp;
+I_Na = g_Na*cube(m)*h_tot*j_tot*(Vm - E_Na)*0.1;
+I_NaL = g_NaL*mL*((1.0 - phi_mk)*hL + phi_mk*hLp)*(Vm - E_Na);
+i_tot = (1.0 - phi_mk)*(0.5*iF + 0.5*iS) + phi_mk*(0.5*iFp + 0.5*iSp);
+a_tot = (1.0 - phi_mk)*a_g + phi_mk*ap;
+I_to = g_to*a_tot*i_tot*(Vm - E_K);
+vff = Vm*2.0/RTF;
+f_tot = 0.6*ff + 0.4*fs;
+fca_tot = 0.6*fcaf + 0.4*fcas;
+I_CaL = PCa*d*(f_tot*(1.0 - nca) + jca*fca_tot*nca)*4.0*Vm*96485.0/RTF
+        *((fabs(vff) < 1e-6) ? (Cass - 0.341*Cao)
+          : (Cass*exp(vff) - 0.341*Cao)/(exp(vff) - 1.0))*20.0;
+I_Kr = g_Kr*sqrt(Ko/5.4)*(0.7*xrf + 0.3*xrs)*(Vm - E_K)
+       /(1.0 + exp((Vm + 55.0)/75.0))*1.5;
+I_Ks = g_Ks*(1.0 + 0.6/(1.0 + pow(0.000038/Cai, 1.4)))*xs1*xs2*(Vm - E_Ks)*10.0;
+I_K1 = g_K1*sqrt(Ko)*xk1*(Vm - E_K)/(1.0 + exp(0.1*(Vm - E_K - 10.0)))*2.0;
+I_NaK = 0.8*(Ko/(Ko + 1.5))*(1.0/(1.0 + square(9.0/Nai)))
+        /(1.0 + 0.1245*exp(-0.1*Vm/RTF) + 0.0353*exp(-Vm/RTF))*3.0;
+I_NaCa = 800.0*(exp(0.35*Vm/RTF)*cube(Nai)*Cao - exp(-0.65*Vm/RTF)*cube(Nao)*Cai*1.5)
+         /((cube(87.5) + cube(Nao))*(1.38 + Cao)*(1.0 + 0.1*exp(-0.65*Vm/RTF)))*0.08;
+I_pCa = 0.0005*Cai/(Cai + 0.0005)*100.0;
+I_bNa = 0.000039*(Vm - E_Na)*10.0;
+I_bCa = 0.00006*(Vm - 0.5*RTF*log(Cao/Cai))*10.0;
+Jrel_inf = 15.0*(-I_CaL)/(1.0 + pow(1.7/Cajsr, 8.0))*0.001;
+diff_Jrelnp = (Jrel_inf - Jrelnp)/(4.75*(1.0 + 0.5/(1.0 + pow(1.7/Cajsr, 8.0))));
+Jrelp_inf = 1.25*Jrel_inf;
+diff_Jrelp = (Jrelp_inf - Jrelp)/(5.94*(1.0 + 0.5/(1.0 + pow(1.7/Cajsr, 8.0))));
+J_rel = ((1.0 - phi_mk)*Jrelnp + phi_mk*Jrelp)*1.0;
+J_upnp = 0.004375*Cai/(Cai + 0.00092);
+J_upp = 2.75*0.004375*Cai/(Cai + 0.00092 - 0.00017);
+J_up = (1.0 - phi_mk)*J_upnp + phi_mk*J_upp;
+J_tr = (Cansr - Cajsr)/100.0;
+J_diff = (Cass - Cai)/0.2;
+diff_Cansr = J_up*2.0 - J_tr*0.08;
+diff_Cajsr = J_tr - J_rel*10.0;
+diff_Cass = -0.01*I_CaL + J_rel*0.4 - J_diff*0.02;
+diff_Cai = -0.00002*(I_pCa + I_bCa - 2.0*I_NaCa) + J_diff*0.001 - J_up*0.05
+           + 0.002*(0.0000863 - Cai);
+diff_Nai = -0.00001*(I_Na + I_NaL + I_bNa + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_to + I_Kr + I_Ks + I_K1 - 2.0*I_NaK);
+Iion = I_Na + I_NaL + I_to + I_CaL + I_Kr + I_Ks + I_K1 + I_NaK + I_NaCa
+       + I_pCa + I_bNa + I_bCa;
+|};
+  }
+
+let grandi_pandit_voigt =
+  {
+    name = "GrandiPanditVoigt";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "Grandi-Pandit-Voigt 2011 human atrial structure (29 states): \
+       junctional/sub-sarcolemmal compartments, buffer ODE chain — the \
+       most compute-bound model in the paper's roofline.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.0014;
+h; h_init = 0.97;
+j; j_init = 0.98;
+d; d_init = 0.000007;
+f; f_init = 1.0;
+fcaBj; fcaBj_init = 0.025;
+fcaBsl; fcaBsl_init = 0.015;
+xtof; xtof_init = 0.0004;
+ytof; ytof_init = 0.95;
+xkr; xkr_init = 0.009;
+xks; xks_init = 0.004;
+xkur; xkur_init = 0.0005;
+ykur; ykur_init = 0.97;
+RyRr; RyRr_init = 0.89;
+RyRo; RyRo_init = 0.0000009;
+RyRi; RyRi_init = 0.0000001;
+NaBj; NaBj_init = 3.54;
+NaBsl; NaBsl_init = 0.78;
+TnCL; TnCL_init = 0.0089;
+TnCHc; TnCHc_init = 0.117;
+CaM; CaM_init = 0.000295;
+SRB; SRB_init = 0.0021;
+Naj; Naj_init = 9.136;
+Nasl; Nasl_init = 9.136;
+Nai; Nai_init = 9.136;
+Caj; Caj_init = 0.00017;
+Casl; Casl_init = 0.0001;
+Cai; Cai_init = 0.000087;
+Casr; Casr_init = 0.55;
+Vm_init = -73.5;
+group{ g_Na = 23.0; g_caL = 0.5; g_tof = 0.165; g_kr = 0.035; g_ks = 0.0035;
+       g_kur = 0.045; g_k1 = 0.0525; RTF = 26.71; Nao = 140.0; Ko = 5.4;
+       Cao = 1.8; Fjunc = 0.11; }.param();
+m_inf = 1.0/square(1.0 + exp(-(56.86 + Vm)/9.03));
+tau_m = 0.1292*exp(-square((Vm + 45.79)/15.54)) + 0.06487*exp(-square((Vm - 4.823)/51.12));
+diff_m = (m_inf - m)/tau_m;  m; .method(rush_larsen);
+a_h = (Vm >= -40.0) ? 0.0 : 0.057*exp(-(Vm + 80.0)/6.8);
+b_h = (Vm >= -40.0) ? 0.77/(0.13*(1.0 + exp(-(Vm + 10.66)/11.1)))
+      : 2.7*exp(0.079*Vm) + 310000.0*exp(0.3485*Vm);
+h_inf = 1.0/square(1.0 + exp((Vm + 71.55)/7.43));
+diff_h = (h_inf - h)*(a_h + b_h);  h; .method(rush_larsen);
+a_j = (Vm >= -40.0) ? 0.0
+      : (-25428.0*exp(0.2444*Vm) - 0.000006948*exp(-0.04391*Vm))
+        *(Vm + 37.78)/(1.0 + exp(0.311*(Vm + 79.23)));
+b_j = (Vm >= -40.0)
+      ? 0.6*exp(0.057*Vm)/(1.0 + exp(-0.1*(Vm + 32.0)))
+      : 0.02424*exp(-0.01052*Vm)/(1.0 + exp(-0.1378*(Vm + 40.14)));
+diff_j = (h_inf - j)*(a_j + b_j);  j; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp(-(Vm + 9.0)/6.0));
+tau_d = d_inf*((fabs(Vm + 9.0) < 1e-6) ? 6.0/0.035
+        : (1.0 - exp(-(Vm + 9.0)/6.0))/(0.035*(Vm + 9.0)));
+diff_d = (d_inf - d)/max(fabs(tau_d), 0.05);  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 30.0)/7.0)) + 0.2/(1.0 + exp((50.0 - Vm)/20.0));
+tau_f = 1.0/(0.0197*exp(-square(0.0337*(Vm + 14.5))) + 0.02);
+diff_f = (f_inf - f)/tau_f;  f; .method(rush_larsen);
+diff_fcaBj = 1.7*Caj*(1.0 - fcaBj) - 0.0119*fcaBj;
+fcaBj; .method(markov_be);
+diff_fcaBsl = 1.7*Casl*(1.0 - fcaBsl) - 0.0119*fcaBsl;
+fcaBsl; .method(markov_be);
+xtof_inf = 1.0/(1.0 + exp(-(Vm + 1.0)/11.0));
+tau_xtof = 3.5*exp(-square(Vm/30.0)) + 1.5;
+diff_xtof = (xtof_inf - xtof)/tau_xtof;  xtof; .method(rush_larsen);
+ytof_inf = 1.0/(1.0 + exp((Vm + 40.5)/11.5));
+tau_ytof = 25.635*exp(-square((Vm + 52.45)/15.8827)) + 24.14;
+diff_ytof = (ytof_inf - ytof)/tau_ytof;  ytof; .method(rush_larsen);
+xkr_inf = 1.0/(1.0 + exp(-(Vm + 10.0)/5.0));
+tau_xkr = 550.0/(1.0 + exp((-22.0 - Vm)/9.0))*6.0/(1.0 + exp((Vm + 11.0)/9.0))
+          + 230.0/(1.0 + exp((Vm + 40.0)/20.0));
+diff_xkr = (xkr_inf - xkr)/tau_xkr;  xkr; .method(rush_larsen);
+xks_inf = 1.0/(1.0 + exp(-(Vm + 40.0)/14.25));
+tau_xks = 990.1/(1.0 + exp(-(Vm + 2.436)/14.12));
+diff_xks = (xks_inf - xks)/tau_xks;  xks; .method(rush_larsen);
+xkur_inf = 1.0/(1.0 + exp((Vm + 6.0)/-8.6));
+tau_xkur = 9.0/(1.0 + exp((Vm + 5.0)/12.0)) + 0.5;
+diff_xkur = (xkur_inf - xkur)/tau_xkur;  xkur; .method(rush_larsen);
+ykur_inf = 1.0/(1.0 + exp((Vm + 7.5)/10.0));
+tau_ykur = 590.0/(1.0 + exp((Vm + 60.0)/10.0)) + 3050.0;
+diff_ykur = (ykur_inf - ykur)/tau_ykur;  ykur; .method(rush_larsen);
+kCaSR = 15.0 - 14.0/(1.0 + pow(0.45/Casr, 2.5));
+koSRCa = 10.0/kCaSR;
+kiSRCa = 0.5*kCaSR;
+RI = 1.0 - RyRr - RyRo - RyRi;
+diff_RyRr = (0.01*RI - kiSRCa*Caj*RyRr) - (koSRCa*square(Caj)*RyRr - 0.06*RyRo);
+diff_RyRo = (koSRCa*square(Caj)*RyRr - 0.06*RyRo) - (kiSRCa*Caj*RyRo - 0.005*RyRi);
+RyRo; .method(markov_be);
+diff_RyRi = (kiSRCa*Caj*RyRo - 0.005*RyRi) - (0.06*RyRi - koSRCa*square(Caj)*RI);
+diff_NaBj = 0.0001*Naj*(7.561 - NaBj) - 0.001*NaBj;
+diff_NaBsl = 0.0001*Nasl*(1.65 - NaBsl) - 0.001*NaBsl;
+diff_TnCL = 32.7*Cai*(0.07 - TnCL) - 0.0196*TnCL;
+diff_TnCHc = 2.37*Cai*(0.14 - TnCHc) - 0.000032*TnCHc;
+diff_CaM = 34.0*Cai*(0.024 - CaM) - 0.238*CaM;
+diff_SRB = 100.0*Cai*(0.0171 - SRB) - 60.0*SRB*0.001;
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki_fixed);
+Ki_fixed = 120.0;
+E_Ca = 0.5*RTF*log(Cao/Cai);
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na);
+vff = Vm*2.0/RTF;
+ibarca_j = 0.5*4.0*Vm*96485.0/RTF
+           *((fabs(vff) < 1e-6) ? (0.341*Caj - 0.341*Cao)
+             : (0.341*Caj*exp(vff) - 0.341*Cao)/(exp(vff) - 1.0));
+I_CaL = g_caL*d*f*(Fjunc*(1.0 - fcaBj) + (1.0 - Fjunc)*(1.0 - fcaBsl))*ibarca_j*0.01;
+I_tof = g_tof*xtof*ytof*(Vm - E_K);
+I_Kr = g_kr*sqrt(Ko/5.4)*xkr*(Vm - E_K)/(1.0 + exp((Vm + 74.0)/24.0))*20.0;
+I_Ks = g_ks*square(xks)*(Vm - E_K)*20.0;
+I_Kur = g_kur*xkur*ykur*(Vm - E_K)*(1.0 + 2.0/(1.0 + exp((Vm + 54.0)/-14.0)));
+a_K1 = 1.02/(1.0 + exp(0.2385*(Vm - E_K - 59.215)));
+b_K1 = (0.49124*exp(0.08032*(Vm - E_K + 5.476)) + exp(0.06175*(Vm - E_K - 594.31)))
+       /(1.0 + exp(-0.5143*(Vm - E_K + 4.753)));
+I_K1 = g_k1*sqrt(Ko/5.4)*(a_K1/(a_K1 + b_K1))*(Vm - E_K)*20.0;
+I_NaK = 1.26*(Ko/(Ko + 1.5))/(1.0 + pow(11.0/Nai, 4.0))
+        /(1.0 + 0.1245*exp(-0.1*Vm/RTF) + 0.0365*exp(-Vm/RTF));
+I_NaCa = 900.0*(exp(0.27*Vm/RTF)*cube(Naj)*Cao - exp(-0.73*Vm/RTF)*cube(Nao)*Caj*1.6)
+         /((cube(87.5) + cube(Nao))*(1.3 + Cao)*(1.0 + 0.27*exp(-0.73*Vm/RTF)))*0.03;
+I_pCa = 0.0471*square(Cai)/(square(Cai) + square(0.0005));
+I_bCa = 0.0006*(Vm - E_Ca);
+I_bNa = 0.000597*(Vm - E_Na);
+J_rel = 25.0*RyRo*(Casr - Caj)*0.1;
+J_up = 0.0053114*(pow(Cai/0.00025, 1.787) - pow(Casr/2.6, 1.787))
+       /(1.0 + pow(Cai/0.00025, 1.787) + pow(Casr/2.6, 1.787));
+J_leak = 0.000005348*(Casr - Caj);
+diff_Casr = J_up*0.9 - J_rel*0.01 - J_leak*100.0 - 0.001*diff_SRB;
+diff_Caj = -0.003*ibarca_j*0.01 + (J_rel*0.005 + J_leak*10.0)
+           + 0.02*(Casl - Caj) + 0.0002*(0.00017 - Caj) + 0.0002*I_NaCa;
+diff_Casl = 0.005*(Caj - Casl) + 0.01*(Cai - Casl) - 0.00005*(I_bCa*0.5 - I_NaCa*0.1);
+diff_Cai = 0.005*(Casl - Cai) - J_up*0.01 - (diff_TnCL + diff_TnCHc + diff_CaM)*0.001
+           - 0.00001*I_pCa + 0.001*(0.000087 - Cai);
+diff_Naj = -0.0001*(I_Na*Fjunc + 3.0*I_NaCa*Fjunc) + 0.02*(Nasl - Naj) - 0.001*diff_NaBj;
+diff_Nasl = 0.01*(Naj - Nasl) + 0.01*(Nai - Nasl) - 0.001*diff_NaBsl;
+diff_Nai = 0.01*(Nasl - Nai) - 0.00001*(3.0*I_NaK + I_bNa);
+Iion = I_Na + I_CaL + I_tof + I_Kr + I_Ks + I_Kur + I_K1 + I_NaK + I_NaCa
+       + I_pCa + I_bCa + I_bNa;
+|};
+  }
+
+let entries : entry list =
+  [ ohara; grandi_pandit_voigt ] @ Large_models3.entries

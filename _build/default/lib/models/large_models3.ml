@@ -1,0 +1,401 @@
+(** Large-class models, part 3 (structural reproductions). *)
+
+open Model_def
+
+let grandi_pasqualini =
+  {
+    name = "GrandiPasqualini";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "Grandi-Pasqualini-Bers 2010 human ventricular structure (26 \
+       states): the ventricular sibling of GrandiPanditVoigt — no IKur, \
+       slow Ito component instead.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.0038;
+h; h_init = 0.626;
+j; j_init = 0.62;
+d; d_init = 0.0000094;
+f; f_init = 1.0;
+fcaBj; fcaBj_init = 0.0246;
+fcaBsl; fcaBsl_init = 0.0152;
+xtos; xtos_init = 0.004;
+ytos; ytos_init = 0.987;
+xtof; xtof_init = 0.004;
+ytof; ytof_init = 0.994;
+xkr; xkr_init = 0.0087;
+xks; xks_init = 0.0054;
+RyRr; RyRr_init = 0.89;
+RyRo; RyRo_init = 0.0000008;
+RyRi; RyRi_init = 0.0000001;
+TnCL; TnCL_init = 0.0089;
+TnCHc; TnCHc_init = 0.117;
+CaM; CaM_init = 0.000295;
+SRB; SRB_init = 0.0021;
+Naj; Naj_init = 8.8;
+Nasl; Nasl_init = 8.8;
+Nai; Nai_init = 8.8;
+Caj; Caj_init = 0.00017;
+Casl; Casl_init = 0.0001;
+Cai; Cai_init = 0.000087;
+Casr; Casr_init = 0.55;
+Vm_init = -81.5;
+group{ g_Na = 16.0; g_caL = 0.35; g_tos = 0.13; g_tof = 0.02; g_kr = 0.03;
+       g_ks = 0.0035; g_k1 = 0.35; RTF = 26.71; Nao = 140.0; Ko = 5.4;
+       Cao = 1.8; Fjunc = 0.11; Ki_fixed = 135.0; }.param();
+m_inf = 1.0/square(1.0 + exp(-(56.86 + Vm)/9.03));
+tau_m = 0.1292*exp(-square((Vm + 45.79)/15.54)) + 0.06487*exp(-square((Vm - 4.823)/51.12));
+diff_m = (m_inf - m)/tau_m;  m; .method(rush_larsen);
+a_h = (Vm >= -40.0) ? 0.0 : 0.057*exp(-(Vm + 80.0)/6.8);
+b_h = (Vm >= -40.0) ? 0.77/(0.13*(1.0 + exp(-(Vm + 10.66)/11.1)))
+      : 2.7*exp(0.079*Vm) + 310000.0*exp(0.3485*Vm);
+h_inf = 1.0/square(1.0 + exp((Vm + 71.55)/7.43));
+diff_h = (h_inf - h)*(a_h + b_h);  h; .method(rush_larsen);
+a_j = (Vm >= -40.0) ? 0.0
+      : (-25428.0*exp(0.2444*Vm) - 0.000006948*exp(-0.04391*Vm))
+        *(Vm + 37.78)/(1.0 + exp(0.311*(Vm + 79.23)));
+b_j = (Vm >= -40.0)
+      ? 0.6*exp(0.057*Vm)/(1.0 + exp(-0.1*(Vm + 32.0)))
+      : 0.02424*exp(-0.01052*Vm)/(1.0 + exp(-0.1378*(Vm + 40.14)));
+diff_j = (h_inf - j)*(a_j + b_j);  j; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp(-(Vm + 5.0)/6.0));
+tau_d = d_inf*((fabs(Vm + 5.0) < 1e-6) ? 6.0/0.035
+        : (1.0 - exp(-(Vm + 5.0)/6.0))/(0.035*(Vm + 5.0)));
+diff_d = (d_inf - d)/max(fabs(tau_d), 0.05);  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 35.0)/9.0)) + 0.6/(1.0 + exp((50.0 - Vm)/20.0));
+tau_f = 1.0/(0.0197*exp(-square(0.0337*(Vm + 14.5))) + 0.02);
+diff_f = (f_inf - f)/tau_f;  f; .method(rush_larsen);
+diff_fcaBj = 1.7*Caj*(1.0 - fcaBj) - 0.0119*fcaBj;   fcaBj; .method(markov_be);
+diff_fcaBsl = 1.7*Casl*(1.0 - fcaBsl) - 0.0119*fcaBsl; fcaBsl; .method(markov_be);
+xtos_inf = 1.0/(1.0 + exp(-(Vm - 19.0)/13.0));
+tau_xtos = 9.0/(1.0 + exp((Vm + 3.0)/15.0)) + 0.5;
+diff_xtos = (xtos_inf - xtos)/tau_xtos;  xtos; .method(rush_larsen);
+ytos_inf = 1.0/(1.0 + exp((Vm + 19.5)/5.0));
+tau_ytos = 800.0/(1.0 + exp((Vm + 60.0)/10.0)) + 30.0;
+diff_ytos = (ytos_inf - ytos)/tau_ytos;  ytos; .method(rush_larsen);
+xtof_inf = xtos_inf;
+tau_xtof = 8.5*exp(-square((Vm + 45.0)/50.0)) + 0.5;
+diff_xtof = (xtof_inf - xtof)/tau_xtof;  xtof; .method(rush_larsen);
+ytof_inf = ytos_inf;
+tau_ytof = 85.0*exp(-square(Vm + 40.0)/220.0) + 7.0;
+diff_ytof = (ytof_inf - ytof)/tau_ytof;  ytof; .method(rush_larsen);
+xkr_inf = 1.0/(1.0 + exp(-(Vm + 10.0)/5.0));
+tau_xkr = 550.0/(1.0 + exp((-22.0 - Vm)/9.0))*6.0/(1.0 + exp((Vm + 11.0)/9.0))
+          + 230.0/(1.0 + exp((Vm + 40.0)/20.0));
+diff_xkr = (xkr_inf - xkr)/tau_xkr;  xkr; .method(rush_larsen);
+xks_inf = 1.0/(1.0 + exp(-(Vm + 3.8)/14.25));
+tau_xks = 990.1/(1.0 + exp(-(Vm + 2.436)/14.12));
+diff_xks = (xks_inf - xks)/tau_xks;  xks; .method(rush_larsen);
+kCaSR = 15.0 - 14.0/(1.0 + pow(0.45/Casr, 2.5));
+RI = 1.0 - RyRr - RyRo - RyRi;
+diff_RyRr = (0.01*RI - 0.5*kCaSR*Caj*RyRr) - (10.0/kCaSR*square(Caj)*RyRr - 0.06*RyRo);
+diff_RyRo = (10.0/kCaSR*square(Caj)*RyRr - 0.06*RyRo) - (0.5*kCaSR*Caj*RyRo - 0.005*RyRi);
+RyRo; .method(markov_be);
+diff_RyRi = (0.5*kCaSR*Caj*RyRo - 0.005*RyRi) - (0.06*RyRi - 10.0/kCaSR*square(Caj)*RI);
+diff_TnCL = 32.7*Cai*(0.07 - TnCL) - 0.0196*TnCL;
+diff_TnCHc = 2.37*Cai*(0.14 - TnCHc) - 0.000032*TnCHc;
+diff_CaM = 34.0*Cai*(0.024 - CaM) - 0.238*CaM;
+diff_SRB = 100.0*Cai*(0.0171 - SRB) - 0.06*SRB;
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki_fixed);
+E_Ca = 0.5*RTF*log(Cao/Cai);
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na);
+vff = Vm*2.0/RTF;
+ibarca = 0.5*4.0*Vm*96485.0/RTF
+         *((fabs(vff) < 1e-6) ? (0.341*Caj - 0.341*Cao)
+           : (0.341*Caj*exp(vff) - 0.341*Cao)/(exp(vff) - 1.0));
+I_CaL = g_caL*d*f*(Fjunc*(1.0 - fcaBj) + (1.0 - Fjunc)*(1.0 - fcaBsl))*ibarca*0.01;
+I_tos = g_tos*xtos*ytos*(Vm - E_K);
+I_tof = g_tof*xtof*ytof*(Vm - E_K);
+I_Kr = g_kr*sqrt(Ko/5.4)*xkr*(Vm - E_K)/(1.0 + exp((Vm + 74.0)/24.0))*20.0;
+I_Ks = g_ks*square(xks)*(Vm - E_K)*20.0;
+a_K1 = 1.02/(1.0 + exp(0.2385*(Vm - E_K - 59.215)));
+b_K1 = (0.49124*exp(0.08032*(Vm - E_K + 5.476)) + exp(0.06175*(Vm - E_K - 594.31)))
+       /(1.0 + exp(-0.5143*(Vm - E_K + 4.753)));
+I_K1 = g_k1*sqrt(Ko/5.4)*(a_K1/(a_K1 + b_K1))*(Vm - E_K)*5.0;
+I_NaK = 1.8*(Ko/(Ko + 1.5))/(1.0 + pow(11.0/Nai, 4.0))
+        /(1.0 + 0.1245*exp(-0.1*Vm/RTF) + 0.0365*exp(-Vm/RTF));
+I_NaCa = 900.0*(exp(0.27*Vm/RTF)*cube(Naj)*Cao - exp(-0.73*Vm/RTF)*cube(Nao)*Caj*1.6)
+         /((cube(87.5) + cube(Nao))*(1.3 + Cao)*(1.0 + 0.27*exp(-0.73*Vm/RTF)))*0.03;
+I_pCa = 0.0673*square(Cai)/(square(Cai) + square(0.0005));
+I_bCa = 0.0005513*(Vm - E_Ca);
+I_bNa = 0.000597*(Vm - E_Na);
+J_rel = 25.0*RyRo*(Casr - Caj)*0.1;
+J_up = 0.0053114*(pow(Cai/0.00025, 1.787) - pow(Casr/2.6, 1.787))
+       /(1.0 + pow(Cai/0.00025, 1.787) + pow(Casr/2.6, 1.787));
+J_leak = 0.000005348*(Casr - Caj);
+diff_Casr = J_up*0.9 - J_rel*0.01 - J_leak*100.0 - 0.001*diff_SRB;
+diff_Caj = -0.003*ibarca*0.01 + (J_rel*0.005 + J_leak*10.0)
+           + 0.02*(Casl - Caj) + 0.0002*(0.00017 - Caj) + 0.0002*I_NaCa;
+diff_Casl = 0.005*(Caj - Casl) + 0.01*(Cai - Casl) - 0.00005*(I_bCa*0.5 - I_NaCa*0.1);
+diff_Cai = 0.005*(Casl - Cai) - J_up*0.01 - (diff_TnCL + diff_TnCHc + diff_CaM)*0.001
+           - 0.00001*I_pCa + 0.001*(0.000087 - Cai);
+diff_Naj = -0.0001*(I_Na*Fjunc + 3.0*I_NaCa*Fjunc) + 0.02*(Nasl - Naj);
+diff_Nasl = 0.01*(Naj - Nasl) + 0.01*(Nai - Nasl);
+diff_Nai = 0.01*(Nasl - Nai) - 0.00001*(3.0*I_NaK + I_bNa);
+Iion = I_Na + I_CaL + I_tos + I_tof + I_Kr + I_Ks + I_K1 + I_NaK + I_NaCa
+       + I_pCa + I_bCa + I_bNa;
+|};
+  }
+
+let shannon =
+  {
+    name = "Shannon";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "Shannon 2004 rabbit ventricular structure (24 states): four-state \
+       RyR, junctional/SL calcium, explicit buffer set.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.0014;
+h; h_init = 0.987;
+j; j_init = 0.991;
+d; d_init = 0.000007;
+f; f_init = 1.0;
+fCaB_j; fCaB_j_init = 0.0246;
+fCaB_sl; fCaB_sl_init = 0.0152;
+Xtos; Xtos_init = 0.004;
+Ytos; Ytos_init = 0.987;
+Rtos; Rtos_init = 0.99;
+Xtof; Xtof_init = 0.004;
+Ytof; Ytof_init = 0.994;
+Xr; Xr_init = 0.0087;
+Xs; Xs_init = 0.0054;
+RyR_R; RyR_R_init = 0.89;
+RyR_O; RyR_O_init = 0.0000008;
+RyR_I; RyR_I_init = 0.0000001;
+NaB_j; NaB_j_init = 3.4;
+NaB_sl; NaB_sl_init = 0.75;
+Naj; Naj_init = 8.8;
+Nai; Nai_init = 8.8;
+Cai; Cai_init = 0.000087;
+Caj; Caj_init = 0.00017;
+Casr; Casr_init = 0.55;
+Vm_init = -85.6;
+group{ g_Na = 16.0; g_caL = 0.3; g_tos = 0.06; g_tof = 0.02; g_kr = 0.03;
+       g_ks = 0.0035; g_k1 = 0.9; RTF = 26.71; Nao = 140.0; Ko = 5.4;
+       Cao = 1.8; Ki_fixed = 135.0; }.param();
+m_inf = 1.0/square(1.0 + exp(-(56.86 + Vm)/9.03));
+tau_m = 0.1292*exp(-square((Vm + 45.79)/15.54)) + 0.06487*exp(-square((Vm - 4.823)/51.12));
+diff_m = (m_inf - m)/tau_m;  m; .method(rush_larsen);
+a_h = (Vm >= -40.0) ? 0.0 : 0.057*exp(-(Vm + 80.0)/6.8);
+b_h = (Vm >= -40.0) ? 0.77/(0.13*(1.0 + exp(-(Vm + 10.66)/11.1)))
+      : 2.7*exp(0.079*Vm) + 310000.0*exp(0.3485*Vm);
+h_inf = 1.0/square(1.0 + exp((Vm + 71.55)/7.43));
+diff_h = (h_inf - h)*(a_h + b_h);  h; .method(rush_larsen);
+a_j = (Vm >= -40.0) ? 0.0
+      : (-25428.0*exp(0.2444*Vm) - 0.000006948*exp(-0.04391*Vm))
+        *(Vm + 37.78)/(1.0 + exp(0.311*(Vm + 79.23)));
+b_j = (Vm >= -40.0)
+      ? 0.6*exp(0.057*Vm)/(1.0 + exp(-0.1*(Vm + 32.0)))
+      : 0.02424*exp(-0.01052*Vm)/(1.0 + exp(-0.1378*(Vm + 40.14)));
+diff_j = (h_inf - j)*(a_j + b_j);  j; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp(-(Vm + 14.5)/6.0));
+tau_d = d_inf*((fabs(Vm + 14.5) < 1e-6) ? 6.0/0.035
+        : (1.0 - exp(-(Vm + 14.5)/6.0))/(0.035*(Vm + 14.5)));
+diff_d = (d_inf - d)/max(fabs(tau_d), 0.05);  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 35.06)/3.6)) + 0.6/(1.0 + exp((50.0 - Vm)/20.0));
+tau_f = 1.0/(0.0197*exp(-square(0.0337*(Vm + 14.5))) + 0.02);
+diff_f = (f_inf - f)/tau_f;  f; .method(rush_larsen);
+diff_fCaB_j = 1.7*Caj*(1.0 - fCaB_j) - 0.0119*fCaB_j;
+diff_fCaB_sl = 1.7*Cai*1.3*(1.0 - fCaB_sl) - 0.0119*fCaB_sl;
+Xtos_inf = 1.0/(1.0 + exp(-(Vm - 19.0)/13.0));
+diff_Xtos = (Xtos_inf - Xtos)/(9.0/(1.0 + exp((Vm + 3.0)/15.0)) + 0.5);
+Xtos; .method(rush_larsen);
+Ytos_inf = 1.0/(1.0 + exp((Vm + 19.5)/5.0));
+diff_Ytos = (Ytos_inf - Ytos)/(3000.0/(1.0 + exp((Vm + 60.0)/10.0)) + 30.0);
+Ytos; .method(rush_larsen);
+Rtos_inf = 1.0/(1.0 + exp((Vm + 19.5)/5.0));
+diff_Rtos = (Rtos_inf - Rtos)/(2800.0/(1.0 + exp((Vm + 60.0)/10.0)) + 220.0);
+Rtos; .method(rush_larsen);
+Xtof_inf = Xtos_inf;
+diff_Xtof = (Xtof_inf - Xtof)/(3.5*exp(-square(Vm/30.0)) + 1.5);
+Xtof; .method(rush_larsen);
+Ytof_inf = Ytos_inf;
+diff_Ytof = (Ytof_inf - Ytof)/(20.0/(1.0 + exp((Vm + 33.5)/10.0)) + 20.0);
+Ytof; .method(rush_larsen);
+Xr_inf = 1.0/(1.0 + exp(-(Vm + 50.0)/7.5));
+tau_Xr = 1.0/(0.00138*((fabs(Vm + 7.0) < 1e-6) ? 0.123
+         : (Vm + 7.0)/(1.0 - exp(-0.123*(Vm + 7.0))))
+         + 0.00061*((fabs(Vm + 10.0) < 1e-6) ? 0.145
+         : (Vm + 10.0)/(exp(0.145*(Vm + 10.0)) - 1.0)));
+diff_Xr = (Xr_inf - Xr)/max(fabs(tau_Xr), 1.0);  Xr; .method(rush_larsen);
+Xs_inf = 1.0/(1.0 + exp(-(Vm - 1.5)/16.7));
+tau_Xs = 1.0/(0.0000719*((fabs(Vm + 30.0) < 1e-6) ? 0.148
+         : (Vm + 30.0)/(1.0 - exp(-0.148*(Vm + 30.0))))
+         + 0.000131*((fabs(Vm + 30.0) < 1e-6) ? 0.0687
+         : (Vm + 30.0)/(exp(0.0687*(Vm + 30.0)) - 1.0)));
+diff_Xs = (Xs_inf - Xs)/max(fabs(tau_Xs), 1.0);  Xs; .method(rush_larsen);
+kCaSR = 15.0 - 14.0/(1.0 + pow(0.45/Casr, 2.5));
+RI_s = 1.0 - RyR_R - RyR_O - RyR_I;
+diff_RyR_R = (0.01*RI_s - 0.5*kCaSR*Caj*RyR_R) - (10.0/kCaSR*square(Caj)*RyR_R - 0.06*RyR_O);
+diff_RyR_O = (10.0/kCaSR*square(Caj)*RyR_R - 0.06*RyR_O) - (0.5*kCaSR*Caj*RyR_O - 0.005*RyR_I);
+RyR_O; .method(markov_be);
+diff_RyR_I = (0.5*kCaSR*Caj*RyR_O - 0.005*RyR_I) - (0.06*RyR_I - 10.0/kCaSR*square(Caj)*RI_s);
+diff_NaB_j = 0.0001*Naj*(7.561 - NaB_j) - 0.001*NaB_j;
+diff_NaB_sl = 0.0001*Nai*(1.65 - NaB_sl) - 0.001*NaB_sl;
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki_fixed);
+E_Ca = 0.5*RTF*log(Cao/Cai);
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na);
+vff = Vm*2.0/RTF;
+ibarca = 0.5*4.0*Vm*96485.0/RTF
+         *((fabs(vff) < 1e-6) ? (0.341*Caj - 0.341*Cao)
+           : (0.341*Caj*exp(vff) - 0.341*Cao)/(exp(vff) - 1.0));
+I_CaL = g_caL*d*f*(1.0 - fCaB_j)*ibarca*0.01;
+I_tos = g_tos*Xtos*(Ytos + 0.5*Rtos)*(Vm - E_K);
+I_tof = g_tof*Xtof*Ytof*(Vm - E_K);
+I_Kr = g_kr*sqrt(Ko/5.4)*Xr*(Vm - E_K)/(1.0 + exp((Vm + 33.0)/22.4))*20.0;
+I_Ks = g_ks*square(Xs)*(Vm - E_K)*20.0;
+a_K1 = 1.02/(1.0 + exp(0.2385*(Vm - E_K - 59.215)));
+b_K1 = (0.49124*exp(0.08032*(Vm - E_K + 5.476)) + exp(0.06175*(Vm - E_K - 594.31)))
+       /(1.0 + exp(-0.5143*(Vm - E_K + 4.753)));
+I_K1 = g_k1*sqrt(Ko/5.4)*(a_K1/(a_K1 + b_K1))*(Vm - E_K);
+I_NaK = 1.9*(Ko/(Ko + 1.5))/(1.0 + pow(11.0/Nai, 4.0))
+        /(1.0 + 0.1245*exp(-0.1*Vm/RTF) + 0.0365*exp(-Vm/RTF));
+I_NaCa = 900.0*(exp(0.27*Vm/RTF)*cube(Naj)*Cao - exp(-0.73*Vm/RTF)*cube(Nao)*Caj*1.6)
+         /((cube(87.5) + cube(Nao))*(1.3 + Cao)*(1.0 + 0.27*exp(-0.73*Vm/RTF)))*0.03;
+I_pCa = 0.0673*square(Cai)/(square(Cai) + square(0.0005));
+I_bCa = 0.0005513*(Vm - E_Ca);
+I_bNa = 0.000597*(Vm - E_Na);
+J_rel = 25.0*RyR_O*(Casr - Caj)*0.1;
+J_up = 0.0053114*(pow(Cai/0.00025, 1.787) - pow(Casr/2.6, 1.787))
+       /(1.0 + pow(Cai/0.00025, 1.787) + pow(Casr/2.6, 1.787));
+J_leak = 0.000005348*(Casr - Caj);
+diff_Casr = J_up*0.9 - J_rel*0.01 - J_leak*100.0;
+diff_Caj = -0.003*ibarca*0.01 + J_rel*0.005 + J_leak*10.0 + 0.01*(Cai - Caj)
+           + 0.0002*I_NaCa;
+diff_Cai = 0.002*(Caj - Cai) - J_up*0.01 - 0.00001*I_pCa + 0.001*(0.000087 - Cai);
+diff_Naj = -0.0001*(I_Na*0.11 + 3.0*I_NaCa*0.11) + 0.02*(Nai - Naj) - 0.001*diff_NaB_j;
+diff_Nai = 0.002*(Naj - Nai) - 0.00001*(3.0*I_NaK + I_bNa) - 0.001*diff_NaB_sl;
+Iion = I_Na + I_CaL + I_tos + I_tof + I_Kr + I_Ks + I_K1 + I_NaK + I_NaCa
+       + I_pCa + I_bCa + I_bNa;
+|};
+  }
+
+let wang_sobie =
+  {
+    name = "WangSobie";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "Wang & Sobie 2008 neonatal-mouse ventricular structure (22 \
+       states): large T-type calcium contribution, NCX-dominated calcium \
+       removal.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.0027;
+h; h_init = 0.99;
+j; j_init = 0.99;
+d; d_init = 0.000007;
+f; f_init = 1.0;
+dT; dT_init = 0.002;
+fT; fT_init = 0.85;
+a_to; a_to_init = 0.0009;
+i_to; i_to_init = 0.999;
+a_ss; a_ss_init = 0.0005;
+Xr; Xr_init = 0.008;
+Xs; Xs_init = 0.005;
+y_f; y_f_init = 0.003;
+RyR_O; RyR_O_init = 0.0000009;
+RyR_R; RyR_R_init = 0.9;
+TnC; TnC_init = 0.01;
+Nai; Nai_init = 12.7;
+Ki; Ki_init = 140.0;
+Cai; Cai_init = 0.0001;
+Cass; Cass_init = 0.0001;
+Cansr; Cansr_init = 0.9;
+Vm_init = -79.5;
+group{ g_Na = 11.0; g_caL = 0.2; g_caT = 0.08; g_to = 0.1; g_ss = 0.03;
+       g_kr = 0.04; g_ks = 0.005; g_k1 = 0.2; g_f = 0.01; RTF = 26.71;
+       Nao = 140.0; Ko = 5.4; Cao = 1.8; }.param();
+m_inf = 1.0/square(1.0 + exp(-(Vm + 45.0)/6.5));
+tau_m = 0.136/(0.32*((fabs(Vm + 47.13) < 1e-6) ? 10.0
+        : (Vm + 47.13)/(1.0 - exp(-0.1*(Vm + 47.13)))) + 0.08*exp(-Vm/11.0));
+diff_m = (m_inf - m)/max(tau_m, 0.01);  m; .method(rush_larsen);
+h_inf = 1.0/(1.0 + exp((Vm + 76.1)/6.07));
+tau_h = (Vm >= -40.0) ? 0.45*(1.0 + exp(-(Vm + 10.66)/11.1))
+        : 3.5/(0.135*exp(-(Vm + 80.0)/6.8) + 3.56*exp(0.079*Vm) + 310000.0*exp(0.35*Vm));
+diff_h = (h_inf - h)/max(tau_h, 0.01);  h; .method(rush_larsen);
+j_inf = h_inf;
+tau_j = (Vm >= -40.0) ? 11.6*(1.0 + exp(-0.1*(Vm + 32.0)))
+        : 3.5/(((Vm + 37.78)/(1.0 + exp(0.311*(Vm + 79.23))))
+          *(-127140.0*exp(0.2444*Vm) - 0.00003474*exp(-0.04391*Vm))
+          + 0.1212*exp(-0.01052*Vm)/(1.0 + exp(-0.1378*(Vm + 40.14))));
+diff_j = (j_inf - j)/max(fabs(tau_j), 0.1);  j; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp(-(Vm + 11.1)/7.2));
+tau_d = 1.4/(1.0 + exp((-35.0 - Vm)/13.0))*1.4/(1.0 + exp((Vm + 5.0)/5.0))
+        + 1.0/(1.0 + exp((50.0 - Vm)/20.0));
+diff_d = (d_inf - d)/tau_d;  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 23.3)/5.4));
+tau_f = 1125.0*exp(-square(Vm + 27.0)/240.0) + 80.0 + 165.0/(1.0 + exp((25.0 - Vm)/10.0));
+diff_f = (f_inf - f)/tau_f;  f; .method(rush_larsen);
+dT_inf = 1.0/(1.0 + exp(-(Vm + 51.0)/5.5));
+diff_dT = (dT_inf - dT)/(0.4 + 1.4/(1.0 + exp((Vm + 30.0)/10.0)));
+dT; .method(rush_larsen);
+fT_inf = 1.0/(1.0 + exp((Vm + 80.0)/5.5));
+diff_fT = (fT_inf - fT)/(10.0 + 25.0/(1.0 + exp((Vm + 65.0)/5.0)));
+fT; .method(rush_larsen);
+ato_inf = 1.0/(1.0 + exp(-(Vm + 22.5)/7.7));
+diff_a_to = (ato_inf - a_to)/(0.493*exp(-0.0629*Vm) + 2.058);
+a_to; .method(rush_larsen);
+ito_inf = 1.0/(1.0 + exp((Vm + 45.2)/5.7));
+diff_i_to = (ito_inf - i_to)/(0.1*exp(0.0861*(Vm + 45.2)) + 2.7);
+i_to; .method(rush_larsen);
+ass_inf = 1.0/(1.0 + exp(-(Vm + 22.5)/7.7));
+diff_a_ss = (ass_inf - a_ss)/(39.3*exp(-0.0862*Vm) + 13.17);
+a_ss; .method(rush_larsen);
+Xr_inf = 1.0/(1.0 + exp(-(Vm + 15.0)/6.0));
+diff_Xr = (Xr_inf - Xr)/(50.0 + 200.0*exp(-square((Vm + 30.0)/30.0)));
+Xr; .method(rush_larsen);
+Xs_inf = 1.0/(1.0 + exp(-(Vm - 1.5)/16.7));
+diff_Xs = (Xs_inf - Xs)/(300.0 + 600.0*exp(-square((Vm + 30.0)/60.0)));
+Xs; .method(rush_larsen);
+y_inf = 1.0/(1.0 + exp((Vm + 125.0)/15.0));
+diff_y_f = (y_inf - y_f)/900.0;  y_f; .method(rush_larsen);
+kCaSR = 12.0 - 11.0/(1.0 + pow(0.4/Cansr, 2.0));
+diff_RyR_R = 0.008*(1.0 - RyR_R - RyR_O) - 8.0/kCaSR*square(Cass)*RyR_R;
+diff_RyR_O = 8.0/kCaSR*square(Cass)*RyR_R - 0.05*RyR_O;
+RyR_O; .method(markov_be);
+diff_TnC = 32.7*Cai*(0.07 - TnC) - 0.0196*TnC;
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Ca = 0.5*RTF*log(Cao/Cai);
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na);
+I_CaL = g_caL*d*f*(Vm - 65.0)*(1.0/(1.0 + square(Cass/0.0006)));
+I_CaT = g_caT*dT*fT*(Vm - 50.0);
+I_to = g_to*a_to*i_to*(Vm - E_K);
+I_ss = g_ss*a_ss*(Vm - E_K);
+I_Kr = g_kr*Xr*(Vm - E_K)/(1.0 + exp((Vm + 9.0)/22.4));
+I_Ks = g_ks*square(Xs)*(Vm - E_K);
+I_K1 = g_k1*(Ko/(Ko + 0.21))*(Vm - E_K)/(1.0 + exp(0.0896*(Vm - E_K)));
+I_f = g_f*y_f*(0.2*(Vm - E_Na) + 0.8*(Vm - E_K));
+I_NaK = 0.88*(Ko/(Ko + 1.5))*(1.0/(1.0 + pow(21.0/Nai, 1.5)))
+        /(1.0 + 0.1245*exp(-0.1*Vm/RTF));
+I_NaCa = 900.0*(exp(0.35*Vm/RTF)*cube(Nai)*Cao - exp(-0.65*Vm/RTF)*cube(Nao)*Cai*2.0)
+         /((cube(87.5) + cube(Nao))*(1.38 + Cao)*(1.0 + 0.1*exp(-0.65*Vm/RTF)))*0.08;
+I_pCa = 0.035*square(Cai)/(square(Cai) + square(0.0005));
+J_rel = 12.0*RyR_O*(Cansr - Cass)*0.1;
+J_up = 0.3*square(Cai)/(square(Cai) + square(0.0005))*0.01;
+J_diff = (Cass - Cai)/0.5;
+diff_Cansr = (J_up - J_rel*0.05)*3.0;
+diff_Cass = -0.01*(I_CaL + I_CaT) + J_rel*0.2 - J_diff*0.05;
+diff_Cai = J_diff*0.002 - J_up - 0.00002*(I_pCa - 2.0*I_NaCa)
+           - 0.001*diff_TnC + 0.002*(0.0001 - Cai);
+diff_Nai = -0.00001*(I_Na + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_to + I_ss + I_Kr + I_Ks + I_K1 - 2.0*I_NaK);
+Iion = I_Na + I_CaL + I_CaT + I_to + I_ss + I_Kr + I_Ks + I_K1 + I_f
+       + I_NaK + I_NaCa + I_pCa;
+|};
+  }
+
+let entries : entry list =
+  [ grandi_pasqualini; shannon; wang_sobie ] @ Large_models4.entries

@@ -1,0 +1,626 @@
+(** Large-class models, final batch (structural reproductions). *)
+
+open Model_def
+
+let mahajan =
+  {
+    name = "MahajanShiferaw";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "Mahajan-Shiferaw 2008 rabbit ventricular structure (20 states): \
+       Markov-chain L-type calcium channel (5 occupancies, markov_be) and \
+       a nonlinear buffering cascade.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.001;
+h; h_init = 0.99;
+j; j_init = 0.99;
+c1; c1_init = 0.0002;
+c2; c2_init = 0.92;
+xi1ca; xi1ca_init = 0.008;
+xi1ba; xi1ba_init = 0.0001;
+xi2ca; xi2ca_init = 0.03;
+xr; xr_init = 0.008;
+xs1; xs1_init = 0.08;
+xs2; xs2_init = 0.08;
+xtos; xtos_init = 0.004;
+ytos; ytos_init = 0.99;
+xtof; xtof_init = 0.004;
+ytof; ytof_init = 0.99;
+Cai; Cai_init = 0.00025;
+Cass; Cass_init = 0.00025;
+Cansr; Cansr_init = 0.95;
+Nai; Nai_init = 11.3;
+tropi; tropi_init = 0.02;
+Vm_init = -87.2;
+group{ g_Na = 12.0; g_caL = 0.15; g_kr = 0.0125; g_ks = 0.1386; g_k1 = 0.3;
+       g_tos = 0.04; g_tof = 0.11; RTF = 26.71; Nao = 136.0; Ko = 5.4;
+       Cao = 1.8; Ki_fixed = 140.0; }.param();
+a_m = (fabs(Vm + 47.13) < 1e-6) ? 3.2
+      : 0.32*(Vm + 47.13)/(1.0 - exp(-0.1*(Vm + 47.13)));
+b_m = 0.08*exp(-Vm/11.0);
+diff_m = a_m*(1.0 - m) - b_m*m;  m; .method(rush_larsen);
+a_h = (Vm >= -40.0) ? 0.0 : 0.135*exp(-(80.0 + Vm)/6.8);
+b_h = (Vm >= -40.0) ? 1.0/(0.13*(1.0 + exp(-(Vm + 10.66)/11.1)))
+      : 3.56*exp(0.079*Vm) + 310000.0*exp(0.35*Vm);
+diff_h = a_h*(1.0 - h) - b_h*h;  h; .method(rush_larsen);
+a_j = (Vm >= -40.0) ? 0.0
+      : (-127140.0*exp(0.2444*Vm) - 0.00003474*exp(-0.04391*Vm))
+        *(Vm + 37.78)/(1.0 + exp(0.311*(Vm + 79.23)));
+b_j = (Vm >= -40.0)
+      ? 0.3*exp(-0.0000002535*Vm)/(1.0 + exp(-0.1*(Vm + 32.0)))
+      : 0.1212*exp(-0.01052*Vm)/(1.0 + exp(-0.1378*(Vm + 40.14)));
+diff_j = a_j*(1.0 - j) - b_j*j;  j; .method(rush_larsen);
+po_inf = 1.0/(1.0 + exp(-Vm/8.0));
+alpha_ca = po_inf/(1.0*(1.0 - po_inf + 0.01));
+beta_ca = (1.0 - po_inf)/1.0;
+fca_ss = 1.0/(1.0 + cube(3.0*0.0001/Cass));
+diff_c1 = alpha_ca*c2*0.1 - beta_ca*c1 - fca_ss*c1*0.5 + 0.005*xi1ca;
+c1; .method(markov_be);
+diff_c2 = beta_ca*c1 - alpha_ca*c2*0.1 + 0.002*(0.92 - c2);
+diff_xi1ca = fca_ss*c1*0.5 - 0.005*xi1ca - 0.001*xi1ca + 0.0002*xi2ca;
+xi1ca; .method(markov_be);
+diff_xi1ba = 0.0001*c1 - 0.002*xi1ba;
+diff_xi2ca = 0.001*xi1ca - 0.0002*xi2ca;
+xr_inf = 1.0/(1.0 + exp(-(Vm + 50.0)/7.5));
+tau_xr = 1.0/(0.00138*((fabs(Vm + 7.0) < 1e-6) ? 0.123
+         : (Vm + 7.0)/(1.0 - exp(-0.123*(Vm + 7.0))))
+         + 0.00061*((fabs(Vm + 10.0) < 1e-6) ? 0.145
+         : (Vm + 10.0)/(exp(0.145*(Vm + 10.0)) - 1.0)));
+diff_xr = (xr_inf - xr)/max(fabs(tau_xr), 1.0);  xr; .method(rush_larsen);
+xs_inf = 1.0/(1.0 + exp(-(Vm - 1.5)/16.7));
+tau_xs1 = 1.0/(0.0000719*((fabs(Vm + 30.0) < 1e-6) ? 0.148
+          : (Vm + 30.0)/(1.0 - exp(-0.148*(Vm + 30.0))))
+          + 0.000131*((fabs(Vm + 30.0) < 1e-6) ? 0.0687
+          : (Vm + 30.0)/(exp(0.0687*(Vm + 30.0)) - 1.0)));
+diff_xs1 = (xs_inf - xs1)/max(fabs(tau_xs1), 1.0);  xs1; .method(rush_larsen);
+diff_xs2 = (xs_inf - xs2)/max(fabs(4.0*tau_xs1), 4.0);  xs2; .method(rush_larsen);
+xtos_inf = 1.0/(1.0 + exp(-(Vm + 3.0)/15.0));
+diff_xtos = (xtos_inf - xtos)/(9.0/(1.0 + exp((Vm + 3.0)/15.0)) + 0.5);
+xtos; .method(rush_larsen);
+ytos_inf = 1.0/(1.0 + exp((Vm + 33.5)/10.0));
+diff_ytos = (ytos_inf - ytos)/(3000.0/(1.0 + exp((Vm + 60.0)/10.0)) + 30.0);
+ytos; .method(rush_larsen);
+diff_xtof = (xtos_inf - xtof)/(3.5*exp(-square(Vm/30.0)) + 1.5);
+xtof; .method(rush_larsen);
+diff_ytof = (ytos_inf - ytof)/(20.0/(1.0 + exp((Vm + 33.5)/10.0)) + 20.0);
+ytof; .method(rush_larsen);
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki_fixed);
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na);
+vff = Vm*2.0/RTF;
+gca_drive = 4.0*Vm*96485.0/RTF
+            *((fabs(vff) < 1e-6) ? (Cass - 0.341*Cao)
+              : (Cass*exp(vff) - 0.341*Cao)/(exp(vff) - 1.0));
+I_CaL = g_caL*c1*gca_drive*0.02;
+I_Kr = g_kr*sqrt(Ko/5.4)*xr*(Vm - E_K)/(1.0 + exp((Vm + 33.0)/22.4))*10.0;
+qks = 1.0 + 0.8/(1.0 + cube(0.5*0.001/Cai));
+I_Ks = g_ks*qks*xs1*xs2*(Vm - E_K);
+a_K1 = 1.02/(1.0 + exp(0.2385*(Vm - E_K - 59.215)));
+b_K1 = (0.49124*exp(0.08032*(Vm - E_K + 5.476)) + exp(0.06175*(Vm - E_K - 594.31)))
+       /(1.0 + exp(-0.5143*(Vm - E_K + 4.753)));
+I_K1 = g_k1*sqrt(Ko/5.4)*(a_K1/(a_K1 + b_K1))*(Vm - E_K);
+I_tos = g_tos*xtos*(ytos + 0.5/(1.0 + exp((Vm + 33.5)/10.0)))*(Vm - E_K);
+I_tof = g_tof*xtof*ytof*(Vm - E_K);
+I_NaK = 1.5*(Ko/(Ko + 1.5))/(1.0 + square(12.0/Nai))
+        /(1.0 + 0.1245*exp(-0.1*Vm/RTF));
+I_NaCa = 0.84*(exp(0.35*Vm/RTF)*cube(Nai)*Cao - exp(-0.65*Vm/RTF)*cube(Nao)*Cai*1.5)
+         /((cube(87.5) + cube(Nao))*(1.38 + Cao)*(1.0 + 0.1*exp(-0.65*Vm/RTF)))*80.0;
+J_rel = 2.0*c1*fca_ss*(Cansr - Cass)*10.0;
+J_up = 0.3*square(Cai)/(square(Cai) + square(0.0005))*0.01;
+J_diff = (Cass - Cai)/3.0;
+diff_tropi = 32.7*Cai*(0.07 - tropi) - 0.0196*tropi;
+diff_Cansr = (J_up - J_rel*0.01)*2.0;
+diff_Cass = -0.005*I_CaL + J_rel*0.05 - J_diff*0.1;
+diff_Cai = J_diff*0.01 - J_up - 0.00002*(-2.0*I_NaCa) - 0.001*diff_tropi
+           + 0.001*(0.00025 - Cai);
+diff_Nai = -0.00001*(I_Na + 3.0*I_NaK + 3.0*I_NaCa);
+Iion = I_Na + I_CaL + I_Kr + I_Ks + I_K1 + I_tos + I_tof + I_NaK + I_NaCa;
+|};
+  }
+
+let iyer =
+  {
+    name = "IyerMazhariWinslow";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "Iyer-Mazhari-Winslow 2004 human ventricular structure (25 states): \
+       Markov-chain INa (4 closed + open + 2 inactivated occupancies, \
+       markov_be), the slowest model in the suite per evaluation step.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+na_c3; na_c3_init = 0.62;
+na_c2; na_c2_init = 0.25;
+na_c1; na_c1_init = 0.04;
+na_o; na_o_init = 0.0002;
+na_if; na_if_init = 0.05;
+na_is; na_is_init = 0.03;
+d; d_init = 0.00001;
+f; f_init = 0.999;
+fca; fca_init = 0.95;
+xr; xr_init = 0.005;
+xs1; xs1_init = 0.02;
+xs2; xs2_init = 0.02;
+a_to; a_to_init = 0.001;
+i_to_f; i_to_f_init = 0.98;
+i_to_s; i_to_s_init = 0.98;
+kv43_a; kv43_a_init = 0.0001;
+kv14_a; kv14_a_init = 0.0001;
+Nai; Nai_init = 9.8;
+Ki; Ki_init = 125.6;
+Cai; Cai_init = 0.00009;
+Cass; Cass_init = 0.00012;
+Cansr; Cansr_init = 0.26;
+Cajsr; Cajsr_init = 0.25;
+HTRPN; HTRPN_init = 0.98;
+LTRPN; LTRPN_init = 0.08;
+Vm_init = -90.7;
+group{ g_Na = 56.3; g_caL = 0.15; g_kr = 0.0186; g_ks = 0.0035;
+       g_to = 0.09; g_k1 = 0.125; RTF = 26.71; Nao = 138.0; Ko = 4.0;
+       Cao = 2.0; }.param();
+a_na = 3.802/(0.1027*exp(-(Vm + 2.5)/17.0) + 0.2*exp(-(Vm + 2.5)/150.0));
+b_na = 0.1917*exp(-(Vm + 2.5)/20.3);
+g_na_r = 0.188495*exp(-(Vm + 7.0)/16.6) + 0.393956;
+d_na_r = a_na/(10.0*exp((Vm + 7.0)/7.7)*0.001 + 1.0)*0.01;
+diff_na_c3 = b_na*na_c2 - 3.0*a_na*na_c3*0.01 + 0.001*(0.62 - na_c3);
+diff_na_c2 = 3.0*a_na*na_c3*0.01 + 2.0*b_na*na_c1 - (b_na + 2.0*a_na*0.01)*na_c2;
+na_c2; .method(markov_be);
+diff_na_c1 = 2.0*a_na*na_c2*0.01 + 3.0*b_na*na_o - (2.0*b_na + a_na*0.01)*na_c1;
+na_c1; .method(markov_be);
+diff_na_o = a_na*na_c1*0.01 - 3.0*b_na*na_o - g_na_r*na_o + d_na_r*na_if;
+na_o; .method(markov_be);
+diff_na_if = g_na_r*na_o - d_na_r*na_if - 0.01*na_if + 0.002*na_is;
+na_if; .method(markov_be);
+diff_na_is = 0.01*na_if - 0.002*na_is;
+d_inf = 1.0/(1.0 + exp(-(Vm + 10.0)/6.24));
+tau_d = 1.0 + 2.0*exp(-square((Vm + 10.0)/30.0));
+diff_d = (d_inf - d)/tau_d;  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 32.0)/8.0));
+tau_f = 10.0 + 30.0*exp(-square((Vm + 28.0)/25.0));
+diff_f = (f_inf - f)/tau_f;  f; .method(rush_larsen);
+fca_inf = 1.0/(1.0 + cube(Cass/0.00035));
+diff_fca = (fca_inf - fca)/8.0;
+xr_inf = 1.0/(1.0 + exp(-(Vm + 21.0)/7.5));
+diff_xr = (xr_inf - xr)/(40.0 + 200.0*exp(-square((Vm + 30.0)/30.0)));
+xr; .method(rush_larsen);
+xs_inf = 1.0/(1.0 + exp(-(Vm - 1.5)/16.7));
+diff_xs1 = (xs_inf - xs1)/(200.0 + 600.0*exp(-square((Vm + 30.0)/60.0)));
+xs1; .method(rush_larsen);
+diff_xs2 = (xs_inf - xs2)/(800.0 + 2400.0*exp(-square((Vm + 30.0)/60.0)));
+xs2; .method(rush_larsen);
+ato_inf = 1.0/(1.0 + exp(-(Vm + 10.0)/11.0));
+diff_a_to = (ato_inf - a_to)/(1.0 + 2.0*exp(-square((Vm + 30.0)/30.0)));
+a_to; .method(rush_larsen);
+itof_inf = 1.0/(1.0 + exp((Vm + 42.0)/5.0));
+diff_i_to_f = (itof_inf - i_to_f)/(10.0 + 20.0/(1.0 + exp((Vm + 50.0)/10.0)));
+i_to_f; .method(rush_larsen);
+diff_i_to_s = (itof_inf - i_to_s)/(100.0 + 300.0/(1.0 + exp((Vm + 50.0)/10.0)));
+i_to_s; .method(rush_larsen);
+diff_kv43_a = (ato_inf - kv43_a)/(2.0 + 3.0*exp(-square((Vm + 30.0)/30.0)));
+kv43_a; .method(rush_larsen);
+diff_kv14_a = (ato_inf - kv14_a)/(8.0 + 10.0*exp(-square((Vm + 30.0)/30.0)));
+kv14_a; .method(rush_larsen);
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Ca = 0.5*RTF*log(Cao/Cai);
+I_Na = g_Na*na_o*(Vm - E_Na)*0.2;
+vff = Vm*2.0/RTF;
+I_CaL = g_caL*d*f*fca*4.0*Vm*96485.0/RTF
+        *((fabs(vff) < 1e-6) ? (Cass - 0.341*Cao)
+          : (Cass*exp(vff) - 0.341*Cao)/(exp(vff) - 1.0))*0.3;
+I_Kr = g_kr*sqrt(Ko/4.0)*xr*(Vm - E_K)/(1.0 + exp((Vm + 9.0)/22.4))*10.0;
+I_Ks = g_ks*(0.6*xs1 + 0.4*xs2)*(Vm - E_K)*10.0;
+I_to = g_to*(0.7*kv43_a*i_to_f + 0.3*kv14_a*i_to_s)*a_to*(Vm - E_K)*10.0;
+a_K1 = 0.1/(1.0 + exp(0.06*(Vm - E_K - 200.0)));
+b_K1 = (3.0*exp(0.0002*(Vm - E_K + 100.0)) + exp(0.1*(Vm - E_K - 10.0)))
+       /(1.0 + exp(-0.5*(Vm - E_K)));
+I_K1 = g_k1*(a_K1/(a_K1 + b_K1))*(Vm - E_K)*10.0;
+I_NaK = 1.0*(Ko/(Ko + 1.5))/(1.0 + square(10.0/Nai))
+        /(1.0 + 0.1245*exp(-0.1*Vm/RTF) + 0.0365*exp(-Vm/RTF));
+I_NaCa = 1000.0*(exp(0.35*Vm/RTF)*cube(Nai)*Cao - exp(-0.65*Vm/RTF)*cube(Nao)*Cai*2.0)
+         /((cube(87.5) + cube(Nao))*(1.38 + Cao)*(1.0 + 0.1*exp(-0.65*Vm/RTF)))*0.04;
+I_pCa = 0.05*Cai/(Cai + 0.0005);
+I_bCa = 0.0003842*(Vm - E_Ca);
+I_bNa = 0.000395*(Vm - E_Na);
+diff_HTRPN = 20.0*Cai*(1.0 - HTRPN) - 0.000066*HTRPN;
+diff_LTRPN = 40.0*Cai*(1.0 - LTRPN) - 0.04*LTRPN;
+J_rel = 1.8*square(Cass/(Cass + 0.00025))*(Cajsr - Cass)*0.1;
+J_up = 0.0045*square(Cai)/(square(Cai) + square(0.0005));
+J_tr = (Cansr - Cajsr)/0.5747*0.01;
+J_diff = (Cass - Cai)*4.0;
+diff_Cajsr = J_tr - J_rel*0.2;
+diff_Cansr = J_up*8.0 - J_tr*0.1;
+diff_Cass = -0.005*I_CaL + J_rel*0.05 - J_diff*0.01;
+diff_Cai = J_diff*0.0002 - J_up - 0.00002*(I_pCa + I_bCa - 2.0*I_NaCa)
+           - 0.0004*(diff_HTRPN + diff_LTRPN) + 0.001*(0.00009 - Cai);
+diff_Nai = -0.00001*(I_Na + I_bNa + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_to + I_Kr + I_Ks + I_K1 - 2.0*I_NaK);
+Iion = I_Na + I_CaL + I_Kr + I_Ks + I_to + I_K1 + I_NaK + I_NaCa
+       + I_pCa + I_bCa + I_bNa;
+|};
+  }
+
+let hund_rudy =
+  {
+    name = "HundRudy";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "Hund-Rudy 2004 canine ventricular structure (22 states): CaMK \
+       regulation, chloride currents and cleft-space potassium.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.0011;
+h; h_init = 0.9898;
+j; j_init = 0.9934;
+mL; mL_init = 0.0011;
+hL; hL_init = 0.34;
+d; d_init = 0.0000016;
+f; f_init = 0.9943;
+fca; fca_init = 0.98;
+fca2; fca2_init = 0.92;
+xr; xr_init = 0.000008;
+xs1; xs1_init = 0.0048;
+xs2; xs2_init = 0.0048;
+a_to; a_to_init = 0.000004;
+i_to; i_to_init = 0.9996;
+i_to2; i_to2_init = 0.9996;
+AA_g; AA_g_init = 0.0;
+CaMKtrap; CaMKtrap_init = 0.001;
+Nai; Nai_init = 9.7;
+Ki; Ki_init = 142.8;
+Cai; Cai_init = 0.0000965;
+Cansr; Cansr_init = 1.98;
+Vm_init = -87.2;
+group{ g_Na = 8.25; g_NaL = 0.0065; g_caL = 0.00015; g_kr = 0.0138;
+       g_ks = 0.0248; g_k1 = 0.5; g_to = 0.19; g_clb = 0.000225;
+       RTF = 26.71; Nao = 140.0; Ko = 5.4; Cao = 1.8; CaMK0 = 0.05; }.param();
+CaMKbound = CaMK0*(1.0 - CaMKtrap)/(1.0 + 0.0015/Cai);
+CaMKactive = CaMKbound + CaMKtrap;
+diff_CaMKtrap = 0.05*CaMKactive*CaMKbound - 0.00068*CaMKtrap;
+a_m = (fabs(Vm + 47.13) < 1e-6) ? 3.2
+      : 0.32*(Vm + 47.13)/(1.0 - exp(-0.1*(Vm + 47.13)));
+b_m = 0.08*exp(-Vm/11.0);
+diff_m = a_m*(1.0 - m) - b_m*m;  m; .method(rush_larsen);
+a_h = (Vm >= -40.0) ? 0.0 : 0.135*exp(-(80.0 + Vm)/6.8);
+b_h = (Vm >= -40.0) ? 1.0/(0.13*(1.0 + exp(-(Vm + 10.66)/11.1)))
+      : 3.56*exp(0.079*Vm) + 310000.0*exp(0.35*Vm);
+diff_h = a_h*(1.0 - h) - b_h*h;  h; .method(rush_larsen);
+a_j = (Vm >= -40.0) ? 0.0
+      : (-127140.0*exp(0.2444*Vm) - 0.00003474*exp(-0.04391*Vm))
+        *(Vm + 37.78)/(1.0 + exp(0.311*(Vm + 79.23)));
+b_j = (Vm >= -40.0)
+      ? 0.3*exp(-0.0000002535*Vm)/(1.0 + exp(-0.1*(Vm + 32.0)))
+      : 0.1212*exp(-0.01052*Vm)/(1.0 + exp(-0.1378*(Vm + 40.14)));
+diff_j = a_j*(1.0 - j) - b_j*j;  j; .method(rush_larsen);
+diff_mL = a_m*(1.0 - mL) - b_m*mL;  mL; .method(rush_larsen);
+hL_inf = 1.0/(1.0 + exp((Vm + 91.0)/6.1));
+diff_hL = (hL_inf - hL)/600.0;  hL; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp(-(Vm + 10.0)/6.24));
+tau_d = 1.0 + 2.0*exp(-square((Vm + 10.0)/30.0));
+diff_d = (d_inf - d)/tau_d;  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 32.0)/8.0)) + 0.6/(1.0 + exp((50.0 - Vm)/20.0));
+tau_f = 10.0 + 30.0*exp(-square((Vm + 28.0)/25.0));
+diff_f = (f_inf - f)/tau_f;  f; .method(rush_larsen);
+fca_inf = 0.3/(1.0 - I_CaL_prev/0.05) + 0.55/(1.0 + Cai/0.003) + 0.15;
+I_CaL_prev = g_caL*d*f*(Vm - 35.0)*100.0;
+diff_fca = (fca_inf - fca)/(10.0*CaMKactive/(0.15 + CaMKactive) + 0.5 + 1.0/(1.0 + Cai/0.003));
+diff_fca2 = ((1.0/(1.0 - I_CaL_prev/0.01)) - fca2)/(300.0/(1.0 + exp((-I_CaL_prev - 0.175)/0.04)) + 125.0);
+xr_inf = 1.0/(1.0 + exp(-(Vm + 10.085)/4.25));
+tau_xr = 1.0/(0.0006*((fabs(Vm - 1.7384) < 1e-6) ? 0.136
+         : (Vm - 1.7384)/(1.0 - exp(-0.136*(Vm - 1.7384))))
+         + 0.0003*((fabs(Vm + 38.3608) < 1e-6) ? 0.1522
+         : (Vm + 38.3608)/(exp(0.1522*(Vm + 38.3608)) - 1.0)));
+diff_xr = (xr_inf - xr)/max(fabs(tau_xr), 1.0);  xr; .method(rush_larsen);
+xs_inf = 1.0/(1.0 + exp(-(Vm - 10.5)/24.7));
+tau_xs1 = 1.0/(0.0000761*((fabs(Vm + 44.6) < 1e-6) ? 9.97
+          : (Vm + 44.6)/(1.0 - exp(-9.97*(Vm + 44.6)*0.01)))
+          + 0.00036*((fabs(Vm - 0.55) < 1e-6) ? 0.128
+          : (Vm - 0.55)/(exp(0.128*(Vm - 0.55)) - 1.0)));
+diff_xs1 = (xs_inf - xs1)/max(fabs(tau_xs1), 1.0);  xs1; .method(rush_larsen);
+diff_xs2 = (xs_inf - xs2)/max(fabs(2.0*tau_xs1), 2.0);  xs2; .method(rush_larsen);
+ato_inf = 1.0/(1.0 + exp(-(Vm - 8.9)/10.3));
+diff_a_to = (ato_inf - a_to)/(1.0 + 1.5*exp(-square((Vm + 20.0)/30.0)));
+a_to; .method(rush_larsen);
+ito_inf = 1.0/(1.0 + exp((Vm + 30.0)/5.0));
+diff_i_to = (ito_inf - i_to)/(10.0 + 25.0/(1.0 + exp((Vm + 33.5)/10.0)));
+i_to; .method(rush_larsen);
+diff_i_to2 = (ito_inf - i_to2)/(40.0 + 100.0/(1.0 + exp((Vm + 33.5)/10.0)));
+i_to2; .method(rush_larsen);
+diff_AA_g = 0.0156*(Cai/(Cai + 0.0001))*(1.0 - AA_g) - 0.0078*AA_g;
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Cl = -40.0;
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na);
+I_NaL = g_NaL*cube(mL)*hL*(Vm - E_Na);
+I_CaL = g_caL*d*f*fca*fca2*(Vm - 35.0)*100.0;
+I_Kr = g_kr*sqrt(Ko/5.4)*xr*(Vm - E_K)/(1.0 + exp((Vm + 10.0)/15.4))*10.0;
+I_Ks = g_ks*(1.0 + 0.6/(1.0 + pow(0.000038/Cai, 1.4)))*xs1*xs2*(Vm - E_K)*10.0;
+a_K1 = 1.02/(1.0 + exp(0.2385*(Vm - E_K - 59.215)));
+b_K1 = (0.49124*exp(0.08032*(Vm - E_K + 5.476)) + exp(0.06175*(Vm - E_K - 594.31)))
+       /(1.0 + exp(-0.5143*(Vm - E_K + 4.753)));
+I_K1 = g_k1*sqrt(Ko/5.4)*(a_K1/(a_K1 + b_K1))*(Vm - E_K);
+I_to = g_to*cube(a_to)*i_to*i_to2*(Vm - E_K);
+I_to2 = 0.01*AA_g*(Vm - E_Cl);
+I_Clb = g_clb*(Vm - E_Cl)*10.0;
+I_NaK = 0.61875*(Ko/(Ko + 1.5))/(1.0 + square(10.0/Nai))
+        /(1.0 + 0.1245*exp(-0.1*Vm/RTF) + 0.0365*exp(-Vm/RTF))*2.0;
+I_NaCa = 1000.0*(exp(0.35*Vm/RTF)*cube(Nai)*Cao - exp(-0.65*Vm/RTF)*cube(Nao)*Cai*2.0)
+         /((cube(87.5) + cube(Nao))*(1.38 + Cao)*(1.0 + 0.1*exp(-0.65*Vm/RTF)))*0.05;
+I_pCa = 0.0575*Cai/(Cai + 0.0005);
+I_bCa = 0.001*(Vm - 0.5*RTF*log(Cao/Cai))*2.0;
+J_up = (0.004375 + 0.75*0.004375*CaMKactive/(0.15 + CaMKactive))*Cai/(Cai + 0.00092);
+J_rel = 1.0*square(Cai/(Cai + 0.0003))*(Cansr - Cai)*d*0.5;
+diff_Cansr = (J_up - J_rel*0.05)*3.0;
+diff_Cai = -0.00008*(I_CaL + I_pCa + I_bCa - 2.0*I_NaCa)
+           + (J_rel*0.05 - J_up)*0.3 + 0.002*(0.0000965 - Cai);
+diff_Nai = -0.00001*(I_Na + I_NaL + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_to + I_Kr + I_Ks + I_K1 - 2.0*I_NaK);
+Iion = I_Na + I_NaL + I_CaL + I_Kr + I_Ks + I_K1 + I_to + I_to2 + I_Clb
+       + I_NaK + I_NaCa + I_pCa + I_bCa;
+|};
+  }
+
+let stewart =
+  {
+    name = "StewartPurkinje";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "Stewart 2009 Purkinje structure (20 states): ten Tusscher-derived \
+       with funny current and sustained inward current.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+y_f; y_f_init = 0.0457;
+m; m_init = 0.0145;
+h; h_init = 0.26;
+j; j_init = 0.27;
+d; d_init = 0.000101;
+f; f_init = 0.92;
+f2; f2_init = 0.999;
+fCass; fCass_init = 0.9995;
+r; r_init = 0.00006;
+s; s_init = 0.9755;
+xr1; xr1_init = 0.00414;
+xr2; xr2_init = 0.446;
+xs; xs_init = 0.00395;
+Rq; Rq_init = 0.991;
+Nai; Nai_init = 8.23;
+Ki; Ki_init = 136.78;
+Cai; Cai_init = 0.000102;
+Cass; Cass_init = 0.000446;
+Casr; Casr_init = 3.11;
+Vm_init = -69.13;
+group{ g_f_K = 0.0234; g_f_Na = 0.0146; g_Na = 130.58; g_caL = 0.0000398;
+       g_to = 0.08184; g_sus = 0.0227; g_kr = 0.0918; g_ks = 0.2352;
+       g_k1 = 0.065; RTF = 26.71; Nao = 140.0; Ko = 5.4; Cao = 2.0; }.param();
+y_inf = 1.0/(1.0 + exp((Vm + 80.6)/6.8));
+a_y = exp(-2.9 - 0.04*Vm);
+b_y = exp(3.6 + 0.11*Vm);
+diff_y_f = (y_inf - y_f)*(a_y + b_y)*0.001*4000.0*0.001;
+y_f; .method(rush_larsen);
+m_inf = 1.0/square(1.0 + exp((-56.86 - Vm)/9.03));
+tau_m = (1.0/(1.0 + exp((-60.0 - Vm)/5.0)))
+        *(0.1/(1.0 + exp((Vm + 35.0)/5.0)) + 0.1/(1.0 + exp((Vm - 50.0)/200.0)));
+diff_m = (m_inf - m)/tau_m;  m; .method(rush_larsen);
+h_inf = 1.0/square(1.0 + exp((Vm + 71.55)/7.43));
+a_h = (Vm >= -40.0) ? 0.0 : 0.057*exp(-(Vm + 80.0)/6.8);
+b_h = (Vm >= -40.0) ? 0.77/(0.13*(1.0 + exp(-(Vm + 10.66)/11.1)))
+      : 2.7*exp(0.079*Vm) + 310000.0*exp(0.3485*Vm);
+diff_h = (h_inf - h)*(a_h + b_h);  h; .method(rush_larsen);
+a_j = (Vm >= -40.0) ? 0.0
+      : (-25428.0*exp(0.2444*Vm) - 0.000006948*exp(-0.04391*Vm))
+        *(Vm + 37.78)/(1.0 + exp(0.311*(Vm + 79.23)));
+b_j = (Vm >= -40.0)
+      ? 0.6*exp(0.057*Vm)/(1.0 + exp(-0.1*(Vm + 32.0)))
+      : 0.02424*exp(-0.01052*Vm)/(1.0 + exp(-0.1378*(Vm + 40.14)));
+diff_j = (h_inf - j)*(a_j + b_j);  j; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp((-8.0 - Vm)/7.5));
+tau_d = (1.4/(1.0 + exp((-35.0 - Vm)/13.0)) + 0.25)
+        *(1.4/(1.0 + exp((Vm + 5.0)/5.0))) + 1.0/(1.0 + exp((50.0 - Vm)/20.0));
+diff_d = (d_inf - d)/tau_d;  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 20.0)/7.0));
+tau_f = 1102.5*exp(-square(Vm + 27.0)/225.0) + 200.0/(1.0 + exp((13.0 - Vm)/10.0))
+        + 180.0/(1.0 + exp((Vm + 30.0)/10.0)) + 20.0;
+diff_f = (f_inf - f)/tau_f;  f; .method(rush_larsen);
+f2_inf = 0.67/(1.0 + exp((Vm + 35.0)/7.0)) + 0.33;
+tau_f2 = 562.0*exp(-square(Vm + 27.0)/240.0) + 31.0/(1.0 + exp((25.0 - Vm)/10.0))
+         + 80.0/(1.0 + exp((Vm + 30.0)/10.0));
+diff_f2 = (f2_inf - f2)/tau_f2;  f2; .method(rush_larsen);
+fCass_inf = 0.6/(1.0 + square(Cass/0.05)) + 0.4;
+diff_fCass = (fCass_inf - fCass)/(80.0/(1.0 + square(Cass/0.05)) + 2.0);
+r_inf = 1.0/(1.0 + exp((20.0 - Vm)/13.0));
+diff_r = (r_inf - r)/(10.45*exp(-square(Vm + 40.0)/1800.0) + 7.3);
+r; .method(rush_larsen);
+s_inf = 1.0/(1.0 + exp((Vm + 27.0)/13.0));
+diff_s = (s_inf - s)/(85.0*exp(-square(Vm + 25.0)/320.0)
+         + 5.0/(1.0 + exp((Vm - 40.0)/5.0)) + 42.0);
+s; .method(rush_larsen);
+xr1_inf = 1.0/(1.0 + exp((-26.0 - Vm)/7.0));
+diff_xr1 = (xr1_inf - xr1)/((450.0/(1.0 + exp((-45.0 - Vm)/10.0)))
+           *(6.0/(1.0 + exp((Vm + 30.0)/11.5))));
+xr1; .method(rush_larsen);
+xr2_inf = 1.0/(1.0 + exp((Vm + 88.0)/24.0));
+diff_xr2 = (xr2_inf - xr2)/((3.0/(1.0 + exp((-60.0 - Vm)/20.0)))
+           *(1.12/(1.0 + exp((Vm - 60.0)/20.0))));
+xr2; .method(rush_larsen);
+xs_inf = 1.0/(1.0 + exp((-5.0 - Vm)/14.0));
+diff_xs = (xs_inf - xs)/((1400.0/sqrt(1.0 + exp((5.0 - Vm)/6.0)))
+          *(1.0/(1.0 + exp((Vm - 35.0)/15.0))) + 80.0);
+xs; .method(rush_larsen);
+kcasr = 2.5 - 1.5/(1.0 + square(1.5/Casr));
+diff_Rq = -0.045*kcasr*Cass*Rq + 0.005*(1.0 - Rq);
+Rq; .method(markov_be);
+O_ryr = (0.15/kcasr)*square(Cass)*Rq/(0.06 + (0.15/kcasr)*square(Cass));
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Ks = RTF*log((Ko + 0.03*Nao)/(Ki + 0.03*Nai));
+I_fK = g_f_K*y_f*(Vm - E_K)*10.0;
+I_fNa = g_f_Na*y_f*(Vm - E_Na)*10.0;
+I_sus = g_sus*(Vm + 30.0)/(1.0 + exp(-(Vm - 5.0)/17.0))*0.1;
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na)*0.1;
+vff = Vm*2.0/RTF;
+I_CaL = g_caL*d*f*f2*fCass*4.0*Vm*96485.0/RTF
+        *((fabs(vff) < 1e-6) ? (0.25*Cass - 0.341*Cao)
+          : (0.25*Cass*exp(vff) - 0.341*Cao)/(exp(vff) - 1.0))*10.0;
+I_to = g_to*r*s*(Vm - E_K)*3.0;
+I_Kr = g_kr*sqrt(Ko/5.4)*xr1*xr2*(Vm - E_K);
+I_Ks = g_ks*square(xs)*(Vm - E_Ks);
+xk1_inf = 1.0/(1.0 + exp(0.1*(Vm + 75.44)));
+I_K1 = g_k1*xk1_inf*(Vm - 8.0 - E_K)*3.0;
+I_NaK = 2.724*(Ko/(Ko + 1.0))*(Nai/(Nai + 40.0))
+        /(1.0 + 0.1245*exp(-0.1*Vm/RTF) + 0.0353*exp(-Vm/RTF));
+I_NaCa = 1000.0*(exp(0.35*Vm/RTF)*cube(Nai)*Cao - exp(-0.65*Vm/RTF)*cube(Nao)*Cai*2.5)
+         /((cube(87.5) + cube(Nao))*(1.38 + Cao)*(1.0 + 0.1*exp(-0.65*Vm/RTF)))*0.1;
+I_pCa = 0.1238*Cai/(Cai + 0.0005);
+I_pK = 0.0146*(Vm - E_K)/(1.0 + exp((25.0 - Vm)/5.98));
+I_bNa = 0.00029*(Vm - E_Na);
+I_bCa = 0.000592*(Vm - 0.5*RTF*log(Cao/Cai));
+J_rel = 0.102*O_ryr*(Casr - Cass);
+J_up = 0.006375/(1.0 + square(0.00025/Cai));
+J_xfer = 0.0038*(Cass - Cai);
+J_leak = 0.00036*(Casr - Cai);
+diff_Casr = 10.0*(J_up - J_rel*0.1 - J_leak);
+diff_Cass = -0.01*I_CaL + J_rel*0.05 - J_xfer*10.0;
+diff_Cai = -0.00005*(I_bCa + I_pCa - 2.0*I_NaCa) + J_xfer + J_leak - J_up
+           + 0.002*(0.000102 - Cai);
+diff_Nai = -0.00001*(I_Na + I_fNa + I_bNa + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_to + I_fK + I_Kr + I_Ks + I_K1 + I_pK + I_sus - 2.0*I_NaK);
+Iion = I_fK + I_fNa + I_Na + I_CaL + I_to + I_sus + I_Kr + I_Ks + I_K1
+       + I_NaK + I_NaCa + I_pCa + I_pK + I_bNa + I_bCa;
+|};
+  }
+
+let aslanidi =
+  {
+    name = "AslanidiSleiman";
+    cls = Large;
+    fidelity = Structural;
+    description =
+      "Aslanidi-Sleiman 2010 Purkinje structure (21 states): dense LUT \
+       usage (every gate tabulated), T-type calcium and funny current on \
+       top of a ventricular base.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+y_f; y_f_init = 0.05;
+m; m_init = 0.0016;
+h; h_init = 0.9;
+j; j_init = 0.9;
+dL; dL_init = 0.00003;
+fL; fL_init = 0.9999;
+fCa; fCa_init = 0.98;
+dT; dT_init = 0.0002;
+fT; fT_init = 0.85;
+r; r_init = 0.0000329;
+s; s_init = 0.9987;
+xr1; xr1_init = 0.0001;
+xr2; xr2_init = 0.48;
+xs; xs_init = 0.0026;
+q_rel; q_rel_init = 0.97;
+Nai; Nai_init = 7.5;
+Ki; Ki_init = 139.0;
+Cai; Cai_init = 0.00008;
+Cass; Cass_init = 0.0002;
+Casr; Casr_init = 2.7;
+Vm_init = -80.0;
+group{ g_f = 0.03; g_Na = 60.0; g_caL = 0.065; g_caT = 0.02; g_to = 0.2;
+       g_kr = 0.07; g_ks = 0.08; g_k1 = 2.0; RTF = 26.71; Nao = 140.0;
+       Ko = 5.4; Cao = 2.0; }.param();
+y_inf = 1.0/(1.0 + exp((Vm + 85.0)/9.0));
+diff_y_f = (y_inf - y_f)/(500.0/(exp(-(Vm + 90.0)/20.0) + exp((Vm + 90.0)/18.0)) + 50.0);
+y_f; .method(rush_larsen);
+m_inf = 1.0/square(1.0 + exp((-45.0 - Vm)/6.5));
+tau_m = 0.6/(1.0 + exp(-0.11*(Vm + 40.0))) + 0.05;
+diff_m = (m_inf - m)/tau_m;  m; .method(rush_larsen);
+h_inf = 1.0/square(1.0 + exp((Vm + 76.0)/6.07));
+tau_h = 0.5 + 8.0/(1.0 + exp((Vm + 60.0)/8.0));
+diff_h = (h_inf - h)/tau_h;  h; .method(rush_larsen);
+tau_j = 2.0 + 95.0/(1.0 + exp((Vm + 60.0)/8.0));
+diff_j = (h_inf - j)/tau_j;  j; .method(rush_larsen);
+dL_inf = 1.0/(1.0 + exp(-(Vm + 11.1)/7.2));
+tau_dL = 0.25 + 1.4/((1.0 + exp((-35.0 - Vm)/13.0))*(1.0 + exp((Vm + 5.0)/5.0)));
+diff_dL = (dL_inf - dL)/tau_dL;  dL; .method(rush_larsen);
+fL_inf = 1.0/(1.0 + exp((Vm + 23.3)/5.4));
+tau_fL = 1125.0*exp(-square(Vm + 27.0)/240.0) + 80.0 + 165.0/(1.0 + exp((25.0 - Vm)/10.0));
+diff_fL = (fL_inf - fL)/tau_fL;  fL; .method(rush_larsen);
+fCa_inf = 1.0/(1.0 + square(Cass/0.000325));
+diff_fCa = (fCa_inf - fCa)/2.0;
+dT_inf = 1.0/(1.0 + exp(-(Vm + 37.0)/6.8));
+diff_dT = (dT_inf - dT)/(0.6 + 5.4/(1.0 + exp(0.03*(Vm + 100.0))));
+dT; .method(rush_larsen);
+fT_inf = 1.0/(1.0 + exp((Vm + 71.0)/9.0));
+diff_fT = (fT_inf - fT)/(1.0 + 40.0/(1.0 + exp(0.08*(Vm + 65.0))));
+fT; .method(rush_larsen);
+r_inf = 1.0/(1.0 + exp((20.0 - Vm)/6.0));
+diff_r = (r_inf - r)/(9.5*exp(-square(Vm + 40.0)/1800.0) + 0.8);
+r; .method(rush_larsen);
+s_inf = 1.0/(1.0 + exp((Vm + 20.0)/5.0));
+diff_s = (s_inf - s)/(85.0*exp(-square(Vm + 45.0)/320.0)
+         + 5.0/(1.0 + exp((Vm - 20.0)/5.0)) + 3.0);
+s; .method(rush_larsen);
+xr1_inf = 1.0/(1.0 + exp((-26.0 - Vm)/7.0));
+diff_xr1 = (xr1_inf - xr1)/((450.0/(1.0 + exp((-45.0 - Vm)/10.0)))
+           *(6.0/(1.0 + exp((Vm + 30.0)/11.5))));
+xr1; .method(rush_larsen);
+xr2_inf = 1.0/(1.0 + exp((Vm + 88.0)/24.0));
+diff_xr2 = (xr2_inf - xr2)/((3.0/(1.0 + exp((-60.0 - Vm)/20.0)))
+           *(1.12/(1.0 + exp((Vm - 60.0)/20.0))));
+xr2; .method(rush_larsen);
+xs_inf = 1.0/(1.0 + exp((-5.0 - Vm)/14.0));
+diff_xs = (xs_inf - xs)/((1100.0/sqrt(1.0 + exp((-10.0 - Vm)/6.0)))
+          *(1.0/(1.0 + exp((Vm - 60.0)/20.0))));
+xs; .method(rush_larsen);
+q_inf = (Cai < 0.00035) ? 1.0/(1.0 + pow(Cai/0.00035, 6.0))
+        : 1.0/(1.0 + pow(Cai/0.00035, 16.0));
+diff_q_rel = (q_inf - q_rel)/2.0;
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Ca = 0.5*RTF*log(Cao/Cai);
+E_Ks = RTF*log((Ko + 0.03*Nao)/(Ki + 0.03*Nai));
+I_f = g_f*y_f*(0.35*(Vm - E_Na) + 0.65*(Vm - E_K));
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na)*0.2;
+I_CaL = g_caL*dL*fL*fCa*(Vm - 60.0);
+I_CaT = g_caT*dT*fT*(Vm - 38.0);
+I_to = g_to*r*s*(Vm - E_K);
+I_Kr = g_kr*sqrt(Ko/5.4)*xr1*xr2*(Vm - E_K);
+I_Ks = g_ks*square(xs)*(Vm - E_Ks);
+a_K1 = 0.1/(1.0 + exp(0.06*(Vm - E_K - 200.0)));
+b_K1 = (3.0*exp(0.0002*(Vm - E_K + 100.0)) + exp(0.1*(Vm - E_K - 10.0)))
+       /(1.0 + exp(-0.5*(Vm - E_K)));
+I_K1 = g_k1*(a_K1/(a_K1 + b_K1))*(Vm - E_K);
+I_NaK = 1.4*(Ko/(Ko + 1.0))*(Nai/(Nai + 40.0))
+        /(1.0 + 0.1245*exp(-0.1*Vm/RTF) + 0.0353*exp(-Vm/RTF));
+I_NaCa = 1000.0*(exp(0.35*Vm/RTF)*cube(Nai)*Cao - exp(-0.65*Vm/RTF)*cube(Nao)*Cai*2.5)
+         /((cube(87.5) + cube(Nao))*(1.38 + Cao)*(1.0 + 0.1*exp(-0.65*Vm/RTF)))*0.08;
+I_pCa = 0.1*Cai/(Cai + 0.0005);
+I_pK = 0.0146*(Vm - E_K)/(1.0 + exp((25.0 - Vm)/5.98));
+I_bNa = 0.0003*(Vm - E_Na);
+I_bCa = 0.0006*(Vm - E_Ca);
+J_rel = (0.0165*square(Casr)/(square(0.25) + square(Casr)) + 0.0082)*dL*q_rel*0.1;
+J_up = 0.000425/(1.0 + square(0.00025/Cai));
+J_xfer = 0.003*(Cass - Cai);
+J_leak = 0.00008*(Casr - Cai);
+diff_Casr = 20.0*(J_up - J_rel - J_leak);
+diff_Cass = -0.01*(I_CaL + I_CaT) + J_rel*10.0 - J_xfer*10.0;
+diff_Cai = -0.00005*(I_bCa + I_pCa - 2.0*I_NaCa) + J_xfer + J_leak - J_up
+           + 0.002*(0.00008 - Cai);
+diff_Nai = -0.00001*(I_Na + I_f*0.35 + I_bNa + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_to + I_Kr + I_Ks + I_K1 + I_pK - 2.0*I_NaK);
+Iion = I_f + I_Na + I_CaL + I_CaT + I_to + I_Kr + I_Ks + I_K1 + I_NaK
+       + I_NaCa + I_pCa + I_pK + I_bNa + I_bCa;
+|};
+  }
+
+let entries : entry list = [ mahajan; iyer; hund_rudy; stewart; aslanidi ]

@@ -1,0 +1,402 @@
+(** Medium-class models, continued (structural reproductions). *)
+
+open Model_def
+
+let nygren =
+  {
+    name = "Nygren";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "Nygren 1998 human atrial structure: full current inventory with \
+       sustained outward current and intracellular cleft spaces (20 \
+       states); concentrations integrated with rk2.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.0032;
+h1; h1_init = 0.9;
+h2; h2_init = 0.9;
+dL; dL_init = 0.00001;
+fL1; fL1_init = 0.9986;
+fL2; fL2_init = 0.9986;
+rt; rt_init = 0.001;
+st; st_init = 0.949;
+ssus; ssus_init = 0.995;
+rsus; rsus_init = 0.0003;
+n; n_init = 0.005;
+pa; pa_init = 0.0001;
+Nai; Nai_init = 8.55;
+Ki; Ki_init = 129.4;
+Cai; Cai_init = 0.0000672;
+Cad; Cad_init = 0.000072;
+Caup; Caup_init = 0.664;
+Carel; Carel_init = 0.646;
+O_TC; O_TC_init = 0.0127;
+O_TMgC; O_TMgC_init = 0.19;
+Vm_init = -74.25;
+group{ PNa = 0.0016; g_caL = 0.135; g_t = 0.15; g_sus = 0.055; g_ks = 0.02;
+       g_kr = 0.01; g_k1 = 0.06; RTF = 26.71; Nao = 130.0; Ko = 5.4;
+       Cao = 1.8; }.param();
+m_inf = 1.0/(1.0 + exp(-(Vm + 27.12)/8.21));
+tau_m = 0.042*exp(-square((Vm + 25.57)/28.8)) + 0.024;
+diff_m = (m_inf - m)/tau_m;  m; .method(rush_larsen);
+h_inf = 1.0/(1.0 + exp((Vm + 63.6)/5.3));
+diff_h1 = (h_inf - h1)/(0.03/(1.0 + exp((Vm + 35.1)/3.2)) + 0.0003);
+h1; .method(rush_larsen);
+diff_h2 = (h_inf - h2)/(0.12/(1.0 + exp((Vm + 35.1)/3.2)) + 0.003);
+h2; .method(rush_larsen);
+dL_inf = 1.0/(1.0 + exp(-(Vm + 9.0)/5.8));
+diff_dL = (dL_inf - dL)/(0.0027*exp(-square((Vm + 35.0)/30.0)) + 0.002);
+dL; .method(rush_larsen);
+fL_inf = 1.0/(1.0 + exp((Vm + 27.4)/7.1));
+diff_fL1 = (fL_inf - fL1)/(0.161*exp(-square((Vm + 40.0)/14.4)) + 0.01);
+fL1; .method(rush_larsen);
+diff_fL2 = (fL_inf - fL2)/(1.3323*exp(-square((Vm + 40.0)/14.2)) + 0.0626);
+fL2; .method(rush_larsen);
+rt_inf = 1.0/(1.0 + exp(-(Vm - 1.0)/11.0));
+diff_rt = (rt_inf - rt)/(0.0035*exp(-square(Vm/30.0)) + 0.0015);
+rt; .method(rush_larsen);
+st_inf = 1.0/(1.0 + exp((Vm + 40.5)/11.5));
+diff_st = (st_inf - st)/(0.4812*exp(-square((Vm + 52.45)/14.97)) + 0.01414);
+st; .method(rush_larsen);
+rsus_inf = 1.0/(1.0 + exp(-(Vm + 4.3)/8.0));
+diff_rsus = (rsus_inf - rsus)/(0.009/(1.0 + exp((Vm + 5.0)/12.0)) + 0.0005);
+rsus; .method(rush_larsen);
+ssus_inf = 0.4/(1.0 + exp((Vm + 20.0)/10.0)) + 0.6;
+diff_ssus = (ssus_inf - ssus)/(0.047/(1.0 + exp((Vm + 60.0)/10.0)) + 0.3);
+ssus; .method(rush_larsen);
+n_inf = 1.0/(1.0 + exp(-(Vm - 19.9)/12.7));
+diff_n = (n_inf - n)/(0.7 + 0.4*exp(-square((Vm - 20.0)/20.0)));
+n; .method(rush_larsen);
+pa_inf = 1.0/(1.0 + exp(-(Vm + 15.0)/6.0));
+diff_pa = (pa_inf - pa)/(0.03118 + 0.21718*exp(-square((Vm + 20.1376)/22.1996)));
+pa; .method(rush_larsen);
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+fVm = Vm/RTF;
+I_Na = PNa*cube(m)*(0.9*h1 + 0.1*h2)*Nao*37.45*(Vm - E_Na)*0.01;
+I_CaL = g_caL*dL*(0.7*fL1 + 0.3*fL2)*(Vm - 60.0);
+I_t = g_t*rt*st*(Vm - E_K);
+I_sus = g_sus*rsus*ssus*(Vm - E_K);
+I_Ks = g_ks*n*(Vm - E_K);
+I_Kr = g_kr*pa*(Vm - E_K)/(1.0 + exp((Vm + 55.0)/24.0));
+I_K1 = g_k1*pow(Ko, 0.4457)*(Vm - E_K)/(1.0 + exp(1.5*(Vm - E_K + 3.6)/RTF));
+I_NaK = 0.7*(Ko/(Ko + 1.0))*(pow(Nai,1.5)/(pow(Nai,1.5) + 36.48))
+        *(Vm + 150.0)/(Vm + 200.0);
+I_NaCa = 0.03*(cube(Nai)*Cao*exp(0.45*fVm) - cube(Nao)*Cai*exp(-0.55*fVm))
+         /(1.0 + 0.0003*(Cai*cube(Nao) + Cao*cube(Nai)));
+I_CaP = 0.08*Cai/(Cai + 0.0002);
+diff_O_TC = 78400.0*Cai*(1.0 - O_TC) - 392.0*O_TC;
+O_TC; .method(rush_larsen);
+diff_O_TMgC = 200000.0*Cai*(1.0 - O_TMgC) - 6.6*O_TMgC;
+O_TMgC; .method(rush_larsen);
+J_up = 0.9*(Cai/0.0003 - square(Caup)*0.00001)/(Cai/0.0003 + 1.0)*0.001;
+J_rel = 0.4*square(Cai/(Cai + 0.0003))*(Carel - Cai)*0.001;
+diff_Caup = 0.01*(J_up - (Caup - Carel)*0.001);
+diff_Carel = 0.01*((Caup - Carel)*0.001 - J_rel);
+diff_Cad = -0.003*I_CaL*0.001 + (Cai - Cad)*0.1;
+diff_Cai = -0.00003*(I_CaL + I_CaP - 2.0*I_NaCa) - J_up + J_rel
+           - 0.0000455*diff_O_TC - 0.000071*diff_O_TMgC + 0.0000001;
+Cai; .method(rk2);
+diff_Nai = -0.00001*(I_Na + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_t + I_sus + I_K1 + I_Ks + I_Kr - 2.0*I_NaK);
+Iion = I_Na + I_CaL + I_t + I_sus + I_Ks + I_Kr + I_K1 + I_NaK + I_NaCa + I_CaP;
+|};
+  }
+
+let lindblad =
+  {
+    name = "LindbladAtrial";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "Lindblad 1996 rabbit atrial structure: dual inactivation INa, \
+       T/L-type calcium, delayed rectifiers (15 states).";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.002;
+h1; h1_init = 0.9;
+h2; h2_init = 0.9;
+dL; dL_init = 0.00005;
+fL; fL_init = 0.995;
+dT; dT_init = 0.001;
+fT; fT_init = 0.96;
+r; r_init = 0.001;
+s1; s1_init = 0.95;
+s2; s2_init = 0.95;
+z; z_init = 0.014;
+pa; pa_init = 0.0001;
+Nai; Nai_init = 8.4;
+Ki; Ki_init = 140.0;
+Cai; Cai_init = 0.00007;
+Vm_init = -78.0;
+group{ g_Na = 1.8; g_caL = 0.3; g_caT = 0.12; g_to = 0.2; g_kr = 0.07;
+       g_ks = 0.035; g_k1 = 0.12; RTF = 26.71; Nao = 140.0; Ko = 5.0;
+       Cao = 2.5; }.param();
+a_m = (fabs(Vm + 44.4) < 1e-6) ? 2.04 : -460.0*(Vm + 44.4)/(exp(-(Vm + 44.4)/12.673) - 1.0)*0.001;
+b_m = 18.4*exp(-(Vm + 44.4)/12.673)*0.001;
+diff_m = a_m*(1.0 - m) - b_m*m;  m; .method(rush_larsen);
+h_inf = 1.0/(1.0 + exp((Vm + 66.0)/6.4));
+diff_h1 = (h_inf - h1)/(0.03/(1.0 + exp((Vm + 40.0)/6.0)) + 0.0002);
+h1; .method(rush_larsen);
+diff_h2 = (h_inf - h2)/(0.25/(1.0 + exp((Vm + 40.0)/6.0)) + 0.002);
+h2; .method(rush_larsen);
+dL_inf = 1.0/(1.0 + exp(-(Vm + 6.6)/6.6));
+diff_dL = (dL_inf - dL)/(0.0027*exp(-square((Vm + 35.0)/30.0)) + 0.002);
+dL; .method(rush_larsen);
+fL_inf = 1.0/(1.0 + exp((Vm + 25.0)/6.0));
+diff_fL = (fL_inf - fL)/(0.161*exp(-square((Vm + 40.0)/14.4)) + 0.01);
+fL; .method(rush_larsen);
+dT_inf = 1.0/(1.0 + exp(-(Vm + 23.0)/6.1));
+diff_dT = (dT_inf - dT)/(0.0006 + 0.0054/(1.0 + exp(0.03*(Vm + 100.0))));
+dT; .method(rush_larsen);
+fT_inf = 1.0/(1.0 + exp((Vm + 75.0)/6.6));
+diff_fT = (fT_inf - fT)/(0.001 + 0.04/(1.0 + exp(0.08*(Vm + 65.0))));
+fT; .method(rush_larsen);
+r_inf = 1.0/(1.0 + exp(-(Vm - 1.0)/11.0));
+diff_r = (r_inf - r)/(0.0035*exp(-square(Vm/30.0)) + 0.0015);
+r; .method(rush_larsen);
+s_inf = 1.0/(1.0 + exp((Vm + 40.5)/11.5));
+diff_s1 = (s_inf - s1)/(0.5415*exp(-square((Vm + 52.45)/15.0)) + 0.0154);
+s1; .method(rush_larsen);
+diff_s2 = (s_inf - s2)/(3.0*exp(-square((Vm + 52.45)/15.0)) + 0.3);
+s2; .method(rush_larsen);
+z_inf = 1.0/(1.0 + exp(-(Vm - 19.9)/12.7));
+diff_z = (z_inf - z)/(0.7 + 0.4*exp(-square((Vm - 20.0)/20.0)));
+z; .method(rush_larsen);
+pa_inf = 1.0/(1.0 + exp(-(Vm + 15.0)/6.0));
+diff_pa = (pa_inf - pa)/(0.03118 + 0.21718*exp(-square((Vm + 20.1376)/22.1996)));
+pa; .method(rush_larsen);
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Ca = 0.5*RTF*log(Cao/Cai);
+I_Na = g_Na*cube(m)*(0.635*h1 + 0.365*h2)*(Vm - E_Na);
+I_CaL = g_caL*dL*fL*(Vm - 50.0);
+I_CaT = g_caT*dT*fT*(Vm - 38.0);
+I_to = g_to*r*(0.59*s1 + 0.41*s2)*(Vm - E_K);
+I_Kr = g_kr*pa*(Vm - E_K)/(1.0 + exp((Vm + 55.0)/24.0));
+I_Ks = g_ks*z*(Vm - E_K);
+I_K1 = g_k1*(Ko/(Ko + 0.59))*(Vm - E_K)/(1.0 + exp(1.393*(Vm - E_K + 3.6)/RTF));
+I_NaK = 0.06441*(Ko/(Ko + 1.0))*(pow(Nai,1.5)/(pow(Nai,1.5) + 36.48))
+        *(Vm + 150.0)/(Vm + 200.0)*10.0;
+I_NaCa = 0.02*(cube(Nai)*Cao*exp(0.45*Vm/RTF) - cube(Nao)*Cai*exp(-0.55*Vm/RTF))
+         /(1.0 + 0.0003*(Cai*cube(Nao) + Cao*cube(Nai)));
+diff_Cai = -0.00004*(I_CaL + I_CaT - 2.0*I_NaCa) + 0.07*(0.00007 - Cai);
+diff_Nai = -0.00001*(I_Na + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_to + I_Kr + I_Ks + I_K1 - 2.0*I_NaK);
+Iion = I_Na + I_CaL + I_CaT + I_to + I_Kr + I_Ks + I_K1 + I_NaK + I_NaCa;
+|};
+  }
+
+let stress_niederer =
+  {
+    name = "Stress_Niederer";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "Niederer 2006 active-contraction structure: troponin binding, \
+       tropomyosin kinetics, crossbridge states with length dependence; \
+       heavy on state memory relative to arithmetic — the model the paper \
+       uses to showcase the data-layout optimization (4.98x -> 6.03x).";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+Tension; .external(); .nodal();
+Ca_TRPN; Ca_TRPN_init = 0.067;
+z_tm; z_tm_init = 0.014;
+Q1; Q1_init = 0.0;
+Q2; Q2_init = 0.0;
+Q3; Q3_init = 0.0;
+lambda_f; lambda_f_init = 1.0;
+Cai_loc; Cai_loc_init = 0.0001;
+Vm_init = -80.0;
+group{ k_on = 100.0; k_off = 0.2; n_tm = 3.0; Ca_50 = 0.0005;
+       k_tm_on = 0.1; k_tm_off = 0.1; T_ref = 56.2;
+       A1 = -29.0; A2 = 138.0; A3 = 129.0;
+       alpha1 = 0.03; alpha2 = 0.13; alpha3 = 0.625;
+       beta0 = 4.9; beta1 = -4.0; G_leak = 0.02; E_leak = -80.0; }.param();
+act = 1.0/(1.0 + exp(-0.15*(Vm + 30.0)));
+diff_Cai_loc = 0.02*act - 0.05*Cai_loc + 0.000002;
+diff_Ca_TRPN = k_on*Cai_loc*(1.0 - Ca_TRPN) - k_off*Ca_TRPN;
+Ca_TRPN; .method(rush_larsen);
+ratio = pow(max(Ca_TRPN, 1e-6)/0.1, n_tm);
+diff_z_tm = k_tm_on*ratio*(1.0 - z_tm) - k_tm_off*z_tm;
+z_tm; .method(rush_larsen);
+diff_lambda_f = 0.002*(1.0 - lambda_f) - 0.001*z_tm;
+dlam = diff_lambda_f;
+diff_Q1 = A1*dlam - alpha1*Q1;
+diff_Q2 = A2*dlam - alpha2*Q2;
+diff_Q3 = A3*dlam - alpha3*Q3;
+Q_sum = Q1 + Q2 + Q3;
+overlap = 1.0 + beta0*(lambda_f - 1.0);
+T_0 = T_ref*z_tm*overlap;
+Tension = (Q_sum < 0.0) ? T_0*(Q_sum*2.0 + 1.0)/(1.0 - Q_sum)
+          : T_0*(1.0 + (2.0 + beta1)*Q_sum)/(1.0 + Q_sum);
+Iion = G_leak*(Vm - E_leak);
+|};
+  }
+
+let tong =
+  {
+    name = "Tong";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "Tong 2011 uterine smooth-muscle structure: L/T calcium, multiple \
+       potassium currents, calcium-activated chloride, sundnes-integrated \
+       slow gates (14 states).";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.13;
+h; h_init = 0.4;
+dc; dc_init = 0.01;
+f1; f1_init = 0.9;
+f2; f2_init = 0.9;
+b_g; b_g_init = 0.07;
+g_g; g_g_init = 0.03;
+q_g; q_g_init = 0.25;
+r1; r1_init = 0.1;
+r2; r2_init = 0.1;
+p_g; p_g_init = 0.05;
+k1_g; k1_g_init = 0.8;
+Cai; Cai_init = 0.00012;
+cl_g; cl_g_init = 0.0005;
+Vm_init = -53.0;
+group{ g_Na = 0.12; g_caL = 0.6; g_caT = 0.058; g_k1 = 0.52; g_k2 = 0.08;
+       g_ka = 0.16; g_kca = 0.8; g_cl = 0.19; E_K = -83.0; E_Ca = 45.0;
+       E_Cl = -27.0; E_Na = 60.0; }.param();
+m_inf = 1.0/(1.0 + exp(-(Vm + 35.0)/9.0));
+tau_m = 0.25 + 7.0/(1.0 + exp((Vm + 38.0)/10.0));
+diff_m = (m_inf - m)/tau_m;  m; .method(rush_larsen);
+h_inf = 1.0/(1.0 + exp((Vm + 57.0)/8.0));
+tau_h = 0.9 + 1002.85/(1.0 + square((Vm + 47.5)/1.5));
+diff_h = (h_inf - h)/tau_h;  h; .method(rush_larsen);
+dc_inf = 1.0/(1.0 + exp(-(Vm + 22.0)/7.0));
+tau_dc = 2.29 + 5.7/(1.0 + square((Vm + 29.97)/9.0));
+diff_dc = (dc_inf - dc)/tau_dc;  dc; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 38.0)/7.0));
+diff_f1 = (f_inf - f1)/12.0;  f1; .method(sundnes);
+diff_f2 = (f_inf - f2)/90.97;  f2; .method(sundnes);
+b_inf = 1.0/(1.0 + exp(-(Vm + 54.23)/9.88));
+tau_b = 0.45 + 3.9/(1.0 + square((Vm + 66.0)/26.0));
+diff_b_g = (b_inf - b_g)/tau_b;  b_g; .method(rush_larsen);
+g_inf = 0.02 + 0.98/(1.0 + exp((Vm + 72.98)/4.64));
+tau_g = 150.0 - 150.0/((1.0 + exp((Vm - 417.43)/203.18))*(1.0 + exp(-(Vm + 61.11)/8.07)));
+diff_g_g = (g_inf - g_g)/tau_g;  g_g; .method(rush_larsen);
+q_inf = 0.978/(1.0 + exp(-(Vm + 18.6789)/26.6));
+diff_q_g = (q_inf - q_g)/(500.0 - 469.0/(1.0 + square((Vm + 64.0)/1000.0)));
+q_g; .method(rush_larsen);
+r_inf = 1.0/(1.0 + exp(-(Vm + 4.2)/21.1));
+diff_r1 = (r_inf - r1)/(40.0 + 0.017*square(Vm));
+r1; .method(rush_larsen);
+diff_r2 = (r_inf - r2)/(14706.0 - 14000.0/(1.0 + square((Vm + 100.0)/1000.0)));
+r2; .method(rush_larsen);
+p_inf = 1.0/(1.0 + exp(-(Vm + 17.91)/18.4));
+diff_p_g = (p_inf - p_g)/(100.0/(1.0 + square((Vm + 64.1)/28.67)) + 5.0);
+p_g; .method(rush_larsen);
+k1_inf = 1.0/(1.0 + exp((Vm + 21.2)/5.7));
+diff_k1_g = (k1_inf - k1_g)/(1.0 + 1000.0/(1.0 + square((Vm + 55.0)/20.0)));
+k1_g; .method(rush_larsen);
+I_Na = g_Na*cube(m)*h*(Vm - E_Na);
+I_CaL = g_caL*dc*(0.8*f1 + 0.2*f2)*(Vm - E_Ca);
+I_CaT = g_caT*square(b_g)*g_g*(Vm - E_Ca);
+I_K1 = g_k1*square(q_g)*square(r1)*(Vm - E_K)*r2;
+I_K2 = g_k2*square(p_g)*k1_g*(Vm - E_K);
+I_Ka = g_ka*q_g*r1*(Vm - E_K);
+ca_frac = square(Cai)/(square(Cai) + 0.0001*0.0001);
+I_KCa = g_kca*ca_frac*(Vm - E_K);
+diff_cl_g = ca_frac*0.01*(1.0 - cl_g) - 0.02*cl_g;
+I_Cl = g_cl*cl_g*(Vm - E_Cl);
+diff_Cai = -0.00002*(I_CaL + I_CaT) + 0.01*(0.00012 - Cai);
+Iion = I_Na + I_CaL + I_CaT + I_K1 + I_K2 + I_Ka + I_KCa + I_Cl;
+|};
+  }
+
+let demir =
+  {
+    name = "Demir";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "Demir 1994 rabbit sinoatrial-node structure: funny current, L/T \
+       calcium, delayed rectifier, pools (13 states).";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+y; y_init = 0.06;
+m; m_init = 0.25;
+h; h_init = 0.08;
+dL; dL_init = 0.002;
+fL; fL_init = 0.98;
+dT; dT_init = 0.01;
+fT; fT_init = 0.28;
+pa_k; pa_k_init = 0.04;
+pi_k; pi_k_init = 0.85;
+Nai; Nai_init = 9.7;
+Ki; Ki_init = 140.0;
+Cai; Cai_init = 0.00008;
+Caup; Caup_init = 0.6;
+Vm_init = -62.0;
+group{ g_f = 0.05; g_Na = 0.25; g_caL = 0.4; g_caT = 0.085; g_k = 0.07;
+       RTF = 26.71; Nao = 140.0; Ko = 5.4; Cao = 2.0; }.param();
+y_inf = 1.0/(1.0 + exp((Vm + 64.0)/13.5));
+rate_y1 = (fabs(Vm + 137.8) < 1e-6) ? 5.4545
+          : 0.36*(Vm + 137.8)/(exp(0.066*(Vm + 137.8)) - 1.0);
+rate_y2 = (fabs(Vm + 76.3) < 1e-6) ? 0.47619
+          : 0.1*(Vm + 76.3)/(1.0 - exp(-0.21*(Vm + 76.3)));
+tau_y = 1.0/(rate_y1 + rate_y2);
+diff_y = (y_inf - y)/max(tau_y, 0.001);  y; .method(rush_larsen);
+a_m = (fabs(Vm + 44.4) < 1e-6) ? 5.83 : 0.46*(Vm + 44.4)/(1.0 - exp(-(Vm + 44.4)/12.673));
+b_m = 18.4*exp(-(Vm + 44.4)/12.673)*0.05;
+diff_m = a_m*(1.0 - m) - b_m*m;  m; .method(rush_larsen);
+h_inf = 1.0/(1.0 + exp((Vm + 62.0)/5.5));
+diff_h = (h_inf - h)/(0.2 + 3.0/(1.0 + exp((Vm + 40.0)/9.0)));
+h; .method(rush_larsen);
+dL_inf = 1.0/(1.0 + exp(-(Vm + 14.1)/6.0));
+diff_dL = (dL_inf - dL)/(0.002 + 0.0027*exp(-square((Vm + 35.0)/30.0)));
+dL; .method(rush_larsen);
+fL_inf = 1.0/(1.0 + exp((Vm + 30.0)/5.0));
+diff_fL = (fL_inf - fL)/(0.03 + 0.25/(1.0 + exp((Vm + 40.0)/6.0)));
+fL; .method(rush_larsen);
+dT_inf = 1.0/(1.0 + exp(-(Vm + 37.0)/6.8));
+diff_dT = (dT_inf - dT)/(0.0006 + 0.0054/(1.0 + exp(0.03*(Vm + 100.0))));
+dT; .method(rush_larsen);
+fT_inf = 1.0/(1.0 + exp((Vm + 71.0)/9.0));
+diff_fT = (fT_inf - fT)/(0.001 + 0.04/(1.0 + exp(0.08*(Vm + 65.0))));
+fT; .method(rush_larsen);
+pa_inf = 1.0/(1.0 + exp(-(Vm + 23.2)/10.6));
+diff_pa_k = (pa_inf - pa_k)/(0.0017*exp(-square(Vm/30.0)) + 0.0174);
+pa_k; .method(rush_larsen);
+pi_inf = 1.0/(1.0 + exp((Vm + 28.6)/17.1));
+diff_pi_k = (pi_inf - pi_k)/(0.25 + 1.5*exp(-square((Vm + 20.0)/30.0)));
+pi_k; .method(rush_larsen);
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Ca = 0.5*RTF*log(Cao/Cai);
+I_f = g_f*y*(Vm + 25.0);
+I_Na = g_Na*cube(m)*h*(Vm - E_Na);
+I_CaL = g_caL*dL*fL*(Vm - 46.4);
+I_CaT = g_caT*dT*fT*(Vm - 45.0);
+I_K = g_k*pa_k*pi_k*(Vm - E_K);
+I_K1 = 0.01*(Vm - E_K)/(1.0 + exp(0.07*(Vm - E_K + 12.0)));
+I_NaK = 0.06*(Ko/(Ko + 1.0))*(pow(Nai,1.5)/(pow(Nai,1.5) + 20.0));
+I_NaCa = 0.005*(cube(Nai)*Cao*exp(0.38*Vm/RTF) - cube(Nao)*Cai*exp(-0.62*Vm/RTF))
+         /(1.0 + 0.0001*(Cai*cube(Nao) + Cao*cube(Nai)));
+diff_Caup = 0.001*(Cai*10.0 - Caup*0.02);
+diff_Cai = -0.0001*(I_CaL + I_CaT - 2.0*I_NaCa) - 0.001*(Cai*10.0 - Caup*0.02) + 0.07*(0.00008 - Cai);
+diff_Nai = -0.0001*(I_Na + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.0001*(I_K + I_K1 - 2.0*I_NaK);
+Iion = I_f + I_Na + I_CaL + I_CaT + I_K + I_K1 + I_NaK + I_NaCa;
+|};
+  }
+
+let entries : entry list =
+  [ nygren; lindblad; stress_niederer; tong; demir ] @ Medium_models3.entries

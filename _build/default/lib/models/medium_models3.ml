@@ -1,0 +1,612 @@
+(** Medium-class models, final batch (structural reproductions). *)
+
+open Model_def
+
+let zhang_san =
+  {
+    name = "ZhangSAN";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "Zhang 2000 central sinoatrial-node structure: funny current split \
+       into Na/K components, sustained inward current, no INa (12 states).";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+y_f; y_f_init = 0.09;
+dL; dL_init = 0.004;
+fL; fL_init = 0.99;
+dT; dT_init = 0.02;
+fT; fT_init = 0.18;
+q_g; q_g_init = 0.3;
+r_g; r_g_init = 0.06;
+paf; paf_init = 0.1;
+pas; pas_init = 0.07;
+pik; pik_init = 0.9;
+xs_g; xs_g_init = 0.03;
+Cai; Cai_init = 0.0001;
+Vm_init = -55.0;
+group{ g_f = 0.021; g_caL = 0.058; g_caT = 0.0043; g_to = 0.0049;
+       g_sus = 0.00002; g_kr = 0.0008; g_ks = 0.00035; E_K = -85.0;
+       E_Na = 70.0; E_Ca = 45.0; E_Ks = -72.0; }.param();
+y_inf = 1.0/(1.0 + exp((Vm + 64.0)/13.5));
+tau_y = 0.7/(exp(-(Vm + 386.9)/45.3) + exp((Vm - 73.08)/19.2)) + 0.2;
+diff_y_f = (y_inf - y_f)/tau_y;  y_f; .method(rush_larsen);
+dL_inf = 1.0/(1.0 + exp(-(Vm + 23.1)/6.0));
+tau_dL = 0.002 + 0.0027*exp(-square((Vm + 35.0)/30.0));
+diff_dL = (dL_inf - dL)/tau_dL;  dL; .method(rush_larsen);
+fL_inf = 1.0/(1.0 + exp((Vm + 45.0)/5.0));
+tau_fL = 0.03 + 0.25/(1.0 + exp((Vm + 40.0)/6.0));
+diff_fL = (fL_inf - fL)/tau_fL;  fL; .method(rush_larsen);
+dT_inf = 1.0/(1.0 + exp(-(Vm + 37.0)/6.8));
+diff_dT = (dT_inf - dT)/(0.0006 + 0.0054/(1.0 + exp(0.03*(Vm + 100.0))));
+dT; .method(rush_larsen);
+fT_inf = 1.0/(1.0 + exp((Vm + 71.0)/9.0));
+diff_fT = (fT_inf - fT)/(0.001 + 0.04/(1.0 + exp(0.08*(Vm + 65.0))));
+fT; .method(rush_larsen);
+q_inf = 1.0/(1.0 + exp((Vm + 59.37)/13.1));
+diff_q_g = (q_inf - q_g)/(0.0101 + 0.065*exp(-square((Vm + 40.0)/30.0)));
+q_g; .method(rush_larsen);
+r_inf = 1.0/(1.0 + exp(-(Vm - 10.93)/19.7));
+diff_r_g = (r_inf - r_g)/(0.0025 + 0.015*exp(-square((Vm + 40.0)/30.0)));
+r_g; .method(rush_larsen);
+pa_inf = 1.0/(1.0 + exp(-(Vm + 14.2)/10.6));
+diff_paf = (pa_inf - paf)/(0.0017*exp(-square(Vm/30.0)) + 0.0174);
+paf; .method(rush_larsen);
+diff_pas = (pa_inf - pas)/(0.4 + 0.7*exp(-square(Vm/30.0)));
+pas; .method(rush_larsen);
+pik_inf = 1.0/(1.0 + exp((Vm + 18.6)/10.1));
+diff_pik = (pik_inf - pik)/0.002;  pik; .method(rush_larsen);
+xs_inf = 1.0/(1.0 + exp(-(Vm - 19.9)/12.7));
+diff_xs_g = (xs_inf - xs_g)/(0.7 + 0.4*exp(-square((Vm - 20.0)/20.0)));
+xs_g; .method(rush_larsen);
+I_f = g_f*y_f*((Vm - E_Na)*0.3769 + (Vm - E_K)*0.6231);
+I_CaL = g_caL*dL*fL*(Vm - E_Ca);
+I_CaT = g_caT*dT*fT*(Vm - E_Ca);
+I_to = g_to*q_g*r_g*(Vm - E_K);
+I_sus = g_sus*r_g*(Vm - E_K);
+I_Kr = g_kr*(0.6*paf + 0.4*pas)*pik*(Vm - E_K);
+I_Ks = g_ks*square(xs_g)*(Vm - E_Ks);
+I_bNa = 0.0000582*(Vm - E_Na);
+I_NaK = 0.0000636*(Vm + 150.0)/(Vm + 200.0)*10.0;
+diff_Cai = -0.02*(I_CaL + I_CaT) + 0.05*(0.0001 - Cai);
+Iion = (I_f + I_CaL + I_CaT + I_to + I_sus + I_Kr + I_Ks + I_bNa + I_NaK)*400.0;
+|};
+  }
+
+let kurata_san =
+  {
+    name = "KurataSAN";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "Kurata 2002 sinoatrial-node structure with subspace calcium and SR \
+       cycling (16 states); rk4 on the subspace pool.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+y_f; y_f_init = 0.06;
+dL; dL_init = 0.002;
+fL; fL_init = 0.98;
+fCa; fCa_init = 0.75;
+dT; dT_init = 0.01;
+fT; fT_init = 0.3;
+paf; paf_init = 0.07;
+pas; pas_init = 0.05;
+pik; pik_init = 0.9;
+n_ks; n_ks_init = 0.025;
+q_g; q_g_init = 0.5;
+r_g; r_g_init = 0.01;
+Cai; Cai_init = 0.0001;
+Casub; Casub_init = 0.00008;
+Caup; Caup_init = 1.1;
+Carel; Carel_init = 0.3;
+Vm_init = -58.0;
+group{ g_f = 0.03; g_caL = 0.2; g_caT = 0.02; g_kr = 0.004; g_ks = 0.002;
+       g_to = 0.005; E_K = -85.0; E_Na = 70.0; E_CaL = 45.0; Km_fCa = 0.00035;
+       tau_fCa = 0.06; }.param();
+y_inf = 1.0/(1.0 + exp((Vm + 68.0)/10.0));
+tau_y = 0.25 + 2.0*exp(-square((Vm + 70.0)/30.0));
+diff_y_f = (y_inf - y_f)/tau_y;  y_f; .method(rush_larsen);
+dL_inf = 1.0/(1.0 + exp(-(Vm + 14.1)/6.0));
+tau_dL = 0.002 + 0.0027*exp(-square((Vm + 35.0)/30.0));
+diff_dL = (dL_inf - dL)/tau_dL;  dL; .method(rush_larsen);
+fL_inf = 1.0/(1.0 + exp((Vm + 30.0)/5.0));
+tau_fL = 0.03 + 0.25/(1.0 + exp((Vm + 40.0)/6.0));
+diff_fL = (fL_inf - fL)/tau_fL;  fL; .method(rush_larsen);
+fCa_inf = Km_fCa/(Km_fCa + Casub);
+diff_fCa = (fCa_inf - fCa)/tau_fCa;
+dT_inf = 1.0/(1.0 + exp(-(Vm + 37.0)/6.8));
+diff_dT = (dT_inf - dT)/(0.0006 + 0.0054/(1.0 + exp(0.03*(Vm + 100.0))));
+dT; .method(rush_larsen);
+fT_inf = 1.0/(1.0 + exp((Vm + 71.0)/9.0));
+diff_fT = (fT_inf - fT)/(0.001 + 0.04/(1.0 + exp(0.08*(Vm + 65.0))));
+fT; .method(rush_larsen);
+pa_inf = 1.0/(1.0 + exp(-(Vm + 14.2)/10.6));
+diff_paf = (pa_inf - paf)/(0.0017*exp(-square(Vm/30.0)) + 0.0174);
+paf; .method(rush_larsen);
+diff_pas = (pa_inf - pas)/(0.4 + 0.7*exp(-square(Vm/30.0)));
+pas; .method(rush_larsen);
+pik_inf = 1.0/(1.0 + exp((Vm + 18.6)/10.1));
+diff_pik = (pik_inf - pik)/0.002;  pik; .method(rush_larsen);
+nks_inf = 1.0/(1.0 + exp(-(Vm - 0.6)/10.5));
+diff_n_ks = (nks_inf - n_ks)/(0.3 + 0.7*exp(-square((Vm - 10.0)/25.0)));
+n_ks; .method(rush_larsen);
+q_inf = 1.0/(1.0 + exp((Vm + 49.0)/13.0));
+diff_q_g = (q_inf - q_g)/(0.01 + 0.065*exp(-square((Vm + 40.0)/30.0)));
+q_g; .method(rush_larsen);
+r_inf = 1.0/(1.0 + exp(-(Vm - 19.3)/15.0));
+diff_r_g = (r_inf - r_g)/(0.0025 + 0.015*exp(-square((Vm + 40.0)/30.0)));
+r_g; .method(rush_larsen);
+I_f = g_f*y_f*(Vm + 30.0);
+I_CaL = g_caL*dL*fL*fCa*(Vm - E_CaL);
+I_CaT = g_caT*dT*fT*(Vm - E_CaL);
+I_Kr = g_kr*(0.6*paf + 0.4*pas)*pik*(Vm - E_K);
+I_Ks = g_ks*square(n_ks)*(Vm - E_K);
+I_to = g_to*q_g*r_g*(Vm - E_K);
+I_NaK = 0.00014*(Vm + 150.0)/(Vm + 200.0)*100.0;
+I_NaCa = 0.003*(exp(0.017*Vm)*0.00008/Casub - exp(-0.02*Vm))*2.0;
+J_up = 0.005*Cai/(Cai + 0.0006);
+J_rel = 1.5*Carel*square(Casub)/(square(Casub) + 0.0000000012);
+J_tr = (Caup - Carel)*0.01;
+J_diff = (Casub - Cai)/0.00004*0.001;
+diff_Casub = -0.01*(I_CaL + I_CaT - 2.0*I_NaCa) + J_rel*0.1 - J_diff*0.001;
+Casub; .method(rk4);
+diff_Cai = J_diff*0.00005 - J_up + 0.02*(0.0001 - Cai);
+diff_Caup = J_up*0.5 - J_tr*0.01;
+diff_Carel = J_tr*0.01 - J_rel*0.001;
+Iion = (I_f + I_CaL + I_CaT + I_Kr + I_Ks + I_to + I_NaK + I_NaCa)*300.0;
+|};
+  }
+
+let maccannell =
+  {
+    name = "MacCannellFibroblast";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "MacCannell 2007 active fibroblast: time-dependent K current \
+       (r/s gates), inward rectifier, Na-K pump (5 states).";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+r_f; r_f_init = 0.0;
+s_f; s_f_init = 1.0;
+Kif; Kif_init = 140.0;
+Naif; Naif_init = 9.0;
+w_f; w_f_init = 0.1;
+Vm_init = -49.6;
+group{ g_kv = 0.25; g_k1 = 0.4822; RTF = 26.71; Ko = 5.4; Nao = 130.0;
+       B_f = -200.0; }.param();
+r_inf = 1.0/(1.0 + exp(-(Vm + 20.0)/11.0));
+tau_r = 20.3 + 138.0*exp(-square((Vm + 20.0)/25.9));
+diff_r_f = (r_inf - r_f)/tau_r;  r_f; .method(rush_larsen);
+s_inf = 1.0/(1.0 + exp((Vm + 23.0)/7.0));
+tau_s = 1574.0 + 5268.0*exp(-square((Vm + 23.0)/22.7));
+diff_s_f = (s_inf - s_f)/tau_s;  s_f; .method(rush_larsen);
+diff_w_f = (1.0/(1.0 + exp(-(Vm + 30.0)/10.0)) - w_f)/500.0;
+w_f; .method(sundnes);
+E_K = RTF*log(Ko/Kif);
+E_Na = RTF*log(Nao/Naif);
+I_Kv = g_kv*r_f*s_f*(Vm - E_K);
+a_K1 = 0.1/(1.0 + exp(0.06*(Vm - E_K - 200.0)));
+b_K1 = (3.0*exp(0.0002*(Vm - E_K + 100.0)) + exp(0.1*(Vm - E_K - 10.0)))
+       /(1.0 + exp(-0.5*(Vm - E_K)));
+I_K1 = g_k1*(a_K1/(a_K1 + b_K1))*(Vm - E_K);
+I_NaK = 2.002*(Ko/(Ko + 1.0))*(pow(Naif,1.5)/(pow(Naif,1.5) + 36.48))
+        *(Vm - B_f)/(Vm + 200.0);
+I_bNa = 0.0095*(Vm - E_Na);
+diff_Kif = -0.0001*(I_Kv + I_K1 - 2.0*I_NaK);
+diff_Naif = -0.0001*(I_bNa + 3.0*I_NaK);
+Iion = I_Kv + I_K1 + I_NaK + I_bNa;
+|};
+  }
+
+let sachse =
+  {
+    name = "SachseFibroblast";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "Sachse 2008 fibroblast with a Markov-gated big-conductance K \
+       channel integrated with markov_be (6 states).";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+C0; C0_init = 0.9;
+O_b; O_b_init = 0.05;
+r_f; r_f_init = 0.0;
+s_f; s_f_init = 1.0;
+Kif; Kif_init = 140.0;
+w_a; w_a_init = 0.2;
+Vm_init = -58.0;
+group{ g_b = 0.3; g_kv = 0.1; RTF = 26.71; Ko = 5.4; }.param();
+k_co = 0.1*exp(Vm/40.0);
+k_oc = 0.06*exp(-Vm/60.0);
+diff_O_b = k_co*(1.0 - O_b) - k_oc*O_b;  O_b; .method(markov_be);
+diff_C0 = k_oc*O_b - k_co*C0;
+r_inf = 1.0/(1.0 + exp(-(Vm + 25.0)/10.0));
+diff_r_f = (r_inf - r_f)/25.0;  r_f; .method(rush_larsen);
+s_inf = 1.0/(1.0 + exp((Vm + 30.0)/8.0));
+diff_s_f = (s_inf - s_f)/800.0;  s_f; .method(rush_larsen);
+diff_w_a = (1.0/(1.0 + exp(-(Vm + 40.0)/12.0)) - w_a)/300.0;
+E_K = RTF*log(Ko/Kif);
+I_b = g_b*O_b*(Vm - E_K);
+I_Kv = g_kv*r_f*s_f*(Vm - E_K);
+I_K1 = 0.35*(Vm - E_K)/(1.0 + exp(0.07*(Vm - E_K + 15.0)));
+I_leak = 0.01*(Vm + 60.0)*w_a;
+diff_Kif = -0.0001*(I_b + I_Kv + I_K1);
+Iion = I_b + I_Kv + I_K1 + I_leak;
+|};
+  }
+
+let fox =
+  {
+    name = "FoxMcHargRampazzo";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "Fox 2002 canine ventricular structure: 13 states, calcium-dependent \
+       ICaL inactivation with an explicit f_Ca gate.";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.00024;
+h; h_init = 0.995;
+j; j_init = 0.996;
+d; d_init = 0.00001;
+f; f_init = 0.999;
+fCa; fCa_init = 0.942;
+Xr; Xr_init = 0.23;
+Xs; Xs_init = 0.001;
+Xto; Xto_init = 0.00004;
+Yto; Yto_init = 1.0;
+Cai; Cai_init = 0.000026;
+Casr; Casr_init = 0.32;
+PLB; PLB_init = 0.5;
+Vm_init = -94.7;
+group{ g_Na = 12.8; E_Na = 70.0; g_caL = 0.226; g_kr = 0.0136;
+       g_ks = 0.0245; g_to = 0.23815; g_k1 = 2.8; E_K = -96.0; }.param();
+a_m = (fabs(Vm + 47.13) < 1e-6) ? 3.2
+      : 0.32*(Vm + 47.13)/(1.0 - exp(-0.1*(Vm + 47.13)));
+b_m = 0.08*exp(-Vm/11.0);
+diff_m = a_m*(1.0 - m) - b_m*m;  m; .method(rush_larsen);
+a_h = 0.135*exp((Vm + 80.0)/-6.8);
+b_h = 7.5/(1.0 + exp(-0.1*(Vm + 11.0)));
+diff_h = a_h*(1.0 - h) - b_h*h;  h; .method(rush_larsen);
+a_j = 0.175*exp((Vm + 100.0)/-23.0)/(1.0 + exp(0.15*(Vm + 79.0)));
+b_j = 0.3/(1.0 + exp(-0.1*(Vm + 32.0)));
+diff_j = a_j*(1.0 - j) - b_j*j;  j; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp(-(Vm + 10.0)/6.24));
+tau_d = 1.0/((0.25*exp(-0.01*Vm)/(1.0 + exp(-0.07*Vm)))
+        + (0.07*exp(-0.05*(Vm + 40.0))/(1.0 + exp(0.05*(Vm + 40.0)))));
+diff_d = (d_inf - d)/max(tau_d, 0.1);  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 12.5)/5.0));
+diff_f = (f_inf - f)/30.0;  f; .method(rush_larsen);
+fCa_inf = 1.0/(1.0 + cube(Cai/0.000185));
+diff_fCa = (fCa_inf - fCa)/30.0;
+Xr_inf = 1.0/(1.0 + exp(-2.182 - 0.1819*Vm));
+diff_Xr = (Xr_inf - Xr)/43.0;  Xr; .method(rush_larsen);
+Xs_inf = 1.0/(1.0 + exp(-(Vm - 16.0)/13.6));
+tau_Xs = 1.0/((0.0000719*(Vm - 10.0)/(1.0 - exp(-0.148*(Vm - 10.0))))
+         + (0.000131*(Vm - 10.0)/(exp(0.0687*(Vm - 10.0)) - 1.0)));
+diff_Xs = (Xs_inf - Xs)/max(fabs(tau_Xs), 10.0);  Xs; .method(rush_larsen);
+Xto_inf = 1.0/(1.0 + exp(-(Vm + 3.0)/15.0));
+tau_Xto = 3.5*exp(-square(Vm/30.0)) + 1.5;
+diff_Xto = (Xto_inf - Xto)/tau_Xto;  Xto; .method(rush_larsen);
+Yto_inf = 1.0/(1.0 + exp((Vm + 33.5)/10.0));
+tau_Yto = 20.0 + 20.0/(1.0 + exp((Vm + 33.5)/10.0));
+diff_Yto = (Yto_inf - Yto)/tau_Yto;  Yto; .method(rush_larsen);
+R_V = 1.0/(1.0 + 1.4945*exp(0.0446*Vm));
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na);
+I_CaL = g_caL*d*f*fCa*(Vm - 65.0)*R_V;
+I_Kr = g_kr*Xr*R_V*(Vm - E_K)*4.0;
+I_Ks = g_ks*square(Xs)*(Vm - E_K);
+I_to = g_to*Xto*Yto*(Vm - E_K);
+K1_inf = 1.0/(2.0 + exp(1.62*(Vm - E_K)/26.71));
+I_K1 = g_k1*K1_inf*(Vm - E_K)*0.35;
+I_NaK = 0.693*(1.0/(1.0 + 0.1245*exp(-0.0037*Vm)))*0.5;
+I_NaCa = 0.03*(exp(0.013*Vm)*0.00008/max(Cai,1e-9) - exp(-0.024*Vm))*0.02;
+J_rel = 1.2*square(Cai/(Cai + 0.0002))*(Casr - Cai)*0.01;
+J_up = 0.1*Cai/(Cai + 0.000032)*0.01;
+diff_PLB = 0.01*(Cai*3000.0*(1.0 - PLB) - 0.5*PLB);
+diff_Casr = 10.0*(J_up - J_rel)*0.1;
+diff_Cai = -0.00003*(I_CaL - 2.0*I_NaCa) + (J_rel - J_up)*0.01 + 0.02*(0.000026 - Cai);
+Iion = I_Na + I_CaL + I_Kr + I_Ks + I_to + I_K1 + I_NaK + I_NaCa;
+|};
+  }
+
+let priebe =
+  {
+    name = "PriebeBeuckelmann";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "Priebe & Beuckelmann 1998 failing-human-ventricle structure \
+       (Luo-Rudy-II derived, 15 states).";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.0005;
+h; h_init = 0.95;
+j; j_init = 0.97;
+d; d_init = 0.0002;
+f; f_init = 1.0;
+r; r_init = 0.0;
+t_g; t_g_init = 1.0;
+Xr; Xr_init = 0.0001;
+Xs; Xs_init = 0.005;
+Nai; Nai_init = 10.0;
+Ki; Ki_init = 140.0;
+Cai; Cai_init = 0.0002;
+Cajsr; Cajsr_init = 2.5;
+Cansr; Cansr_init = 2.5;
+Vm_init = -90.0;
+group{ g_Na = 16.0; g_caL = 0.064; g_to = 0.3; g_kr = 0.015; g_ks = 0.02;
+       g_k1 = 2.5; RTF = 26.71; Nao = 138.0; Ko = 4.0; Cao = 2.0; }.param();
+a_m = (fabs(Vm + 47.13) < 1e-6) ? 3.2
+      : 0.32*(Vm + 47.13)/(1.0 - exp(-0.1*(Vm + 47.13)));
+b_m = 0.08*exp(-Vm/11.0);
+diff_m = a_m*(1.0 - m) - b_m*m;  m; .method(rush_larsen);
+a_h = (Vm >= -40.0) ? 0.0 : 0.135*exp(-(80.0 + Vm)/6.8);
+b_h = (Vm >= -40.0) ? 1.0/(0.13*(1.0 + exp(-(Vm + 10.66)/11.1)))
+      : 3.56*exp(0.079*Vm) + 310000.0*exp(0.35*Vm);
+diff_h = a_h*(1.0 - h) - b_h*h;  h; .method(rush_larsen);
+a_j = (Vm >= -40.0) ? 0.0
+      : (-127140.0*exp(0.2444*Vm) - 0.00003474*exp(-0.04391*Vm))
+        *(Vm + 37.78)/(1.0 + exp(0.311*(Vm + 79.23)));
+b_j = (Vm >= -40.0)
+      ? 0.3*exp(-0.0000002535*Vm)/(1.0 + exp(-0.1*(Vm + 32.0)))
+      : 0.1212*exp(-0.01052*Vm)/(1.0 + exp(-0.1378*(Vm + 40.14)));
+diff_j = a_j*(1.0 - j) - b_j*j;  j; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp(-(Vm + 10.0)/6.24));
+tau_d = 1.0 + 2.0*exp(-square((Vm + 10.0)/30.0));
+diff_d = (d_inf - d)/tau_d;  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 35.06)/8.6));
+tau_f = 10.0 + 30.0*exp(-square((Vm + 28.0)/25.0));
+diff_f = (f_inf - f)/tau_f;  f; .method(rush_larsen);
+r_inf = 1.0/(1.0 + exp(-(Vm - 5.0)/9.0));
+tau_r = 1.0 + 4.0*exp(-square((Vm + 10.0)/30.0));
+diff_r = (r_inf - r)/tau_r;  r; .method(rush_larsen);
+t_inf = 1.0/(1.0 + exp((Vm + 37.0)/6.0));
+tau_t = 20.0 + 60.0/(1.0 + exp((Vm + 50.0)/10.0));
+diff_t_g = (t_inf - t_g)/tau_t;  t_g; .method(rush_larsen);
+Xr_inf = 1.0/(1.0 + exp(-(Vm + 21.0)/7.5));
+tau_Xr = 40.0 + 200.0*exp(-square((Vm + 30.0)/30.0));
+diff_Xr = (Xr_inf - Xr)/tau_Xr;  Xr; .method(rush_larsen);
+Xs_inf = 1.0/(1.0 + exp(-(Vm - 1.5)/16.7));
+tau_Xs = 200.0 + 600.0*exp(-square((Vm + 30.0)/60.0));
+diff_Xs = (Xs_inf - Xs)/tau_Xs;  Xs; .method(rush_larsen);
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Ca = 0.5*RTF*log(Cao/Cai);
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na);
+I_CaL = g_caL*d*f*(Vm - E_Ca)*(1.0/(1.0 + square(Cai/0.0006)));
+I_to = g_to*r*t_g*(Vm - E_K);
+I_Kr = g_kr*Xr*(Vm - E_K)/(1.0 + exp((Vm + 9.0)/22.4));
+I_Ks = g_ks*square(Xs)*(Vm - E_K);
+a_K1 = 0.1/(1.0 + exp(0.06*(Vm - E_K - 200.0)));
+b_K1 = (3.0*exp(0.0002*(Vm - E_K + 100.0)) + exp(0.1*(Vm - E_K - 10.0)))
+       /(1.0 + exp(-0.5*(Vm - E_K)));
+I_K1 = g_k1*(a_K1/(a_K1 + b_K1))*(Vm - E_K);
+I_NaK = 1.3*(Ko/(Ko + 1.5))*(1.0/(1.0 + square(10.0/Nai)))
+        *(1.0/(1.0 + 0.1245*exp(-0.1*Vm/RTF)));
+I_NaCa = 1000.0*(exp(0.35*Vm/RTF)*cube(Nai)*Cao - exp(-0.65*Vm/RTF)*cube(Nao)*Cai)
+         /((cube(87.5) + cube(Nao))*(1.38 + Cao)*(1.0 + 0.1*exp(-0.65*Vm/RTF)))*0.02;
+J_rel = 0.3*square(Cai/(Cai + 0.0003))*(Cajsr - Cai)*0.05;
+J_up = 0.0045*Cai/(Cai + 0.00092);
+J_tr = (Cansr - Cajsr)/180.0;
+diff_Cajsr = J_tr - J_rel*0.1;
+diff_Cansr = J_up*5.0 - J_tr;
+diff_Cai = -0.0001*(I_CaL - 2.0*I_NaCa) + (J_rel*0.1 - J_up)*0.05 + 0.01*(0.0002 - Cai);
+diff_Nai = -0.00001*(I_Na + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_to + I_Kr + I_Ks + I_K1 - 2.0*I_NaK);
+Iion = I_Na + I_CaL + I_to + I_Kr + I_Ks + I_K1 + I_NaK + I_NaCa;
+|};
+  }
+
+let bondarenko =
+  {
+    name = "BondarenkoMouse";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "Bondarenko 2004 mouse ventricular structure: fast/slow/ultra-rapid \
+       K currents, Markov-flavoured ICaL occupancy with markov_be (18 \
+       states).";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.0007;
+h; h_init = 0.98;
+j; j_init = 0.99;
+O_ca; O_ca_init = 0.0001;
+C2_ca; C2_ca_init = 0.6;
+a_to_f; a_to_f_init = 0.0026;
+i_to_f; i_to_f_init = 0.999;
+a_to_s; a_to_s_init = 0.0004;
+i_to_s; i_to_s_init = 0.986;
+a_ur; a_ur_init = 0.0004;
+i_ur; i_ur_init = 0.994;
+a_kss; a_kss_init = 0.0004;
+n_ks; n_ks_init = 0.0003;
+Xr; Xr_init = 0.008;
+Nai; Nai_init = 14.2;
+Ki; Ki_init = 143.7;
+Cai; Cai_init = 0.000115;
+Cansr; Cansr_init = 1.3;
+Vm_init = -82.4;
+group{ g_Na = 13.0; g_caL = 0.1729; g_tof = 0.4067; g_tos = 0.0;
+       g_ur = 0.16; g_kss = 0.05; g_ks = 0.00575; g_kr = 0.078;
+       RTF = 26.71; Nao = 140.0; Ko = 5.4; Cao = 1.8; }.param();
+a_m = (fabs(Vm + 47.13) < 1e-6) ? 3.2
+      : 0.32*(Vm + 47.13)/(1.0 - exp(-0.1*(Vm + 47.13)));
+b_m = 0.08*exp(-Vm/11.0);
+diff_m = a_m*(1.0 - m) - b_m*m;  m; .method(rush_larsen);
+a_h = 0.135*exp((Vm + 80.0)/-6.8);
+b_h = 7.5/(1.0 + exp(-0.1*(Vm + 11.0)));
+diff_h = a_h*(1.0 - h) - b_h*h;  h; .method(rush_larsen);
+a_j = 0.175*exp((Vm + 100.0)/-23.0)/(1.0 + exp(0.15*(Vm + 79.0)));
+b_j = 0.3/(1.0 + exp(-0.1*(Vm + 32.0)));
+diff_j = a_j*(1.0 - j) - b_j*j;  j; .method(rush_larsen);
+alpha_ca = 0.4*exp((Vm + 12.0)/10.0)*(1.0 + 0.7*exp(-square((Vm + 40.0)/10.0)))
+           /(1.0 + 0.12*exp((Vm + 12.0)/10.0));
+beta_ca = 0.05*exp(-(Vm + 12.0)/13.0);
+diff_O_ca = alpha_ca*C2_ca*0.01 - beta_ca*O_ca - 0.01*O_ca*Cai/(Cai + 0.0002);
+O_ca; .method(markov_be);
+diff_C2_ca = beta_ca*O_ca - alpha_ca*C2_ca*0.01 + 0.005*(0.6 - C2_ca);
+atof_inf = 1.0/(1.0 + exp(-(Vm + 22.5)/7.7));
+diff_a_to_f = (atof_inf - a_to_f)/(0.493*exp(-0.0629*Vm) + 2.058);
+a_to_f; .method(rush_larsen);
+itof_inf = 1.0/(1.0 + exp((Vm + 45.2)/5.7));
+diff_i_to_f = (itof_inf - i_to_f)/(0.1*exp(0.0861*(Vm + 45.2)) + 2.7);
+i_to_f; .method(rush_larsen);
+atos_inf = 1.0/(1.0 + exp(-(Vm + 22.5)/7.7));
+diff_a_to_s = (atos_inf - a_to_s)/(2.058 + 50.0/(1.0 + exp((Vm + 45.2)/5.7)));
+a_to_s; .method(rush_larsen);
+itos_inf = 1.0/(1.0 + exp((Vm + 45.2)/5.7));
+diff_i_to_s = (itos_inf - i_to_s)/(270.0 + 1050.0/(1.0 + exp((Vm + 45.2)/5.7)));
+i_to_s; .method(rush_larsen);
+aur_inf = 1.0/(1.0 + exp(-(Vm + 22.5)/7.7));
+diff_a_ur = (aur_inf - a_ur)/(0.493*exp(-0.0629*Vm) + 2.058);
+a_ur; .method(rush_larsen);
+iur_inf = 1.0/(1.0 + exp((Vm + 45.2)/5.7));
+diff_i_ur = (iur_inf - i_ur)/(1200.0 - 170.0/(1.0 + exp((Vm + 45.2)/5.7)));
+i_ur; .method(rush_larsen);
+akss_inf = 1.0/(1.0 + exp(-(Vm + 22.5)/7.7));
+diff_a_kss = (akss_inf - a_kss)/(39.3*exp(-0.0862*Vm) + 13.17);
+a_kss; .method(rush_larsen);
+nks_inf = 1.0/(1.0 + exp(-(Vm - 26.5)/16.7));
+diff_n_ks = 0.00000481333*(Vm + 26.5)/(1.0 - exp(-0.128*(Vm + 26.5)))
+            *(1.0 - n_ks) - 0.0000953333*exp(-0.038*(Vm + 26.5))*n_ks;
+n_ks; .method(rush_larsen);
+Xr_inf = 1.0/(1.0 + exp(-(Vm + 15.0)/6.0));
+diff_Xr = (Xr_inf - Xr)/(50.0 + 200.0*exp(-square((Vm + 30.0)/30.0)));
+Xr; .method(rush_larsen);
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na);
+I_CaL = g_caL*O_ca*(Vm - 63.0)*10.0;
+I_tof = g_tof*cube(a_to_f)*i_to_f*(Vm - E_K);
+I_tos = g_tos*a_to_s*i_to_s*(Vm - E_K);
+I_Kur = g_ur*a_ur*i_ur*(Vm - E_K);
+I_Kss = g_kss*a_kss*(Vm - E_K);
+I_Ks = g_ks*square(n_ks)*(Vm - E_K);
+I_Kr = g_kr*Xr*(Vm - E_K)/(1.0 + exp((Vm + 9.0)/22.4));
+I_K1 = 0.2938*(Ko/(Ko + 0.21))*(Vm - E_K)/(1.0 + exp(0.0896*(Vm - E_K)));
+I_NaK = 0.88*(Ko/(Ko + 1.5))*(1.0/(1.0 + pow(21.0/Nai, 1.5)))
+        *(1.0/(1.0 + 0.1245*exp(-0.1*Vm/RTF)));
+I_NaCa = 275.0*(exp(0.35*Vm/RTF)*cube(Nai)*Cao - exp(-0.65*Vm/RTF)*cube(Nao)*Cai)
+         /((cube(87.5) + cube(Nao))*(1.38 + Cao)*(1.0 + 0.1*exp(-0.65*Vm/RTF)))*0.01;
+J_up = 0.45*square(Cai)/(square(Cai) + square(0.0005));
+J_rel = 0.6*square(Cai/(Cai + 0.00023))*(Cansr - Cai)*0.02;
+diff_Cansr = (J_up - J_rel)*2.0;
+diff_Cai = -0.00008*(I_CaL - 2.0*I_NaCa) + (J_rel - J_up)*0.02 + 0.01*(0.000115 - Cai);
+diff_Nai = -0.00001*(I_Na + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_tof + I_tos + I_Kur + I_Kss + I_Ks + I_Kr + I_K1 - 2.0*I_NaK);
+Iion = I_Na + I_CaL + I_tof + I_tos + I_Kur + I_Kss + I_Ks + I_Kr + I_K1 + I_NaK + I_NaCa;
+|};
+  }
+
+let pandit =
+  {
+    name = "PanditRat";
+    cls = Medium;
+    fidelity = Structural;
+    description =
+      "Pandit 2001 rat ventricular structure: fast/slow transient outward \
+       split, hyperpolarization-activated current (16 states).";
+    source =
+      {|
+Vm; .external(); .nodal(); .lookup(-100.0, 100.0, 0.05);
+Iion; .external(); .nodal();
+m; m_init = 0.0042;
+h; h_init = 0.85;
+j; j_init = 0.85;
+d; d_init = 0.0000021;
+f11; f11_init = 0.999;
+f12; f12_init = 0.999;
+Ca_inact; Ca_inact_init = 0.99;
+r_g; r_g_init = 0.002;
+s_g; s_g_init = 0.99;
+s_slow; s_slow_init = 0.99;
+r_ss; r_ss_init = 0.002;
+y_f; y_f_init = 0.003;
+Nai; Nai_init = 10.7;
+Ki; Ki_init = 139.0;
+Cai; Cai_init = 0.00008;
+Cansr; Cansr_init = 0.7;
+Vm_init = -80.5;
+group{ g_Na = 0.8; g_caL = 0.031; g_t = 0.035; g_ss = 0.007; g_f = 0.00145;
+       g_k1 = 0.024; RTF = 26.71; Nao = 140.0; Ko = 5.4; Cao = 1.2; }.param();
+m_inf = 1.0/(1.0 + exp((Vm + 45.0)/-6.5));
+tau_m = 0.00136/(0.32*(Vm + 47.13)/(1.0 - exp(-0.1*(Vm + 47.13))) + 0.08*exp(-Vm/11.0))*1000.0;
+diff_m = (m_inf - m)/max(tau_m, 0.01);  m; .method(rush_larsen);
+h_inf = 1.0/(1.0 + exp((Vm + 76.1)/6.07));
+tau_h = (Vm >= -40.0) ? 0.4537*(1.0 + exp(-(Vm + 10.66)/11.1))
+        : 3.49/(0.135*exp(-(Vm + 80.0)/6.8) + 3.56*exp(0.079*Vm) + 310000.0*exp(0.35*Vm));
+diff_h = (h_inf - h)/max(tau_h, 0.01);  h; .method(rush_larsen);
+j_inf = h_inf;
+tau_j = (Vm >= -40.0)
+        ? 11.63*(1.0 + exp(-0.1*(Vm + 32.0)))/exp(-0.0000002535*Vm)
+        : 3.49/((Vm + 37.78)/(1.0 + exp(0.311*(Vm + 79.23)))
+          *(-127140.0*exp(0.2444*Vm) - 0.00003474*exp(-0.04391*Vm))
+          + 0.1212*exp(-0.01052*Vm)/(1.0 + exp(-0.1378*(Vm + 40.14))));
+diff_j = (j_inf - j)/max(fabs(tau_j), 0.1);  j; .method(rush_larsen);
+d_inf = 1.0/(1.0 + exp((Vm + 15.3)/-5.0));
+tau_d = 0.00305*exp(-0.0045*square(Vm + 7.0)) + 0.00105*exp(-0.002*square(Vm - 18.0)) + 0.25;
+diff_d = (d_inf - d)/tau_d;  d; .method(rush_larsen);
+f_inf = 1.0/(1.0 + exp((Vm + 26.7)/5.4));
+tau_f11 = 0.105*exp(-square((Vm + 45.0)/12.0)) + 0.04/(1.0 + exp((-Vm + 25.0)/25.0))
+          + 0.015/(1.0 + exp((Vm + 75.0)/25.0)) + 0.0017;
+tau_f12 = 0.041*exp(-square((Vm + 47.0)/12.0)) + 0.08/(1.0 + exp((Vm + 55.0)/-5.0))
+          + 0.015/(1.0 + exp((Vm + 75.0)/25.0)) + 0.0017;
+diff_f11 = (f_inf - f11)/(tau_f11*1000.0)*100.0;  f11; .method(rush_larsen);
+diff_f12 = (f_inf - f12)/(tau_f12*1000.0)*100.0;  f12; .method(rush_larsen);
+diff_Ca_inact = (1.0/(1.0 + Cai/0.01) - Ca_inact)/9.0;
+r_inf = 1.0/(1.0 + exp((Vm + 10.6)/-11.42));
+tau_r = 1.0/(45.16*exp(0.03577*(Vm + 50.0)) + 98.9*exp(-0.1*(Vm + 38.0)))*1000.0;
+diff_r_g = (r_inf - r_g)/max(tau_r, 0.1);  r_g; .method(rush_larsen);
+s_inf = 1.0/(1.0 + exp((Vm + 45.3)/6.8841));
+tau_s = 0.35*exp(-square((Vm + 70.0)/15.0)) + 0.035;
+diff_s_g = (s_inf - s_g)/(tau_s*1000.0)*100.0;  s_g; .method(rush_larsen);
+tau_sslow = 3.7*exp(-square((Vm + 70.0)/30.0)) + 0.035;
+diff_s_slow = (s_inf - s_slow)/(tau_sslow*1000.0)*100.0;  s_slow; .method(rush_larsen);
+rss_inf = 1.0/(1.0 + exp((Vm + 11.5)/-11.82));
+diff_r_ss = (rss_inf - r_ss)/(10.0/(45.16*exp(0.03577*(Vm + 50.0)) + 98.9*exp(-0.1*(Vm + 38.0)))*1000.0);
+r_ss; .method(rush_larsen);
+y_inf = 1.0/(1.0 + exp((Vm + 138.6)/10.48));
+diff_y_f = (y_inf - y_f)/1000.0;  y_f; .method(rush_larsen);
+E_Na = RTF*log(Nao/Nai);
+E_K = RTF*log(Ko/Ki);
+E_Ca = 0.5*RTF*log(Cao/Cai);
+I_Na = g_Na*cube(m)*h*j*(Vm - E_Na)*100.0;
+I_CaL = g_caL*d*(0.983*f11 + 0.017*f12)*Ca_inact*(Vm - 65.0)*10.0;
+I_t = g_t*r_g*(0.886*s_g + 0.114*s_slow)*(Vm - E_K)*100.0;
+I_ss = g_ss*r_ss*(Vm - E_K)*100.0;
+I_f = g_f*y_f*(0.2*(Vm - E_Na) + 0.8*(Vm - E_K))*100.0;
+I_K1 = g_k1*(Ko/(Ko + 0.21))*(Vm - E_K)/(1.0 + exp(0.0896*(Vm - E_K)))*100.0;
+I_NaK = 0.08*(Ko/(Ko + 1.5))*(1.0/(1.0 + pow(18.84/Nai, 1.5)))
+        *(1.0/(1.0 + 0.1245*exp(-0.1*Vm/RTF)))*10.0;
+I_NaCa = 0.0000009984*(exp(0.03743*Vm*0.45)*cube(Nai)*Cao
+         - exp(-0.03743*Vm*0.55)*cube(Nao)*Cai)
+         /(1.0 + 0.0001*(Cai*cube(Nao) + Cao*cube(Nai)))*10000.0;
+J_up = 0.04*square(Cai)/(square(Cai) + square(0.00042));
+J_rel = 0.3*square(Cai/(Cai + 0.0002))*(Cansr - Cai)*0.02;
+diff_Cansr = (J_up - J_rel)*1.5;
+diff_Cai = -0.00004*(I_CaL - 2.0*I_NaCa) + (J_rel - J_up)*0.02 + 0.01*(0.00008 - Cai);
+diff_Nai = -0.00001*(I_Na + 3.0*I_NaK + 3.0*I_NaCa);
+diff_Ki = -0.00001*(I_t + I_ss + I_K1 - 2.0*I_NaK);
+Iion = I_Na + I_CaL + I_t + I_ss + I_f + I_K1 + I_NaK + I_NaCa;
+|};
+  }
+
+let entries : entry list =
+  [ zhang_san; kurata_san; maccannell; sachse; fox; priebe; bondarenko; pandit ]

@@ -1,0 +1,22 @@
+(** Model catalogue entry type.
+
+    Fidelity records how each model relates to its published source (see
+    DESIGN.md): [Faithful] models follow the published equations;
+    [Structural] models reproduce the published model's *computational
+    structure* (state count, gate/current inventory, integration methods,
+    math-call mix, LUT usage) with representative rate functions, which is
+    what the paper's performance evaluation exercises. *)
+
+type cls = Small | Medium | Large
+
+let cls_name = function Small -> "small" | Medium -> "medium" | Large -> "large"
+
+type fidelity = Faithful | Structural
+
+type entry = {
+  name : string;
+  cls : cls;
+  fidelity : fidelity;
+  description : string;
+  source : string;  (** EasyML source text *)
+}

@@ -1,0 +1,225 @@
+(** The eight small-class models (paper §4.1: runtime < 1 min baseline).
+
+    Phenomenological / reduced models: few state variables, little or no
+    lookup-table usage, short kernels — exactly the class where the paper
+    observes low and irregular speedups. *)
+
+open Model_def
+
+let aliev_panfilov =
+  {
+    name = "AlievPanfilov";
+    cls = Small;
+    fidelity = Faithful;
+    description =
+      "Aliev & Panfilov 1996 two-variable phenomenological model; cubic \
+       excitation plus a slow recovery variable with state-dependent rate.";
+    source =
+      {|
+# Aliev-Panfilov 1996, openCARP-style EasyML formulation.
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+v; v_init = 0.0;
+Vm_init = -80.0;
+group{ k = 8.0; a = 0.15; e0 = 0.002; mu1 = 0.2; mu2 = 0.3;
+       Vrest = -80.0; Vamp = 100.0; t_norm = 12.9; }.param();
+u = (Vm - Vrest)/Vamp;
+eps = e0 + mu1*v/(u + mu2);
+diff_v = (eps*(-v - k*u*(u - a - 1.0)))/t_norm;
+Iion = (k*u*(u - a)*(1.0 - u) - u*v) * (-Vamp/t_norm);
+|};
+  }
+
+let fitzhugh_nagumo =
+  {
+    name = "FitzHughNagumo";
+    cls = Small;
+    fidelity = Faithful;
+    description =
+      "Rogers & McCulloch 1994 variant of FitzHugh-Nagumo: cubic fast \
+       variable, linear recovery.";
+    source =
+      {|
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+w; w_init = 0.0;
+Vm_init = -85.0;
+group{ a = 0.13; b = 0.013; c1 = 0.26; c2 = 0.1;
+       Vrest = -85.0; Vamp = 110.0; }.param();
+u = (Vm - Vrest)/Vamp;
+diff_w = b*(u - c2*w);
+Iion = -(c1*u*(u - a)*(1.0 - u) - c2*u*w) * Vamp;
+|};
+  }
+
+let mitchell_schaeffer =
+  {
+    name = "MitchellSchaeffer";
+    cls = Small;
+    fidelity = Faithful;
+    description =
+      "Mitchell & Schaeffer 2003 two-current model; the gate closes/opens \
+       with a hard voltage threshold expressed as an EasyML conditional.";
+    source =
+      {|
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+h; h_init = 1.0;
+Vm_init = -80.0;
+group{ tau_in = 0.3; tau_out = 6.0; tau_open = 120.0; tau_close = 150.0;
+       V_gate = 0.13; Vrest = -80.0; Vamp = 100.0; }.param();
+u = (Vm - Vrest)/Vamp;
+if (u < V_gate) {
+  dh = (1.0 - h)/tau_open;
+} else {
+  dh = -h/tau_close;
+}
+diff_h = dh;
+J_in = h*u*u*(1.0 - u)/tau_in;
+J_out = -u/tau_out;
+Iion = -(J_in + J_out) * Vamp;
+|};
+  }
+
+let fenton_karma =
+  {
+    name = "FentonKarma";
+    cls = Small;
+    fidelity = Faithful;
+    description =
+      "Fenton & Karma 1998 three-variable model (MLR-I parameters): fast \
+       inward, slow outward and slow inward currents with Heaviside gating \
+       written as ternaries and a tanh.";
+    source =
+      {|
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+v; v_init = 1.0;
+w; w_init = 1.0;
+Vm_init = -85.0;
+group{ u_c = 0.13; u_v = 0.04; tau_d = 0.395; tau_0 = 9.0; tau_r = 33.33;
+       tau_si = 29.0; u_csi = 0.50; k_fk = 15.0;
+       tau_vp = 3.33; tau_vm1 = 19.6; tau_vm2 = 1250.0;
+       tau_wp = 870.0; tau_wm = 41.0;
+       Vrest = -85.0; Vamp = 100.0; }.param();
+u = (Vm - Vrest)/Vamp;
+p = (u >= u_c) ? 1.0 : 0.0;
+q = (u >= u_v) ? 1.0 : 0.0;
+tau_vm = q*tau_vm1 + (1.0 - q)*tau_vm2;
+diff_v = (1.0 - p)*(1.0 - v)/tau_vm - p*v/tau_vp;
+diff_w = (1.0 - p)*(1.0 - w)/tau_wm - p*w/tau_wp;
+J_fi = -v*p*(1.0 - u)*(u - u_c)/tau_d;
+J_so = u*(1.0 - p)/tau_0 + p/tau_r;
+J_si = -w*(1.0 + tanh(k_fk*(u - u_csi)))/(2.0*tau_si);
+Iion = (J_fi + J_so + J_si) * Vamp;
+|};
+  }
+
+let plonsey =
+  {
+    name = "Plonsey";
+    cls = Small;
+    fidelity = Faithful;
+    description =
+      "Plonsey passive membrane: linear leak plus one first-order \
+       accommodation state; the smallest kernel in the suite.";
+    source =
+      {|
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+q; q_init = 0.0;
+Vm_init = -70.0;
+group{ G = 0.05; Erest = -70.0; tau_q = 50.0; kq = 0.02; }.param();
+diff_q = ((Vm - Erest) - q)/tau_q;
+Iion = G*(Vm - Erest) - kq*q;
+|};
+  }
+
+let isac_hu =
+  {
+    name = "ISAC_Hu";
+    cls = Small;
+    fidelity = Structural;
+    description =
+      "Hu & Sachs stretch-activated channel. Deliberately calls costly \
+       math (pow, exp) every evaluation and declares no lookup table — the \
+       combination the paper credits for its outsized SVML speedup.";
+    source =
+      {|
+# No .lookup() on purpose: all transcendentals evaluated per cell per step.
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+lambda_s; lambda_s_init = 1.0;
+Vm_init = -78.0;
+group{ g_sac = 0.08; E_sac = -1.0; K_sac = 100.0; alpha_sac = 3.0;
+       gamma_sac = 0.6; lambda_set = 1.1; tau_lambda = 250.0; }.param();
+diff_lambda_s = (lambda_set - lambda_s)/tau_lambda;
+p_open = 1.0/(1.0 + K_sac*exp(-alpha_sac*(pow(lambda_s, gamma_sac) - 1.0)));
+sat = exp(-square((Vm + 20.0)/60.0));
+mod_v = 0.5*(1.0 + tanh((Vm + 30.0)/40.0));
+Iion = g_sac*p_open*(1.0 + 0.5*sat)*(0.6 + 0.4*mod_v)*(Vm - E_sac);
+|};
+  }
+
+let kch_cheng =
+  {
+    name = "KChCheng";
+    cls = Small;
+    fidelity = Structural;
+    description =
+      "Cheng-style single potassium channel: two-state Markov occupancy \
+       integrated with the implicit markov_be method (clamped to [0,1]).";
+    source =
+      {|
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+o_k; o_k_init = 0.01;
+Vm_init = -80.0;
+group{ g_k = 0.12; E_k = -85.0; k_a0 = 0.02; k_b0 = 0.08;
+       s_a = 0.04; s_b = 0.05; }.param();
+alpha_o = k_a0*exp(s_a*(Vm + 30.0));
+beta_o  = k_b0*exp(-s_b*(Vm + 30.0));
+diff_o_k = alpha_o*(1.0 - o_k) - beta_o*o_k;
+o_k; .method(markov_be);
+Iion = g_k*o_k*(Vm - E_k);
+|};
+  }
+
+let stress_lumens =
+  {
+    name = "StressLumens";
+    cls = Small;
+    fidelity = Structural;
+    description =
+      "Lumens 2009-style active-stress module: sarcomere contractility \
+       driven by a voltage-gated activation sigmoid; outputs tension \
+       alongside a small leak Iion.";
+    source =
+      {|
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+Tension; .external(); .nodal();
+C_act; C_act_init = 0.0;
+Ls; Ls_init = 1.9;
+Vm_init = -80.0;
+group{ tau_c = 40.0; tau_l = 150.0; Ls_ref = 2.0; sigma_act = 60.0;
+       V_half = -30.0; k_act = 0.12; G_leak = 0.02; E_leak = -80.0; }.param();
+act = 1.0/(1.0 + exp(-k_act*(Vm - V_half)));
+diff_C_act = (act - C_act)/tau_c;
+diff_Ls = (Ls_ref - Ls)/tau_l - 0.02*C_act;
+Tension = sigma_act*C_act*max(Ls - 1.51, 0.0);
+Iion = G_leak*(Vm - E_leak);
+|};
+  }
+
+let entries : entry list =
+  [
+    aliev_panfilov;
+    fitzhugh_nagumo;
+    mitchell_schaeffer;
+    fenton_karma;
+    plonsey;
+    isac_hu;
+    kch_cheng;
+    stress_lumens;
+  ]

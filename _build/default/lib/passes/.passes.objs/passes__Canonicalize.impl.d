@@ -1,0 +1,1 @@
+lib/passes/canonicalize.ml: Array Float Func Hashtbl Ir List Op Pass Rewrite Value

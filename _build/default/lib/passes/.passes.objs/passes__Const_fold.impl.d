@@ -1,0 +1,1 @@
+lib/passes/const_fold.ml: Array Easyml Float Func Hashtbl Ir List Op Pass Ty Value

@@ -1,0 +1,1 @@
+lib/passes/cse.ml: Array Func Hashtbl Ir List Op Pass Rewrite Value

@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Array Func Hashtbl Ir List Op Option Pass Rewrite Value

@@ -1,0 +1,1 @@
+lib/passes/licm.ml: Array Func Int Ir List Op Pass Set Value

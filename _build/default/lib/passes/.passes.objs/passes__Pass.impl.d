@@ -1,0 +1,1 @@
+lib/passes/pass.ml: Ir List

@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Canonicalize Const_fold Cse Dce Ir Licm Pass

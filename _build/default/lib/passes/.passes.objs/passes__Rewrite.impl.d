@@ -1,0 +1,1 @@
+lib/passes/rewrite.ml: Array Hashtbl Ir List Op Option Value

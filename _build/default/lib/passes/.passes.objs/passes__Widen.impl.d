@@ -1,0 +1,1 @@
+lib/passes/widen.ml: Array Builder Func Hashtbl Ir List Op Printf Ty Value

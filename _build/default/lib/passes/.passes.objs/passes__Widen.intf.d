@@ -1,0 +1,1 @@
+lib/passes/widen.mli: Ir

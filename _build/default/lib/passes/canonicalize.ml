@@ -1,0 +1,94 @@
+(** Canonicalization: local algebraic simplifications.
+
+    IEEE-safe identities only: [x+0], [x-0], [x*1], [x/1], [--x],
+    [select(const, a, b)], [broadcast] of identical value reuse, boolean
+    [not(not x)].  ([x*0] is NOT folded: wrong for inf/NaN operands.) *)
+
+open Ir
+
+let run_func (fn : Func.func) : bool =
+  let changed = ref false in
+  let subst = Rewrite.create_subst () in
+  (* defining op of each value, maintained during the walk *)
+  let defs : (int, Op.op) Hashtbl.t = Hashtbl.create 64 in
+  let def (v : Value.t) = Hashtbl.find_opt defs v.id in
+  let is_constf (v : Value.t) (c : float) =
+    match def v with
+    | Some { Op.kind = Op.ConstF x; _ } -> Float.equal x c
+    | _ -> false
+  in
+  (* x + broadcast(0) etc. also simplify: look through broadcasts of
+     constants *)
+  let rec const_of (v : Value.t) : float option =
+    match def v with
+    | Some { Op.kind = Op.ConstF x; _ } -> Some x
+    | Some { Op.kind = Op.Broadcast; operands; _ } -> const_of operands.(0)
+    | _ -> None
+  in
+  let is_c v c = is_constf v c || (match const_of v with Some x -> Float.equal x c | None -> false) in
+  let rec go (r : Op.region) : unit =
+    r.Op.r_ops <-
+      List.filter_map
+        (fun (o : Op.op) ->
+          let o = Rewrite.map_operands (Rewrite.resolve subst) o in
+          Array.iter go o.Op.regions;
+          Array.iter (fun (res : Value.t) -> Hashtbl.replace defs res.id o) o.results;
+          let replace_with (v : Value.t) =
+            Rewrite.add_subst subst ~from:o.results.(0) ~to_:v;
+            changed := true;
+            None
+          in
+          match o.Op.kind with
+          | Op.BinF Op.FAdd when is_c o.operands.(1) 0.0 ->
+              replace_with o.operands.(0)
+          | Op.BinF Op.FAdd when is_c o.operands.(0) 0.0 ->
+              replace_with o.operands.(1)
+          | Op.BinF Op.FSub when is_c o.operands.(1) 0.0 ->
+              replace_with o.operands.(0)
+          | Op.BinF Op.FMul when is_c o.operands.(1) 1.0 ->
+              replace_with o.operands.(0)
+          | Op.BinF Op.FMul when is_c o.operands.(0) 1.0 ->
+              replace_with o.operands.(1)
+          | Op.BinF Op.FDiv when is_c o.operands.(1) 1.0 ->
+              replace_with o.operands.(0)
+          | Op.NegF -> (
+              match def o.operands.(0) with
+              | Some { Op.kind = Op.NegF; operands = inner; _ } ->
+                  replace_with inner.(0)
+              | _ -> Some o)
+          | Op.NotB -> (
+              match def o.operands.(0) with
+              | Some { Op.kind = Op.NotB; operands = inner; _ } ->
+                  replace_with inner.(0)
+              | _ -> Some o)
+          | Op.Select -> (
+              match def o.operands.(0) with
+              | Some { Op.kind = Op.ConstB c; _ } ->
+                  replace_with o.operands.(if c then 1 else 2)
+              | _ ->
+                  if Value.equal o.operands.(1) o.operands.(2) then
+                    replace_with o.operands.(1)
+                  else Some o)
+          | Op.BinI Op.IMul -> (
+              match def o.operands.(1) with
+              | Some { Op.kind = Op.ConstI 1; _ } -> replace_with o.operands.(0)
+              | _ -> (
+                  match def o.operands.(0) with
+                  | Some { Op.kind = Op.ConstI 1; _ } ->
+                      replace_with o.operands.(1)
+                  | _ -> Some o))
+          | Op.BinI Op.IAdd -> (
+              match def o.operands.(1) with
+              | Some { Op.kind = Op.ConstI 0; _ } -> replace_with o.operands.(0)
+              | _ -> (
+                  match def o.operands.(0) with
+                  | Some { Op.kind = Op.ConstI 0; _ } ->
+                      replace_with o.operands.(1)
+                  | _ -> Some o))
+          | _ -> Some o)
+        r.Op.r_ops
+  in
+  go fn.Func.f_body;
+  !changed
+
+let pass : Pass.t = { Pass.name = "canonicalize"; run = run_func }

@@ -1,0 +1,144 @@
+(** IR-level constant folding.
+
+    Scalar pure ops whose operands are all known constants are replaced by
+    [arith.constant] ops producing the same SSA value — no renumbering, so
+    no substitution is needed.  Vector ops are left alone (the scalar
+    constants they broadcast still fold).  Together with the AST-level
+    preprocessor this implements the paper's §3.2 at both levels. *)
+
+open Ir
+
+type cv = CF of float | CI of int | CB of bool
+
+let eval_op (o : Op.op) (cv_of : Value.t -> cv option) : cv option =
+  let f k = match cv_of o.Op.operands.(k) with Some (CF x) -> Some x | _ -> None in
+  let i k = match cv_of o.Op.operands.(k) with Some (CI x) -> Some x | _ -> None in
+  let b k = match cv_of o.Op.operands.(k) with Some (CB x) -> Some x | _ -> None in
+  let open Op in
+  match o.Op.kind with
+  | BinF kind -> (
+      match (f 0, f 1) with
+      | Some x, Some y ->
+          let g =
+            match kind with
+            | FAdd -> ( +. )
+            | FSub -> ( -. )
+            | FMul -> ( *. )
+            | FDiv -> ( /. )
+            | FMin -> Float.min
+            | FMax -> Float.max
+            | FRem -> Float.rem
+          in
+          Some (CF (g x y))
+      | _ -> None)
+  | NegF -> ( match f 0 with Some x -> Some (CF (-.x)) | None -> None)
+  | BinI kind -> (
+      match (i 0, i 1) with
+      | Some x, Some y -> (
+          match kind with
+          | IAdd -> Some (CI (x + y))
+          | ISub -> Some (CI (x - y))
+          | IMul -> Some (CI (x * y))
+          | IDiv -> if y = 0 then None else Some (CI (x / y))
+          | IRem -> if y = 0 then None else Some (CI (x mod y)))
+      | _ -> None)
+  | BinB kind -> (
+      match (b 0, b 1) with
+      | Some x, Some y ->
+          Some
+            (CB
+               (match kind with
+               | BAnd -> x && y
+               | BOr -> x || y
+               | BXor -> x <> y))
+      | _ -> None)
+  | NotB -> ( match b 0 with Some x -> Some (CB (not x)) | None -> None)
+  | CmpF c -> (
+      match (f 0, f 1) with
+      | Some x, Some y ->
+          let g =
+            match c with
+            | Lt -> ( < )
+            | Le -> ( <= )
+            | Gt -> ( > )
+            | Ge -> ( >= )
+            | Eq -> ( = )
+            | Ne -> ( <> )
+          in
+          Some (CB (g x y))
+      | _ -> None)
+  | CmpI c -> (
+      match (i 0, i 1) with
+      | Some x, Some y ->
+          let g : int -> int -> bool =
+            match c with
+            | Lt -> ( < )
+            | Le -> ( <= )
+            | Gt -> ( > )
+            | Ge -> ( >= )
+            | Eq -> ( = )
+            | Ne -> ( <> )
+          in
+          Some (CB (g x y))
+      | _ -> None)
+  | Select -> (
+      match b 0 with
+      | Some c -> cv_of o.Op.operands.(if c then 1 else 2)
+      | None -> None)
+  | SIToFP -> ( match i 0 with Some x -> Some (CF (float_of_int x)) | None -> None)
+  | FPToSI -> ( match f 0 with Some x -> Some (CI (int_of_float x)) | None -> None)
+  | Math name -> (
+      match Easyml.Builtins.find name with
+      | None -> None
+      | Some bi -> (
+          let args =
+            Array.init bi.arity (fun k ->
+                match f k with Some x -> x | None -> Float.nan)
+          in
+          if Array.exists Float.is_nan args then None
+          else
+            match bi.eval args with
+            | v when Float.is_finite v -> Some (CF v)
+            | _ -> None))
+  | _ -> None
+
+let run_func (fn : Func.func) : bool =
+  let consts : (int, cv) Hashtbl.t = Hashtbl.create 32 in
+  let cv_of (v : Value.t) = Hashtbl.find_opt consts v.id in
+  let changed = ref false in
+  let rec go (r : Op.region) : unit =
+    r.Op.r_ops <-
+      List.map
+        (fun (o : Op.op) ->
+          Array.iter go o.Op.regions;
+          match o.Op.kind with
+          | Op.ConstF c ->
+              Hashtbl.replace consts o.results.(0).id (CF c);
+              o
+          | Op.ConstI c ->
+              Hashtbl.replace consts o.results.(0).id (CI c);
+              o
+          | Op.ConstB c ->
+              Hashtbl.replace consts o.results.(0).id (CB c);
+              o
+          | _ when Array.length o.results = 1 && Ty.is_scalar o.results.(0).ty
+            -> (
+              match eval_op o cv_of with
+              | Some cv ->
+                  Hashtbl.replace consts o.results.(0).id cv;
+                  changed := true;
+                  let kind =
+                    match cv with
+                    | CF x -> Op.ConstF x
+                    | CI x -> Op.ConstI x
+                    | CB x -> Op.ConstB x
+                  in
+                  { o with Op.kind; operands = [||] }
+              | None -> o)
+          | _ -> o)
+        r.Op.r_ops
+  in
+  go fn.Func.f_body;
+  !changed
+
+let pass : Pass.t = { Pass.name = "const-fold"; run = run_func }

@@ -1,0 +1,42 @@
+(** Pass framework.
+
+    Passes transform functions in place (regions carry mutable op lists;
+    individual ops are immutable records, so rewrites build new op records
+    sharing the original result values).  A pipeline runs passes in order
+    and can be asked to verify after each step — used by the test suite to
+    catch passes that break the IR. *)
+
+type t = { name : string; run : Ir.Func.func -> bool }
+(** [run] returns true when it changed anything. *)
+
+let run_on_module (p : t) (m : Ir.Func.modl) : bool =
+  List.fold_left (fun changed f -> p.run f || changed) false m.Ir.Func.m_funcs
+
+type pipeline_options = { verify_each : bool }
+
+let default_options = { verify_each = false }
+
+exception Verification_failed of string * Ir.Verifier.error list
+
+let run_pipeline ?(options = default_options) (passes : t list)
+    (m : Ir.Func.modl) : unit =
+  List.iter
+    (fun p ->
+      ignore (run_on_module p m);
+      if options.verify_each then
+        match Ir.Verifier.verify_module m with
+        | [] -> ()
+        | errs -> raise (Verification_failed (p.name, errs)))
+    passes
+
+(** Run a pass list to fixpoint (bounded, the bound only guards against a
+    pass that oscillates). *)
+let run_fixpoint ?(max_iters = 8) (passes : t list) (m : Ir.Func.modl) : unit =
+  let rec go n =
+    if n < max_iters then
+      let changed =
+        List.fold_left (fun c p -> run_on_module p m || c) false passes
+      in
+      if changed then go (n + 1)
+  in
+  go 0

@@ -1,0 +1,31 @@
+(** Standard optimization pipelines. *)
+
+(** The default kernel pipeline, mirroring the in-tree MLIR passes the
+    paper relies on: canonicalize → const-fold → CSE → LICM → (again, since
+    hoisting exposes new CSE/folding opportunities) → DCE. *)
+let standard : Pass.t list =
+  [
+    Canonicalize.pass;
+    Const_fold.pass;
+    Cse.pass;
+    Licm.pass;
+    Canonicalize.pass;
+    Const_fold.pass;
+    Cse.pass;
+    Dce.pass;
+  ]
+
+let optimize ?(verify = false) (m : Ir.Func.modl) : unit =
+  Pass.run_pipeline
+    ~options:{ Pass.verify_each = verify }
+    standard m
+
+(** Pass registry for the CLI's [-pass] flag. *)
+let by_name : (string * Pass.t) list =
+  [
+    ("canonicalize", Canonicalize.pass);
+    ("const-fold", Const_fold.pass);
+    ("cse", Cse.pass);
+    ("licm", Licm.pass);
+    ("dce", Dce.pass);
+  ]

@@ -1,0 +1,118 @@
+(** Function widening: scalar → vector lifting.
+
+    The paper's generator emits vector code directly (vectorization as an
+    *intrinsic* property, §3.3); this pass provides the complementary
+    direction — lifting a straight-line scalar function to a given vector
+    width — primarily as a differential-testing oracle: for any scalar
+    function the engine must produce, lane by lane, the same results
+    through the widened version.
+
+    Scope: functions whose body is straight-line (no regions) over scalar
+    f64/i64/i1 values; memory ops are out of scope (their widening is the
+    code generator's job, where layout information lives). *)
+
+open Ir
+
+exception Not_widenable of string
+
+let widen_ty (w : int) (t : Ty.t) : Ty.t =
+  match t with
+  | Ty.F64 | Ty.I64 | Ty.I1 -> Ty.vec w t
+  | Ty.Vec _ -> raise (Not_widenable "function already vectorized")
+  | Ty.Memref -> raise (Not_widenable "memref parameters are not widenable")
+
+(** [widen ~w f] is a new function [f_vec<w>] computing [w] independent
+    instances of [f] per invocation.
+    @raise Not_widenable for control flow, calls or memory ops. *)
+let widen ~(w : int) (f : Func.func) : Func.func =
+  if w < 2 then invalid_arg "Widen.widen: width must be >= 2";
+  let ctx = Builder.create_ctx () in
+  let params = List.map (fun (v : Value.t) -> widen_ty w v.ty) f.Func.f_params in
+  let results = List.map (widen_ty w) f.f_results in
+  Builder.func ctx
+    ~name:(Printf.sprintf "%s_vec%d" f.Func.f_name w)
+    ~params ~results
+    (fun b args ->
+      (* original value -> widened value *)
+      let map : (int, Value.t) Hashtbl.t = Hashtbl.create 64 in
+      List.iter2
+        (fun (old : Value.t) nv -> Hashtbl.replace map old.id nv)
+        f.f_params args;
+      let get (v : Value.t) =
+        match Hashtbl.find_opt map v.id with
+        | Some nv -> nv
+        | None -> raise (Not_widenable "use of a value outside the body")
+      in
+      let out = ref [] in
+      List.iter
+        (fun (o : Op.op) ->
+          if Array.length o.Op.regions > 0 then
+            raise (Not_widenable "control flow is not widenable");
+          let bind1 kind operands rty =
+            let res = Builder.emit b kind operands [ rty ] in
+            Hashtbl.replace map o.results.(0).id (List.hd res)
+          in
+          match o.Op.kind with
+          | Op.ConstF c ->
+              bind1 (Op.ConstF c) [] Ty.F64;
+              (* broadcast immediately so downstream ops see vectors *)
+              let scalar = Hashtbl.find map o.results.(0).id in
+              Hashtbl.replace map o.results.(0).id
+                (Builder.broadcast b ~width:w scalar)
+          | Op.ConstI c ->
+              bind1 (Op.ConstI c) [] Ty.I64;
+              let scalar = Hashtbl.find map o.results.(0).id in
+              Hashtbl.replace map o.results.(0).id
+                (Builder.broadcast b ~width:w scalar)
+          | Op.ConstB c ->
+              bind1 (Op.ConstB c) [] Ty.I1;
+              let scalar = Hashtbl.find map o.results.(0).id in
+              Hashtbl.replace map o.results.(0).id
+                (Builder.broadcast b ~width:w scalar)
+          | Op.BinF k ->
+              let x = get o.operands.(0) and y = get o.operands.(1) in
+              bind1 (Op.BinF k) [ x; y ] x.ty
+          | Op.NegF ->
+              let x = get o.operands.(0) in
+              bind1 Op.NegF [ x ] x.ty
+          | Op.BinI k ->
+              let x = get o.operands.(0) and y = get o.operands.(1) in
+              bind1 (Op.BinI k) [ x; y ] x.ty
+          | Op.BinB k ->
+              let x = get o.operands.(0) and y = get o.operands.(1) in
+              bind1 (Op.BinB k) [ x; y ] x.ty
+          | Op.NotB ->
+              let x = get o.operands.(0) in
+              bind1 Op.NotB [ x ] x.ty
+          | Op.CmpF c ->
+              let x = get o.operands.(0) and y = get o.operands.(1) in
+              bind1 (Op.CmpF c) [ x; y ] (Ty.like ~like:x.ty Ty.I1)
+          | Op.CmpI c ->
+              let x = get o.operands.(0) and y = get o.operands.(1) in
+              bind1 (Op.CmpI c) [ x; y ] (Ty.like ~like:x.ty Ty.I1)
+          | Op.Select ->
+              let c = get o.operands.(0)
+              and x = get o.operands.(1)
+              and y = get o.operands.(2) in
+              bind1 Op.Select [ c; x; y ] x.ty
+          | Op.SIToFP ->
+              let x = get o.operands.(0) in
+              bind1 Op.SIToFP [ x ] (Ty.like ~like:x.ty Ty.F64)
+          | Op.FPToSI ->
+              let x = get o.operands.(0) in
+              bind1 Op.FPToSI [ x ] (Ty.like ~like:x.ty Ty.I64)
+          | Op.Math name ->
+              let ops = Array.to_list (Array.map get o.operands) in
+              bind1 (Op.Math name) ops (List.hd ops).ty
+          | Op.Return -> out := Array.to_list (Array.map get o.operands)
+          | Op.Yield | Op.For _ | Op.If ->
+              raise (Not_widenable "control flow is not widenable")
+          | Op.Call _ -> raise (Not_widenable "calls are not widenable")
+          | Op.Broadcast | Op.VecExtract _ | Op.Iota _ ->
+              raise (Not_widenable "function already uses vector ops")
+          | Op.VecLoad | Op.VecStore | Op.Gather | Op.Scatter | Op.Alloc
+          | Op.MemLoad | Op.MemStore ->
+              raise (Not_widenable "memory ops are not widenable"))
+        f.f_body.Op.r_ops;
+      Builder.ret b !out)
+

@@ -1,0 +1,12 @@
+(** Scalar → vector function lifting, the differential-testing complement
+    of the generator's intrinsic vectorization: for any straight-line
+    scalar function, the widened version must produce the same results
+    lane by lane. *)
+
+exception Not_widenable of string
+
+val widen : w:int -> Ir.Func.func -> Ir.Func.func
+(** [widen ~w f] computes [w] independent instances of [f] per invocation.
+    @raise Not_widenable for control flow, calls, memory ops or functions
+    that already use vectors.
+    @raise Invalid_argument when [w < 2]. *)

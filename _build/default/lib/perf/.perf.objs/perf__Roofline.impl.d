@@ -1,0 +1,1 @@
+lib/perf/roofline.ml: Float Fmt List

@@ -1,0 +1,1 @@
+lib/perf/roofline.mli: Format

@@ -1,0 +1,1 @@
+lib/perf/stats.ml: Float List

@@ -1,0 +1,28 @@
+(** Roofline-model helpers (paper §4.5, Fig. 6). *)
+
+type point = {
+  label : string;
+  oi : float;  (** operational intensity, flops/byte *)
+  gflops : float;  (** achieved performance *)
+  cls : string;  (** small / medium / large *)
+}
+
+type ceilings = { peak_gflops : float; dram_bw : float; l1_bw : float }
+
+(** Attainable performance at a given operational intensity. *)
+let attainable (c : ceilings) ~(oi : float) : float =
+  Float.min c.peak_gflops (oi *. c.dram_bw)
+
+(** Is the point memory-bound under these ceilings (left of the ridge)? *)
+let memory_bound (c : ceilings) ~(oi : float) : bool =
+  oi *. c.dram_bw < c.peak_gflops
+
+let ridge (c : ceilings) : float = c.peak_gflops /. c.dram_bw
+
+(** Render an ASCII table of roofline points, sorted by intensity. *)
+let pp_points ppf (points : point list) =
+  let sorted = List.sort (fun a b -> compare a.oi b.oi) points in
+  Fmt.pf ppf "%-28s %8s %12s %8s@." "model" "OI(F/B)" "GFlops/s" "class";
+  List.iter
+    (fun p -> Fmt.pf ppf "%-28s %8.3f %12.2f %8s@." p.label p.oi p.gflops p.cls)
+    sorted

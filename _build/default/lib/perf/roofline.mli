@@ -1,0 +1,22 @@
+(** Roofline-model helpers (paper §4.5, Fig. 6). *)
+
+type point = {
+  label : string;
+  oi : float;  (** operational intensity, flops/byte *)
+  gflops : float;
+  cls : string;
+}
+
+type ceilings = { peak_gflops : float; dram_bw : float; l1_bw : float }
+
+val attainable : ceilings -> oi:float -> float
+(** min(peak, oi × bandwidth): the roofline itself. *)
+
+val memory_bound : ceilings -> oi:float -> bool
+(** True left of the ridge point. *)
+
+val ridge : ceilings -> float
+(** Operational intensity at which compute and bandwidth limits meet. *)
+
+val pp_points : Format.formatter -> point list -> unit
+(** Table of points sorted by intensity. *)

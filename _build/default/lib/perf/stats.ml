@@ -1,0 +1,34 @@
+(** Statistics helpers used by the benchmark harness.
+
+    The paper's protocol (§4): run five times, drop the two extrema,
+    average the remaining three; aggregate speedups with the geometric
+    mean. *)
+
+let geomean (xs : float list) : float =
+  match xs with
+  | [] -> invalid_arg "Stats.geomean: empty"
+  | _ ->
+      let n = float_of_int (List.length xs) in
+      Float.exp (List.fold_left (fun acc x -> acc +. Float.log x) 0.0 xs /. n)
+
+(** Drop min and max, average the rest (the paper's 5-run protocol). *)
+let trimmed_mean (xs : float list) : float =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.trimmed_mean: empty"
+  | [ x ] -> x
+  | [ a; b ] -> (a +. b) /. 2.0
+  | sorted ->
+      let n = List.length sorted in
+      let inner = List.filteri (fun i _ -> i > 0 && i < n - 1) sorted in
+      List.fold_left ( +. ) 0.0 inner /. float_of_int (List.length inner)
+
+let mean (xs : float list) : float =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let min_max (xs : float list) : float * float =
+  match xs with
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: rest ->
+      List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) rest

@@ -1,0 +1,11 @@
+(** Statistics helpers for the benchmark harness. *)
+
+val geomean : float list -> float
+(** Geometric mean. @raise Invalid_argument on the empty list. *)
+
+val trimmed_mean : float list -> float
+(** Drop the minimum and maximum, average the rest — the paper's
+    run-5-drop-extrema-average-3 protocol. *)
+
+val mean : float list -> float
+val min_max : float list -> float * float

@@ -1,0 +1,1 @@
+lib/runtime/lut.ml: Array Exec Float Func Ir Ty

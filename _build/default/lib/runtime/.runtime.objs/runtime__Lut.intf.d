@@ -1,0 +1,1 @@
+lib/runtime/lut.mli: Exec Ir

@@ -1,0 +1,1 @@
+lib/runtime/parallel.ml: Domain List

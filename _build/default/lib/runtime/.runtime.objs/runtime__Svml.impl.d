@@ -1,0 +1,1 @@
+lib/runtime/svml.ml: Exec Float Int64

@@ -1,0 +1,1 @@
+lib/runtime/svml.mli: Exec

@@ -1,0 +1,65 @@
+(** Cell-state data layouts (paper §3.4.1).
+
+    The private per-cell state of an ionic model is a record of [nvars]
+    doubles per cell.  openCARP stores it as an array of structures (AoS);
+    limpetMLIR's data-layout transformation rearranges it as an
+    array-of-structures-of-arrays (AoSoA) with block size equal to the
+    vector width, so that lane [l] of a vector holding state variable [k]
+    for cells [c..c+w-1] sits at consecutive addresses — turning
+    gather/scatter into plain vector loads/stores and fixing TLB/cache
+    behaviour.  SoA is included for completeness and ablations. *)
+
+type t =
+  | AoS  (** cell-major: [cell*nvars + var] *)
+  | SoA  (** variable-major: [var*ncells + cell] *)
+  | AoSoA of int  (** blocked with block size [w] *)
+
+let name = function
+  | AoS -> "aos"
+  | SoA -> "soa"
+  | AoSoA w -> Printf.sprintf "aosoa%d" w
+
+let of_string (s : string) : t option =
+  match s with
+  | "aos" -> Some AoS
+  | "soa" -> Some SoA
+  | _ ->
+      if String.length s > 5 && String.sub s 0 5 = "aosoa" then
+        match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+        | Some w when w > 0 -> Some (AoSoA w)
+        | _ -> None
+      else None
+
+(** Number of cells the buffer is padded to.  AoSoA pads the cell count up
+    to a full block so vector loads never straddle the end. *)
+let padded_cells (t : t) ~(ncells : int) : int =
+  match t with
+  | AoS | SoA -> ncells
+  | AoSoA w -> (ncells + w - 1) / w * w
+
+(** Buffer length in doubles. *)
+let size (t : t) ~(nvars : int) ~(ncells : int) : int =
+  nvars * padded_cells t ~ncells
+
+(** Flat index of state variable [var] of cell [cell]. *)
+let index (t : t) ~(nvars : int) ~(ncells : int) ~(cell : int) ~(var : int) :
+    int =
+  match t with
+  | AoS -> (cell * nvars) + var
+  | SoA -> (var * ncells) + cell
+  | AoSoA w -> (cell / w * nvars * w) + (var * w) + (cell mod w)
+
+(** Stride between the same variable of consecutive cells *within an aligned
+    group*, used by the code generator to decide between contiguous vector
+    accesses and gathers: 1 means cells are adjacent (vector.load applies),
+    anything else requires a gather. *)
+let cell_stride (t : t) ~(nvars : int) : int =
+  match t with AoS -> nvars | SoA -> 1 | AoSoA _ -> 1
+
+(** True when a width-[w] vector starting at an aligned cell index is
+    contiguous in memory. *)
+let contiguous (t : t) ~(w : int) : bool =
+  match t with
+  | SoA -> true
+  | AoSoA bw -> bw mod w = 0
+  | AoS -> false

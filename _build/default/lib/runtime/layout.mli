@@ -1,0 +1,30 @@
+(** Cell-state data layouts (paper §3.4.1).
+
+    AoS is openCARP's native storage; AoSoA is limpetMLIR's data-layout
+    transformation (blocked by the vector width so lanes are contiguous);
+    SoA is included for ablations. *)
+
+type t =
+  | AoS  (** cell-major: [cell*nvars + var] *)
+  | SoA  (** variable-major: [var*ncells + cell] *)
+  | AoSoA of int  (** blocked with block size [w] *)
+
+val name : t -> string
+val of_string : string -> t option
+(** Parses ["aos"], ["soa"], ["aosoa<N>"]. *)
+
+val padded_cells : t -> ncells:int -> int
+(** Cell count after padding to full blocks (AoSoA only pads). *)
+
+val size : t -> nvars:int -> ncells:int -> int
+(** Buffer length in doubles. *)
+
+val index : t -> nvars:int -> ncells:int -> cell:int -> var:int -> int
+(** Flat index of a state variable of a cell. Bijective into [0, size). *)
+
+val cell_stride : t -> nvars:int -> int
+(** Distance between the same variable of consecutive cells within an
+    aligned group; 1 means vector loads apply, otherwise gathers. *)
+
+val contiguous : t -> w:int -> bool
+(** True when a width-[w] vector starting at an aligned cell is contiguous. *)

@@ -1,0 +1,41 @@
+(** Lookup-table runtime (paper §3.4.2): linear interpolation of
+    precomputed cone columns, the hand-vectorized row interpolation of
+    Listing 3, and the cubic (Catmull-Rom) variant of the paper's §7
+    future work. *)
+
+type table = {
+  lo : float;
+  step : float;
+  rows : int;
+  cols : int;
+  data : floatarray;  (** row-major: [data.(r * cols + c)] *)
+}
+
+val build : lo:float -> hi:float -> step:float -> (float -> float) array -> table
+(** Evaluate every column function on the grid.
+    @raise Invalid_argument on bad bounds. *)
+
+val locate : table -> float -> int * float
+(** Row index and interpolation fraction, clamped to the table domain. *)
+
+val interp_row : table -> float -> row:floatarray -> unit
+(** Linear interpolation of all columns at one point into [row]. *)
+
+val interp_row_vec : table -> floatarray -> row:floatarray -> unit
+(** Linear interpolation for [w] lanes; [row.(c*w + l)] is column [c] of
+    lane [l] (column-major so kernels read columns with one vector load). *)
+
+val interp_row_cubic : table -> float -> row:floatarray -> unit
+(** Catmull-Rom interpolation: O(h⁴) error at ~4× the arithmetic. *)
+
+val interp_row_cubic_vec : table -> floatarray -> row:floatarray -> unit
+
+val of_raw :
+  data:floatarray -> lo:float -> step:float -> rows:int -> cols:int -> table
+(** Zero-copy view over a raw buffer (the form generated kernels pass). *)
+
+val register : Exec.Rt.registry -> unit
+(** Register the [lut_interp*] extern entry points used by generated IR. *)
+
+val extern_sigs : width:int -> Ir.Func.extern_sig list
+(** IR-level signatures of those entry points at a vector width. *)

@@ -1,0 +1,51 @@
+(** Domain-based parallel-for with a static schedule.
+
+    The OCaml 5 stand-in for the paper's
+    [#pragma omp parallel for schedule(static)].  The iteration space is
+    split into [nthreads] contiguous chunks; chunk [k] runs on domain [k]
+    (chunk 0 on the calling domain).  With [nthreads = 1] no domain is
+    spawned. *)
+
+(** [chunks ~nthreads ~lo ~hi] returns the per-thread [(lo, hi)] ranges of a
+    static schedule (balanced to within one iteration). *)
+let chunks ~(nthreads : int) ~(lo : int) ~(hi : int) : (int * int) list =
+  if nthreads <= 0 then invalid_arg "Parallel.chunks: nthreads must be > 0";
+  let n = max 0 (hi - lo) in
+  let base = n / nthreads and extra = n mod nthreads in
+  let rec go k start acc =
+    if k = nthreads then List.rev acc
+    else
+      let len = base + if k < extra then 1 else 0 in
+      go (k + 1) (start + len) ((start, start + len) :: acc)
+  in
+  go 0 lo []
+
+(** [parallel_for ~nthreads ~lo ~hi body] runs [body chunk_lo chunk_hi] for
+    every chunk of the static schedule, concurrently on [nthreads] domains.
+    [body] must only write to disjoint data per chunk. *)
+let parallel_for ~(nthreads : int) ~(lo : int) ~(hi : int)
+    (body : int -> int -> unit) : unit =
+  match chunks ~nthreads ~lo ~hi with
+  | [] -> ()
+  | (l0, h0) :: rest ->
+      let domains =
+        List.filter_map
+          (fun (l, h) ->
+            if h > l then Some (Domain.spawn (fun () -> body l h)) else None)
+          rest
+      in
+      if h0 > l0 then body l0 h0;
+      List.iter Domain.join domains
+
+(** Like {!parallel_for} but each chunk body produces a value; returns the
+    values in chunk order. Used by reductions in the harness. *)
+let parallel_map_chunks ~(nthreads : int) ~(lo : int) ~(hi : int)
+    (body : int -> int -> 'a) : 'a list =
+  match chunks ~nthreads ~lo ~hi with
+  | [] -> []
+  | (l0, h0) :: rest ->
+      let domains =
+        List.map (fun (l, h) -> Domain.spawn (fun () -> body l h)) rest
+      in
+      let first = body l0 h0 in
+      first :: List.map Domain.join domains

@@ -1,0 +1,14 @@
+(** Domain-based parallel-for with a static schedule — the OCaml stand-in
+    for [#pragma omp parallel for schedule(static)]. *)
+
+val chunks : nthreads:int -> lo:int -> hi:int -> (int * int) list
+(** Per-thread [(lo, hi)] ranges; a partition of [lo, hi) balanced to
+    within one iteration. @raise Invalid_argument when [nthreads <= 0]. *)
+
+val parallel_for : nthreads:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** Run [body chunk_lo chunk_hi] for every chunk concurrently (chunk 0 on
+    the calling domain).  Bodies must write disjoint data. *)
+
+val parallel_map_chunks :
+  nthreads:int -> lo:int -> hi:int -> (int -> int -> 'a) -> 'a list
+(** Like {!parallel_for} but collects per-chunk results in chunk order. *)

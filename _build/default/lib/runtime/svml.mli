@@ -1,0 +1,20 @@
+(** SVML-style vectorized math kernels (range reduction + polynomial),
+    with accuracy bounds checked by the test suite.  The execution engine
+    uses exact libm by default; these exist as the substrate standing in
+    for Intel's libsvml and for experiments via {!use_in_registry}. *)
+
+val exp_scalar : float -> float
+val log_scalar : float -> float
+val tanh_scalar : float -> float
+val pow_scalar : float -> float -> float
+
+val exp_v : src:floatarray -> dst:floatarray -> unit
+val log_v : src:floatarray -> dst:floatarray -> unit
+val tanh_v : src:floatarray -> dst:floatarray -> unit
+val pow_v : x:floatarray -> y:floatarray -> dst:floatarray -> unit
+
+val advertised_rel_error : float
+(** Relative-error budget versus libm on the ranges ionic models use. *)
+
+val use_in_registry : Exec.Rt.registry -> unit
+(** Register [svml_exp]/[svml_log]/[svml_tanh] extern entry points. *)

@@ -1,0 +1,1 @@
+lib/sim/driver.ml: Array Codegen Domain Easyml Engine Exec Float Fmt Interp Ir List Rt Runtime Stim Unix

@@ -1,0 +1,1 @@
+lib/sim/driver.mli: Codegen Exec Stim

@@ -1,0 +1,1 @@
+lib/sim/stim.ml: Float

@@ -1,0 +1,330 @@
+(** Simulation driver: the openCARP [bench] analogue.
+
+    Owns the runtime data (cell state buffer in the configured layout,
+    external-variable arrays, lookup tables, scratch row buffers), compiles
+    the generated kernel with the execution engine, and advances the
+    two-stage simulation: the *compute stage* (the generated kernel, run in
+    parallel chunks over cells) followed by the per-cell membrane update
+    standing in for the solver stage, [Vm += dt * (stim(t) - Iion)]. *)
+
+open Exec
+module M = Easyml.Model
+
+exception Driver_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Driver_error s)) fmt
+
+type engine = Compiled | Reference
+
+type t = {
+  gen : Codegen.Kernel.t;
+  ncells : int;
+  ncells_pad : int;
+  dt : float;
+  sv : floatarray;
+  exts : (string * floatarray) list;
+  params_buf : floatarray option;
+  tables : floatarray list;  (** one per lookup plan, row-major *)
+  engine : engine;
+  registry : Rt.registry;
+  mutable runners : (Rt.v array -> Rt.v array) array;
+      (** one compiled kernel instance per thread (engines are not
+          reentrant: each has its own register file) *)
+  mutable rows : floatarray list array;  (** per-thread LUT row buffers *)
+  mutable t_now : float;
+  mutable steps_done : int;
+}
+
+let width (d : t) = d.gen.Codegen.Kernel.cfg.Codegen.Config.width
+
+let make_registry () : Rt.registry =
+  let r = Rt.create_registry () in
+  Runtime.Lut.register r;
+  r
+
+let make_runner (d_engine : engine) (registry : Rt.registry)
+    (modl : Ir.Func.modl) : Rt.v array -> Rt.v array =
+  match d_engine with
+  | Compiled ->
+      let lookup = Engine.compile_module ~externs:registry modl in
+      lookup Codegen.Kernel.compute_name
+  | Reference ->
+      fun args -> Interp.run ~externs:registry modl Codegen.Kernel.compute_name args
+
+let make_rows (gen : Codegen.Kernel.t) : floatarray list =
+  let w = gen.Codegen.Kernel.cfg.Codegen.Config.width in
+  List.map
+    (fun plan ->
+      Rt.buffer (max 1 (Easyml.Lut_cones.n_columns plan * w)))
+    gen.Codegen.Kernel.lut_plans
+
+(** Initialize state and external buffers from the model's [_init] values
+    and (re)build the lookup tables by running the generated [lut_init_*]
+    functions through the engine. *)
+let reset (d : t) : unit =
+  let model = d.gen.Codegen.Kernel.model in
+  let layout = d.gen.Codegen.Kernel.cfg.Codegen.Config.layout in
+  let nvars = d.gen.Codegen.Kernel.nvars in
+  (* state *)
+  List.iter
+    (fun (name, k) ->
+      let init =
+        match M.find_state model name with
+        | Some sv -> sv.M.sv_init
+        | None -> 0.0
+      in
+      for c = 0 to d.ncells_pad - 1 do
+        Float.Array.set d.sv
+          (Runtime.Layout.index layout ~nvars ~ncells:d.ncells_pad ~cell:c ~var:k)
+          init
+      done)
+    d.gen.Codegen.Kernel.state_index;
+  (* externals *)
+  List.iter
+    (fun (name, buf) ->
+      let init =
+        match M.find_ext model name with Some e -> e.M.ext_init | None -> 0.0
+      in
+      Float.Array.fill buf 0 (Float.Array.length buf) init)
+    d.exts;
+  (* parameters (when not folded) *)
+  (match d.params_buf with
+  | None -> ()
+  | Some buf ->
+      List.iteri
+        (fun k (_, v) -> Float.Array.set buf k v)
+        model.M.params);
+  (* lookup tables *)
+  let lookup =
+    match d.engine with
+    | Compiled ->
+        Engine.compile_module ~externs:d.registry d.gen.Codegen.Kernel.modl
+    | Reference ->
+        fun name args ->
+          Interp.run ~externs:d.registry d.gen.Codegen.Kernel.modl name args
+  in
+  List.iter2
+    (fun (plan : Easyml.Lut_cones.t) table ->
+      let init = lookup (Codegen.Kernel.lut_init_name plan.Easyml.Lut_cones.spec) in
+      ignore (init [| Rt.M table; Rt.F d.dt |]))
+    d.gen.Codegen.Kernel.lut_plans d.tables;
+  d.t_now <- 0.0;
+  d.steps_done <- 0
+
+let create ?(engine = Compiled) (gen : Codegen.Kernel.t) ~(ncells : int)
+    ~(dt : float) : t =
+  if ncells <= 0 then fail "ncells must be positive";
+  if dt <= 0.0 then fail "dt must be positive";
+  let cfg = gen.Codegen.Kernel.cfg in
+  let w = cfg.Codegen.Config.width in
+  (* pad the cell count so every vector chunk is full (openCARP pads its
+     state arrays the same way) *)
+  let ncells_pad = (ncells + w - 1) / w * w in
+  let layout = cfg.Codegen.Config.layout in
+  let nvars = max 1 gen.Codegen.Kernel.nvars in
+  let sv =
+    Rt.buffer (Runtime.Layout.size layout ~nvars ~ncells:ncells_pad)
+  in
+  let exts =
+    List.map
+      (fun name -> (name, Rt.buffer ncells_pad))
+      gen.Codegen.Kernel.ext_order
+  in
+  let params_buf =
+    if gen.Codegen.Kernel.param_order = [] then None
+    else Some (Rt.buffer (List.length gen.Codegen.Kernel.param_order))
+  in
+  let tables =
+    List.map
+      (fun (plan : Easyml.Lut_cones.t) ->
+        let spec = plan.Easyml.Lut_cones.spec in
+        Rt.buffer
+          (max 1 (M.lut_rows spec * Easyml.Lut_cones.n_columns plan)))
+      gen.Codegen.Kernel.lut_plans
+  in
+  let registry = make_registry () in
+  let d =
+    {
+      gen;
+      ncells;
+      ncells_pad;
+      dt;
+      sv;
+      exts;
+      params_buf;
+      tables;
+      engine;
+      registry;
+      runners = [||];
+      rows = [||];
+      t_now = 0.0;
+      steps_done = 0;
+    }
+  in
+  reset d;
+  d
+
+(* Make sure we have per-thread kernel instances and row buffers. *)
+let ensure_threads (d : t) (nthreads : int) : unit =
+  let cur = Array.length d.runners in
+  if cur < nthreads then begin
+    let extra_runners =
+      Array.init (nthreads - cur) (fun _ ->
+          make_runner d.engine d.registry d.gen.Codegen.Kernel.modl)
+    in
+    let extra_rows =
+      Array.init (nthreads - cur) (fun _ -> make_rows d.gen)
+    in
+    d.runners <- Array.append d.runners extra_runners;
+    d.rows <- Array.append d.rows extra_rows
+  end
+
+let kernel_args (d : t) ~(start : int) ~(stop : int) ~(rows : floatarray list)
+    : Rt.v array =
+  Array.of_list
+    ([
+       Rt.I start;
+       Rt.I stop;
+       Rt.I d.ncells_pad;
+       Rt.F d.dt;
+       Rt.F d.t_now;
+       Rt.M d.sv;
+     ]
+    @ List.map (fun (_, buf) -> Rt.M buf) d.exts
+    @ (match d.params_buf with None -> [] | Some b -> [ Rt.M b ])
+    @ List.concat
+        (List.map2 (fun table row -> [ Rt.M table; Rt.M row ]) d.tables rows))
+
+(** Run the compute stage once over all cells with [nthreads] domains. *)
+let compute_stage ?(nthreads = 1) (d : t) : unit =
+  ensure_threads d nthreads;
+  let w = width d in
+  if nthreads = 1 then
+    let args = kernel_args d ~start:0 ~stop:d.ncells_pad ~rows:d.rows.(0) in
+    ignore (d.runners.(0) args)
+  else begin
+    (* chunk boundaries must be aligned to the vector width *)
+    let nblocks = d.ncells_pad / w in
+    let chunks = Runtime.Parallel.chunks ~nthreads ~lo:0 ~hi:nblocks in
+    let jobs =
+      List.mapi
+        (fun k (blo, bhi) ->
+          let args =
+            kernel_args d ~start:(blo * w) ~stop:(bhi * w) ~rows:d.rows.(k)
+          in
+          fun () -> if bhi > blo then ignore (d.runners.(k) args))
+        chunks
+    in
+    match jobs with
+    | [] -> ()
+    | first :: rest ->
+        let domains = List.map (fun job -> Domain.spawn job) rest in
+        first ();
+        List.iter Domain.join domains
+  end
+
+let find_ext_buf (d : t) (name : string) : floatarray =
+  match List.assoc_opt name d.exts with
+  | Some b -> b
+  | None -> fail "model has no external variable %s" name
+
+(** Membrane update (solver-stage stand-in for single-cell runs):
+    [Vm += dt * (stim(t) - Iion)] on every cell, when the model exposes the
+    conventional [Vm]/[Iion] externals. *)
+let membrane_update ?(stim = Stim.none) (d : t) : unit =
+  match (List.assoc_opt "Vm" d.exts, List.assoc_opt "Iion" d.exts) with
+  | Some vm, Some iion ->
+      let s = Stim.at stim d.t_now in
+      for c = 0 to d.ncells - 1 do
+        Float.Array.set vm c
+          (Float.Array.get vm c
+          +. (d.dt *. (s -. Float.Array.get iion c)))
+      done;
+      (* padded lanes mirror the last real cell so vector math stays finite *)
+      for c = d.ncells to d.ncells_pad - 1 do
+        Float.Array.set vm c (Float.Array.get vm (d.ncells - 1))
+      done
+  | _ -> ()
+
+(** One full time step: compute stage + membrane update. *)
+let step ?(nthreads = 1) ?(stim = Stim.none) (d : t) : unit =
+  compute_stage ~nthreads d;
+  membrane_update ~stim d;
+  d.t_now <- d.t_now +. d.dt;
+  d.steps_done <- d.steps_done + 1
+
+(** Like {!step}, returning the wall-clock seconds of the compute stage. *)
+let step_timed ?(nthreads = 1) ?(stim = Stim.none) (d : t) : float =
+  let t0 = Unix.gettimeofday () in
+  compute_stage ~nthreads d;
+  let dt_wall = Unix.gettimeofday () -. t0 in
+  membrane_update ~stim d;
+  d.t_now <- d.t_now +. d.dt;
+  d.steps_done <- d.steps_done + 1;
+  dt_wall
+
+(** Current simulation time in ms. *)
+let time (d : t) : float = d.t_now
+
+(** Advance the clock without running a stage — for callers that drive the
+    solver stage themselves (e.g. the tissue example). *)
+let tick (d : t) : unit =
+  d.t_now <- d.t_now +. d.dt;
+  d.steps_done <- d.steps_done + 1
+
+(** Run [steps] time steps; returns wall-clock seconds spent in the compute
+    stage (the quantity the paper's figures report). *)
+let run ?(nthreads = 1) ?(stim = Stim.none) (d : t) ~(steps : int) : float =
+  let total = ref 0.0 in
+  for _ = 1 to steps do
+    let t0 = Unix.gettimeofday () in
+    compute_stage ~nthreads d;
+    total := !total +. (Unix.gettimeofday () -. t0);
+    membrane_update ~stim d;
+    d.t_now <- d.t_now +. d.dt;
+    d.steps_done <- d.steps_done + 1
+  done;
+  !total
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let vm (d : t) (cell : int) : float = Float.Array.get (find_ext_buf d "Vm") cell
+let ext (d : t) (name : string) (cell : int) : float =
+  Float.Array.get (find_ext_buf d name) cell
+
+let state (d : t) (name : string) (cell : int) : float =
+  match List.assoc_opt name d.gen.Codegen.Kernel.state_index with
+  | None -> fail "model has no state variable %s" name
+  | Some k ->
+      let cfg = d.gen.Codegen.Kernel.cfg in
+      Float.Array.get d.sv
+        (Runtime.Layout.index cfg.Codegen.Config.layout
+           ~nvars:d.gen.Codegen.Kernel.nvars ~ncells:d.ncells_pad ~cell
+           ~var:k)
+
+let set_ext (d : t) (name : string) (cell : int) (v : float) : unit =
+  Float.Array.set (find_ext_buf d name) cell v
+
+let set_state (d : t) (name : string) (cell : int) (v : float) : unit =
+  match List.assoc_opt name d.gen.Codegen.Kernel.state_index with
+  | None -> fail "model has no state variable %s" name
+  | Some k ->
+      let cfg = d.gen.Codegen.Kernel.cfg in
+      Float.Array.set d.sv
+        (Runtime.Layout.index cfg.Codegen.Config.layout
+           ~nvars:d.gen.Codegen.Kernel.nvars ~ncells:d.ncells_pad ~cell
+           ~var:k)
+        v
+
+(** Snapshot of every state + assigned external of one cell, for
+    differential tests between configurations. *)
+let snapshot (d : t) (cell : int) : (string * float) list =
+  List.map (fun (n, _) -> (n, state d n cell)) d.gen.Codegen.Kernel.state_index
+  @ List.filter_map
+      (fun (n, buf) ->
+        match M.find_ext d.gen.Codegen.Kernel.model n with
+        | Some e when e.M.ext_assigned -> Some (n, Float.Array.get buf cell)
+        | _ -> None)
+      d.exts

@@ -1,0 +1,72 @@
+(** Simulation driver: the openCARP [bench] analogue.
+
+    Owns the runtime data (cell state in the configured layout, external
+    arrays, lookup tables, scratch rows), compiles the generated kernel,
+    and advances the two-stage simulation: compute stage (the generated
+    kernel, in parallel chunks) then the membrane update standing in for
+    the solver stage. *)
+
+exception Driver_error of string
+
+type engine =
+  | Compiled  (** closure engine (fast; one instance per thread) *)
+  | Reference  (** tree-walking interpreter (slow; differential tests) *)
+
+type t = {
+  gen : Codegen.Kernel.t;
+  ncells : int;
+  ncells_pad : int;  (** padded to a multiple of the vector width *)
+  dt : float;
+  sv : floatarray;
+  exts : (string * floatarray) list;
+  params_buf : floatarray option;
+  tables : floatarray list;
+  engine : engine;
+  registry : Exec.Rt.registry;
+  mutable runners : (Exec.Rt.v array -> Exec.Rt.v array) array;
+  mutable rows : floatarray list array;
+  mutable t_now : float;
+  mutable steps_done : int;
+}
+
+val create : ?engine:engine -> Codegen.Kernel.t -> ncells:int -> dt:float -> t
+(** Allocate, initialize from the model's [_init] values and build the
+    lookup tables (by running the generated [lut_init_*] functions).
+    @raise Driver_error on non-positive [ncells]/[dt]. *)
+
+val reset : t -> unit
+(** Back to the initial state (also rebuilds tables). *)
+
+val compute_stage : ?nthreads:int -> t -> unit
+(** One pass of the generated kernel over all cells; chunk boundaries are
+    aligned to the vector width, one kernel instance per thread. *)
+
+val membrane_update : ?stim:Stim.t -> t -> unit
+(** [Vm += dt (stim - Iion)] on every cell (when the model exposes the
+    conventional Vm/Iion externals). *)
+
+val step : ?nthreads:int -> ?stim:Stim.t -> t -> unit
+(** compute stage + membrane update + clock tick. *)
+
+val step_timed : ?nthreads:int -> ?stim:Stim.t -> t -> float
+(** Like {!step}; returns the compute stage's wall-clock seconds. *)
+
+val run : ?nthreads:int -> ?stim:Stim.t -> t -> steps:int -> float
+(** [steps] full steps; returns total compute-stage seconds (the quantity
+    the paper's figures report). *)
+
+val tick : t -> unit
+(** Advance the clock only (callers driving their own solver stage). *)
+
+val time : t -> float
+(** Current simulation time, ms. *)
+
+val vm : t -> int -> float
+val ext : t -> string -> int -> float
+val state : t -> string -> int -> float
+val set_ext : t -> string -> int -> float -> unit
+val set_state : t -> string -> int -> float -> unit
+
+val snapshot : t -> int -> (string * float) list
+(** Every state plus every assigned external of one cell, for differential
+    tests between configurations. *)

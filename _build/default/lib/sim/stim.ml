@@ -1,0 +1,33 @@
+(** Stimulus protocols.
+
+    openCARP's [bench] applies a transmembrane current pulse to elicit
+    action potentials; we reproduce the same shape: a rectangular pulse of
+    given amplitude, start, duration, and optional period (S1 pacing). *)
+
+type t = {
+  amplitude : float;  (** current amplitude (model units, e.g. uA/cm^2) *)
+  start : float;  (** ms *)
+  duration : float;  (** ms *)
+  period : float option;  (** repeat every [period] ms when set *)
+}
+
+let none = { amplitude = 0.0; start = 0.0; duration = 0.0; period = None }
+
+let default =
+  { amplitude = 60.0; start = 1.0; duration = 2.0; period = Some 1000.0 }
+
+let make ?(amplitude = 60.0) ?(start = 1.0) ?(duration = 2.0) ?period () =
+  { amplitude; start; duration; period }
+
+(** Stimulus current at time [t] (ms). *)
+let at (s : t) (t : float) : float =
+  if s.amplitude = 0.0 then 0.0
+  else
+    let phase =
+      match s.period with
+      | Some p when p > 0.0 && t >= s.start ->
+          s.start +. Float.rem (t -. s.start) p
+      | _ -> t
+    in
+    if phase >= s.start && phase < s.start +. s.duration then s.amplitude
+    else 0.0

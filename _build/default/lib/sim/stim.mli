@@ -1,0 +1,20 @@
+(** Stimulus protocols: rectangular current pulses with optional periodic
+    (S1) repetition, matching openCARP's bench. *)
+
+type t = {
+  amplitude : float;
+  start : float;  (** ms *)
+  duration : float;  (** ms *)
+  period : float option;  (** repeat every [period] ms when set *)
+}
+
+val none : t
+val default : t
+(** 60 uA at 1 ms for 2 ms, repeating every second. *)
+
+val make :
+  ?amplitude:float -> ?start:float -> ?duration:float -> ?period:float ->
+  unit -> t
+
+val at : t -> float -> float
+(** Stimulus current at time [t] (ms). *)

@@ -1,0 +1,1 @@
+lib/solver/cable.ml: Array Float Sparse Tridiag

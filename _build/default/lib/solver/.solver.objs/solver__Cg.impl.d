@@ -1,0 +1,1 @@
+lib/solver/cg.ml: Float Sparse

@@ -1,0 +1,1 @@
+lib/solver/sparse.ml: Array Float Hashtbl List Option

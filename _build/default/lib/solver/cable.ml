@@ -1,0 +1,89 @@
+(** 1-D monodomain cable: the solver stage of the two-stage simulation.
+
+    The compute stage (the generated ionic kernel) produces Iion per cell;
+    this module advances the membrane potential of a 1-D fibre
+
+      Cm dVm/dt = sigma d²Vm/dx² − Iion + Istim
+
+    with a semi-implicit (IMEX) step: diffusion implicit, reaction explicit:
+
+      (I − dt·D·L) Vm^{n+1} = Vm^n + dt (Istim − Iion)/Cm
+
+    where L is the Neumann-boundary 1-D Laplacian and D = sigma/(Cm·dx²).
+    The system is tridiagonal and solved directly (Thomas) or via CG for
+    cross-validation. *)
+
+type t = {
+  n : int;
+  dx : float;  (** spacing, cm *)
+  sigma : float;  (** effective conductivity / (Cm·chi), cm²/ms *)
+  cm : float;  (** membrane capacitance scale for the reaction term *)
+  (* prefactored tridiagonal I - dt*D*L *)
+  mutable dt : float;
+  sub : floatarray;
+  diag : floatarray;
+  sup : floatarray;
+}
+
+let assemble (c : t) ~(dt : float) : unit =
+  let lambda = dt *. c.sigma /. (c.dx *. c.dx) in
+  for i = 0 to c.n - 1 do
+    let left = i > 0 and right = i < c.n - 1 in
+    let deg = (if left then 1.0 else 0.0) +. if right then 1.0 else 0.0 in
+    Float.Array.set c.sub i (if left then -.lambda else 0.0);
+    Float.Array.set c.sup i (if right then -.lambda else 0.0);
+    Float.Array.set c.diag i (1.0 +. (lambda *. deg))
+  done;
+  c.dt <- dt
+
+let create ~(n : int) ~(dx : float) ~(sigma : float) ~(cm : float)
+    ~(dt : float) : t =
+  if n <= 1 then invalid_arg "Cable.create: need at least two nodes";
+  let c =
+    {
+      n;
+      dx;
+      sigma;
+      cm;
+      dt;
+      sub = Float.Array.make n 0.0;
+      diag = Float.Array.make n 0.0;
+      sup = Float.Array.make n 0.0;
+    }
+  in
+  assemble c ~dt;
+  c
+
+(** One IMEX step: updates [vm] in place given the ionic current [iion]
+    (per cell) and a stimulus current applied to cells
+    [stim_lo, stim_hi). *)
+let step (c : t) ~(vm : floatarray) ~(iion : floatarray) ~(istim : float)
+    ~(stim_lo : int) ~(stim_hi : int) : unit =
+  let rhs =
+    Float.Array.init c.n (fun i ->
+        let stim = if i >= stim_lo && i < stim_hi then istim else 0.0 in
+        Float.Array.get vm i
+        +. (c.dt *. ((stim -. Float.Array.get iion i) /. c.cm)))
+  in
+  let x = Tridiag.solve ~a:c.sub ~b:c.diag ~c:c.sup ~d:rhs in
+  Float.Array.blit x 0 vm 0 c.n
+
+(** The same operator as a CSR matrix (for CG cross-validation). *)
+let matrix (c : t) : Sparse.t =
+  let triplets = ref [] in
+  for i = 0 to c.n - 1 do
+    triplets := (i, i, Float.Array.get c.diag i) :: !triplets;
+    if i > 0 then triplets := (i, i - 1, Float.Array.get c.sub i) :: !triplets;
+    if i < c.n - 1 then triplets := (i, i + 1, Float.Array.get c.sup i) :: !triplets
+  done;
+  Sparse.of_triplets ~n:c.n !triplets
+
+(** Conduction-velocity helper for tests/examples: first time each cell
+    crossed [threshold], given a per-step recorder. Returns cm/ms given
+    activation times in ms. *)
+let conduction_velocity ~(dx : float) (activation : float array) ~(from_cell : int)
+    ~(to_cell : int) : float option =
+  let ta = activation.(from_cell) and tb = activation.(to_cell) in
+  if Float.is_finite ta && Float.is_finite tb && tb > ta then
+    Some (float_of_int (to_cell - from_cell) *. dx /. (tb -. ta))
+  else None

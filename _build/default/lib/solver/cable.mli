@@ -1,0 +1,43 @@
+(** 1-D monodomain cable: the solver stage of the two-stage simulation.
+
+    Semi-implicit (IMEX) update of the membrane potential on a fibre:
+    diffusion implicit (tridiagonal solve), reaction explicit. *)
+
+type t = {
+  n : int;
+  dx : float;
+  sigma : float;
+  cm : float;
+  mutable dt : float;
+  sub : floatarray;
+  diag : floatarray;
+  sup : floatarray;
+}
+
+val create : n:int -> dx:float -> sigma:float -> cm:float -> dt:float -> t
+(** A fibre of [n] nodes with spacing [dx] (cm), effective diffusivity
+    [sigma] (cm²/ms) and capacitance scale [cm]; assembles [I - dt·D·L]
+    with Neumann boundaries.
+    @raise Invalid_argument when [n < 2]. *)
+
+val assemble : t -> dt:float -> unit
+(** Re-factor the operator for a new time step. *)
+
+val step :
+  t ->
+  vm:floatarray ->
+  iion:floatarray ->
+  istim:float ->
+  stim_lo:int ->
+  stim_hi:int ->
+  unit
+(** One IMEX step, updating [vm] in place given the per-cell ionic current
+    and a stimulus current applied to cells [stim_lo, stim_hi). *)
+
+val matrix : t -> Sparse.t
+(** The factored operator as CSR, for cross-validation with {!Cg}. *)
+
+val conduction_velocity :
+  dx:float -> float array -> from_cell:int -> to_cell:int -> float option
+(** Velocity (cm/ms) between two cells given per-cell activation times
+    (ms); [None] when either cell never activated. *)

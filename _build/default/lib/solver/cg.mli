@@ -1,0 +1,13 @@
+(** Conjugate gradients with Jacobi preconditioning. *)
+
+type stats = { iterations : int; residual : float }
+
+val dot : floatarray -> floatarray -> float
+val axpy : alpha:float -> floatarray -> floatarray -> unit
+(** [axpy ~alpha x y] updates [y <- y + alpha x] in place. *)
+
+val solve :
+  ?tol:float -> ?max_iters:int -> Sparse.t -> floatarray -> floatarray * stats
+(** Solve [A x = b] for symmetric positive-definite [A]; returns the
+    solution and convergence statistics ([residual] is the relative
+    2-norm residual at exit). *)

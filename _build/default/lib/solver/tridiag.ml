@@ -1,0 +1,47 @@
+(** Tridiagonal solver (Thomas algorithm).
+
+    Solves [A x = d] where A has sub-diagonal [a] (a.(0) unused), diagonal
+    [b], super-diagonal [c] (c.(n-1) unused).  O(n); the workhorse of the
+    semi-implicit 1-D cable solve. *)
+
+exception Singular of int
+
+let solve ~(a : floatarray) ~(b : floatarray) ~(c : floatarray)
+    ~(d : floatarray) : floatarray =
+  let n = Float.Array.length b in
+  if
+    Float.Array.length a <> n
+    || Float.Array.length c <> n
+    || Float.Array.length d <> n
+  then invalid_arg "Tridiag.solve: length mismatch";
+  if n = 0 then Float.Array.create 0
+  else begin
+    let cp = Float.Array.make n 0.0 and dp = Float.Array.make n 0.0 in
+    let get = Float.Array.get and set = Float.Array.set in
+    let b0 = get b 0 in
+    if Float.abs b0 < 1e-300 then raise (Singular 0);
+    set cp 0 (get c 0 /. b0);
+    set dp 0 (get d 0 /. b0);
+    for i = 1 to n - 1 do
+      let m = get b i -. (get a i *. get cp (i - 1)) in
+      if Float.abs m < 1e-300 then raise (Singular i);
+      set cp i (get c i /. m);
+      set dp i ((get d i -. (get a i *. get dp (i - 1))) /. m)
+    done;
+    let x = Float.Array.make n 0.0 in
+    set x (n - 1) (get dp (n - 1));
+    for i = n - 2 downto 0 do
+      set x i (get dp i -. (get cp i *. get x (i + 1)))
+    done;
+    x
+  end
+
+(** Multiply the tridiagonal matrix by [x] (for tests / residuals). *)
+let mul ~(a : floatarray) ~(b : floatarray) ~(c : floatarray)
+    (x : floatarray) : floatarray =
+  let n = Float.Array.length b in
+  let get = Float.Array.get in
+  Float.Array.init n (fun i ->
+      (get b i *. get x i)
+      +. (if i > 0 then get a i *. get x (i - 1) else 0.0)
+      +. if i < n - 1 then get c i *. get x (i + 1) else 0.0)

@@ -1,0 +1,16 @@
+(** Tridiagonal direct solver (Thomas algorithm). *)
+
+exception Singular of int
+(** Raised with the row index when a pivot vanishes. *)
+
+val solve :
+  a:floatarray -> b:floatarray -> c:floatarray -> d:floatarray -> floatarray
+(** [solve ~a ~b ~c ~d] solves the tridiagonal system with sub-diagonal [a]
+    ([a.(0)] unused), diagonal [b], super-diagonal [c] ([c.(n-1)] unused)
+    and right-hand side [d].  O(n).
+    @raise Singular when elimination hits a zero pivot.
+    @raise Invalid_argument on length mismatch. *)
+
+val mul :
+  a:floatarray -> b:floatarray -> c:floatarray -> floatarray -> floatarray
+(** Multiply the tridiagonal matrix by a vector (residual checks). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Easyml Float List QCheck QCheck_alcotest String

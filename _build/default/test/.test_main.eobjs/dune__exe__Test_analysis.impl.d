@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Ast Deriv Easyml Eval Float Fold Helpers Linearity List Model Option Printf QCheck

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Buffer Codegen Easyml Float Helpers Ir Lazy List Printf Runtime Sim String

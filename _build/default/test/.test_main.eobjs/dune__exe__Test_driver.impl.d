@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Codegen Easyml Float Helpers Lazy List Models Sim

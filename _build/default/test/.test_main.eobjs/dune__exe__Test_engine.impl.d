@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Builder Codegen Easyml Engine Exec Float Fun Func Helpers Interp Ir List Op QCheck Rt Ty Verifier

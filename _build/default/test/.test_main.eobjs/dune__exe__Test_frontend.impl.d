@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Easyml Eval Fold Helpers Lexer List Loc Model Option Parser Sema Token

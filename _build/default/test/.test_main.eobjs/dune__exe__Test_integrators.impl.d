@@ -1,0 +1,1 @@
+test/test_integrators.ml: Alcotest Ast Codegen Easyml Eval Float Helpers Linearity Model Printf QCheck

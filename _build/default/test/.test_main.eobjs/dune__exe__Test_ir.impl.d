@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Codegen Easyml Exec Float Func Helpers Ir List Models Op Runtime Ty Verifier

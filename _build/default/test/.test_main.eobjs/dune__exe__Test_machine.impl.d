@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Builder Codegen Float Func Helpers Ir List Machine Models Option Perf QCheck Ty

@@ -1,0 +1,1 @@
+test/test_mmt.ml: Alcotest Codegen Easyml Helpers List Models Sim

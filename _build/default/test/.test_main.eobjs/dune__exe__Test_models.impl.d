@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Codegen Easyml Float Hashtbl Helpers Ir List Models Option Printf Sim

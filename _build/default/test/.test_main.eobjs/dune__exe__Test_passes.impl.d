@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array Builder Codegen Easyml Engine Exec Float Fun Func Helpers Ir List Models Op Option Passes QCheck Rt Ty Verifier

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Float Fun Hashtbl Helpers Layout List Lut Parallel Printf QCheck Runtime Sim Svml

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Cable Cg Float Helpers List QCheck Solver Sparse Tridiag

@@ -1,0 +1,211 @@
+(* Analysis tests: constant folding, symbolic differentiation, affine
+   (Rush-Larsen) extraction, lookup-table cone detection. *)
+
+open Easyml
+
+(* -- fold ------------------------------------------------------------ *)
+
+let fold_preserves_eval =
+  Helpers.qtest "fold preserves evaluation"
+    QCheck.(
+      pair (Helpers.arbitrary_expr [ "x"; "y" ])
+        (make ~print:(fun (a, b) -> Printf.sprintf "(%g, %g)" a b)
+           (Helpers.env_gen [ "x"; "y" ]
+           |> QCheck.Gen.map (fun env ->
+                  (List.assoc "x" env, List.assoc "y" env)))))
+    (fun (e, (x, y)) ->
+      let env = [ ("x", x); ("y", y) ] in
+      let folded = Fold.fold_alist [] e in
+      Helpers.same_float (Eval.eval_alist env e) (Eval.eval_alist env folded))
+
+let fold_constants_disappear =
+  Helpers.qtest "fully constant exprs fold to a literal"
+    (Helpers.arbitrary_expr [ "x" ])
+    (fun e ->
+      let e = Ast.subst ~x:"x" ~by:(Ast.Num 0.5) e in
+      match Fold.fold_alist [] e with
+      | Ast.Num _ -> true
+      | folded ->
+          (* non-finite results are deliberately left unfolded *)
+          not (Float.is_finite (Option.value ~default:Float.nan (Eval.eval_const folded))))
+
+let test_fold_params () =
+  let e = Easyml.Parser.parse_program "t = g * (x + 0.0) * 1.0 + (2.0 * 3.0);" in
+  match e with
+  | [ Ast.Assign (_, _, e) ] -> (
+      match Fold.fold_alist [ ("g", 2.0) ] e with
+      | Ast.Binary (Ast.Add, Ast.Binary (Ast.Mul, Ast.Num 2.0, Ast.Var "x"), Ast.Num 6.0)
+        ->
+          ()
+      | other -> Alcotest.failf "unexpected fold result: %s" (Ast.expr_to_string other))
+  | _ -> assert false
+
+let test_fold_ternary () =
+  let tern c = Ast.Ternary (c, Ast.Num 1.0, Ast.Num 2.0) in
+  (match Fold.fold_alist [] (tern (Ast.Num 1.0)) with
+  | Ast.Num 1.0 -> ()
+  | _ -> Alcotest.fail "true guard");
+  (match Fold.fold_alist [] (tern (Ast.Num 0.0)) with
+  | Ast.Num 2.0 -> ()
+  | _ -> Alcotest.fail "false guard");
+  (* equal branches collapse even with symbolic guard *)
+  match
+    Fold.fold_alist []
+      (Ast.Ternary (Ast.Binary (Ast.Lt, Ast.Var "x", Ast.Num 0.0), Ast.Num 7.0, Ast.Num 7.0))
+  with
+  | Ast.Num 7.0 -> ()
+  | _ -> Alcotest.fail "equal branches"
+
+(* -- deriv ----------------------------------------------------------- *)
+
+let deriv_matches_numeric =
+  Helpers.qtest ~count:300 "symbolic derivative matches central differences"
+    QCheck.(pair (Helpers.arbitrary_expr [ "x"; "k" ]) (QCheck.float_range (-1.5) 1.5))
+    (fun (e, at) ->
+      let env = [ ("x", at); ("k", 0.7) ] in
+      match Deriv.diff ~wrt:"x" e with
+      | exception Deriv.Not_differentiable _ -> true
+      | de ->
+          let sym = Eval.eval_alist env de in
+          let num = Deriv.numeric ~wrt:"x" env e ~at ~h:1e-6 in
+          (* skip points near kinks/overflow where finite differences lie *)
+          (not (Float.is_finite sym))
+          || (not (Float.is_finite num))
+          || Float.abs num > 1e6
+          || Float.abs (sym -. num) <= 1e-3 *. (1.0 +. Float.abs sym))
+
+let test_deriv_chain () =
+  let e = Ast.Call ("exp", [ Ast.Binary (Ast.Mul, Ast.Num 3.0, Ast.Var "x") ]) in
+  let de = Deriv.diff ~wrt:"x" e in
+  let v = Eval.eval_alist [ ("x", 0.2) ] de in
+  Helpers.check_close ~tol:1e-12 "d exp(3x)" (3.0 *. Float.exp 0.6) v
+
+let test_deriv_pow () =
+  let e = Ast.Call ("pow", [ Ast.Var "x"; Ast.Num 3.0 ]) in
+  let v = Eval.eval_alist [ ("x", 2.0) ] (Deriv.diff ~wrt:"x" e) in
+  Helpers.check_close ~tol:1e-12 "d x^3" 12.0 v
+
+(* -- linearity ------------------------------------------------------- *)
+
+let parse1 src =
+  match Easyml.Parser.parse_program ("t = " ^ src ^ ";") with
+  | [ Ast.Assign (_, _, e) ] -> e
+  | _ -> assert false
+
+let test_affine_gate () =
+  let f = parse1 "a*(1.0 - y) - b*y" in
+  match Linearity.affine ~y:"y" f with
+  | None -> Alcotest.fail "classic gate form must be affine"
+  | Some dec ->
+      let env = [ ("a", 0.3); ("b", 0.1); ("y", 0.45) ] in
+      Helpers.check_close ~tol:1e-12 "decomposition residual" 0.0
+        (Linearity.check_at dec ~y:"y" f env)
+
+let test_affine_inf_tau () =
+  let f = parse1 "(yinf - y)/tau" in
+  match Linearity.affine ~y:"y" f with
+  | None -> Alcotest.fail "(inf - y)/tau must be affine"
+  | Some dec ->
+      let env = [ ("yinf", 0.8); ("tau", 3.0); ("y", 0.2) ] in
+      Helpers.check_close ~tol:1e-12 "residual" 0.0
+        (Linearity.check_at dec ~y:"y" f env)
+
+let test_affine_guarded_rates () =
+  (* guards on other variables are fine *)
+  let f = parse1 "((V >= -40.0) ? 0.0 : exp(V))*(1.0 - y) - 0.1*y" in
+  Alcotest.(check bool) "guard on V allowed" true
+    (Option.is_some (Linearity.affine ~y:"y" f))
+
+let test_affine_rejections () =
+  let reject src =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s rejected" src)
+      true
+      (Option.is_none (Linearity.affine ~y:"y" (parse1 src)))
+  in
+  reject "y*y - 1.0";
+  reject "exp(y) - y";
+  reject "(y < 0.5) ? 1.0 : 0.0";
+  (* y inside a guard *)
+  reject "a/(y + 1.0)"
+
+let affine_property =
+  (* whenever extraction succeeds, f == a + b*y at random points *)
+  Helpers.qtest ~count:300 "affine decomposition is exact when it succeeds"
+    QCheck.(pair (Helpers.arbitrary_expr [ "y"; "v" ]) (QCheck.float_range (-2.0) 2.0))
+    (fun (f, yv) ->
+      match Linearity.affine ~y:"y" f with
+      | None -> true
+      | Some dec ->
+          let env = [ ("y", yv); ("v", 0.3) ] in
+          let r = Linearity.check_at dec ~y:"y" f env in
+          (not (Float.is_finite r)) || r <= 1e-6 *. (1.0 +. Float.abs yv))
+
+(* -- lut cones -------------------------------------------------------- *)
+
+let spec = { Model.lut_var = "Vm"; lut_lo = -10.0; lut_hi = 10.0; lut_step = 0.5 }
+
+let test_cone_detection () =
+  let module LC = Easyml.Lut_cones in
+  let e1 = parse1 "exp(Vm/8.0) * y" in
+  let e2 = parse1 "1.0/(1.0 + exp(-(Vm+40.0)/10.0))" in
+  let plan = LC.plan spec [ e1; e2 ] in
+  Alcotest.(check int) "two cones" 2 (LC.n_columns plan);
+  (* trivial pure subexpressions are not tabulated *)
+  let plan2 = LC.plan spec [ parse1 "Vm + 47.0" ] in
+  Alcotest.(check int) "trivial not tabulated" 0 (LC.n_columns plan2)
+
+let test_cone_dedup () =
+  let e = parse1 "exp(Vm) + exp(Vm) * 2.0" in
+  let plan = Easyml.Lut_cones.plan spec [ e; e ] in
+  Alcotest.(check int) "duplicates share a column" 1
+    (Easyml.Lut_cones.n_columns plan)
+
+let test_cone_rewrite_eval () =
+  let module LC = Easyml.Lut_cones in
+  let e = parse1 "exp(Vm/5.0)*(1.0 - y) + y/(1.0 + exp(Vm/3.0))" in
+  let plan = LC.plan spec [ e ] in
+  Alcotest.(check bool) "found cones" true (LC.n_columns plan > 0);
+  let rewritten = LC.rewrite plan e in
+  (* evaluating the rewritten expr with exact column values = original *)
+  let vm = 1.75 and y = 0.3 in
+  let env =
+    [ ("Vm", vm); ("y", y); ("dt", 0.01) ]
+    @ List.map
+        (fun (c : LC.column) ->
+          (LC.column_var spec c.LC.col_index, LC.eval_column ~dt:0.01 plan c vm))
+        plan.LC.columns
+  in
+  Helpers.check_close ~tol:1e-12 "rewrite preserves value"
+    (Eval.eval_alist [ ("Vm", vm); ("y", y); ("dt", 0.01) ] e)
+    (Eval.eval_alist env rewritten)
+
+let test_cone_dt_pure () =
+  (* dt participates in table purity (Rush-Larsen coefficients) *)
+  let module LC = Easyml.Lut_cones in
+  let e = parse1 "exp(-dt*(1.0 + exp(Vm)))" in
+  let plan = LC.plan spec [ e ] in
+  Alcotest.(check int) "whole RL coefficient tabulated" 1 (LC.n_columns plan);
+  match plan.LC.columns with
+  | [ c ] -> Alcotest.(check bool) "cone is maximal" true (Ast.equal_expr c.col_expr e)
+  | _ -> Alcotest.fail "expected one column"
+
+let suite =
+  [
+    fold_preserves_eval;
+    fold_constants_disappear;
+    Alcotest.test_case "fold params + identities" `Quick test_fold_params;
+    Alcotest.test_case "fold ternaries" `Quick test_fold_ternary;
+    deriv_matches_numeric;
+    Alcotest.test_case "chain rule" `Quick test_deriv_chain;
+    Alcotest.test_case "pow rule" `Quick test_deriv_pow;
+    Alcotest.test_case "affine: alpha/beta gate" `Quick test_affine_gate;
+    Alcotest.test_case "affine: inf/tau gate" `Quick test_affine_inf_tau;
+    Alcotest.test_case "affine: guards on V" `Quick test_affine_guarded_rates;
+    Alcotest.test_case "affine: rejections" `Quick test_affine_rejections;
+    affine_property;
+    Alcotest.test_case "cone detection" `Quick test_cone_detection;
+    Alcotest.test_case "cone dedup" `Quick test_cone_dedup;
+    Alcotest.test_case "cone rewrite preserves value" `Quick test_cone_rewrite_eval;
+    Alcotest.test_case "dt-pure cones" `Quick test_cone_dt_pure;
+  ]

@@ -1,0 +1,135 @@
+(* Simulation-driver tests: initialization, reset, padding, accessors,
+   determinism, per-thread kernel instances, timed stepping. *)
+
+module K = Codegen.Kernel
+module C = Codegen.Config
+
+let entry = lazy (Models.Registry.find_exn "BeelerReuter")
+let gen8 = lazy (K.generate (C.mlir ~width:8) (Models.Registry.model (Lazy.force entry)))
+
+let test_initial_state () =
+  let d = Sim.Driver.create (Lazy.force gen8) ~ncells:10 ~dt:0.01 in
+  let m = Models.Registry.model (Lazy.force entry) in
+  List.iter
+    (fun (sv : Easyml.Model.state_var) ->
+      for c = 0 to 9 do
+        Helpers.fcheck (sv.sv_name ^ " init") sv.sv_init
+          (Sim.Driver.state d sv.sv_name c)
+      done)
+    m.states;
+  Helpers.fcheck "Vm init" (-84.57) (Sim.Driver.vm d 0);
+  Helpers.fcheck "time starts at 0" 0.0 (Sim.Driver.time d)
+
+let test_padding () =
+  (* 10 cells at width 8 pad to 16; padded lanes must not corrupt results *)
+  let d = Sim.Driver.create (Lazy.force gen8) ~ncells:10 ~dt:0.01 in
+  Alcotest.(check int) "padded" 16 d.Sim.Driver.ncells_pad;
+  let d1 = Sim.Driver.create (Lazy.force gen8) ~ncells:16 ~dt:0.01 in
+  let stim = Sim.Stim.make ~amplitude:40.0 ~start:0.5 ~duration:1.0 () in
+  for _ = 1 to 100 do
+    Sim.Driver.step ~stim d;
+    Sim.Driver.step ~stim d1
+  done;
+  for c = 0 to 9 do
+    if not (Helpers.same_float (Sim.Driver.vm d c) (Sim.Driver.vm d1 c)) then
+      Alcotest.failf "padding changed cell %d" c
+  done
+
+let test_reset_reproducible () =
+  let d = Sim.Driver.create (Lazy.force gen8) ~ncells:4 ~dt:0.01 in
+  let stim = Sim.Stim.make ~amplitude:40.0 ~start:0.5 ~duration:1.0 () in
+  for _ = 1 to 50 do
+    Sim.Driver.step ~stim d
+  done;
+  let snap1 = Sim.Driver.snapshot d 2 in
+  Sim.Driver.reset d;
+  Helpers.fcheck "time reset" 0.0 (Sim.Driver.time d);
+  for _ = 1 to 50 do
+    Sim.Driver.step ~stim d
+  done;
+  List.iter2
+    (fun (n, a) (_, b) ->
+      if not (Helpers.same_float a b) then
+        Alcotest.failf "reset not reproducible on %s" n)
+    snap1 (Sim.Driver.snapshot d 2)
+
+let test_cells_independent () =
+  (* perturb one cell; the others must be unaffected (no cross-cell leaks
+     through the vector lanes) *)
+  let d = Sim.Driver.create (Lazy.force gen8) ~ncells:16 ~dt:0.01 in
+  Sim.Driver.set_ext d "Vm" 5 (-20.0);
+  Sim.Driver.set_state d "m" 5 0.9;
+  let d_ref = Sim.Driver.create (Lazy.force gen8) ~ncells:16 ~dt:0.01 in
+  for _ = 1 to 50 do
+    Sim.Driver.step d;
+    Sim.Driver.step d_ref
+  done;
+  Alcotest.(check bool) "perturbed cell differs" true
+    (not (Helpers.same_float (Sim.Driver.vm d 5) (Sim.Driver.vm d_ref 5)));
+  (* neighbours in the same vector block (cells 0-7) stay identical *)
+  List.iter
+    (fun c ->
+      if not (Helpers.same_float (Sim.Driver.vm d c) (Sim.Driver.vm d_ref c))
+      then Alcotest.failf "cell %d leaked from the perturbed lane" c)
+    [ 0; 1; 2; 3; 4; 6; 7; 8; 15 ]
+
+let test_step_timed () =
+  let d = Sim.Driver.create (Lazy.force gen8) ~ncells:8 ~dt:0.01 in
+  let t = Sim.Driver.step_timed d in
+  Alcotest.(check bool) "returns a plausible wall time" true
+    (t >= 0.0 && t < 5.0);
+  Helpers.fcheck "clock advanced" 0.01 (Sim.Driver.time d)
+
+let test_accessor_errors () =
+  let d = Sim.Driver.create (Lazy.force gen8) ~ncells:4 ~dt:0.01 in
+  (match Sim.Driver.state d "not_a_state" 0 with
+  | exception Sim.Driver.Driver_error _ -> ()
+  | _ -> Alcotest.fail "unknown state must raise");
+  match Sim.Driver.ext d "not_an_ext" 0 with
+  | exception Sim.Driver.Driver_error _ -> ()
+  | _ -> Alcotest.fail "unknown external must raise"
+
+let test_create_validation () =
+  (match Sim.Driver.create (Lazy.force gen8) ~ncells:0 ~dt:0.01 with
+  | exception Sim.Driver.Driver_error _ -> ()
+  | _ -> Alcotest.fail "ncells = 0 must be rejected");
+  match Sim.Driver.create (Lazy.force gen8) ~ncells:4 ~dt:0.0 with
+  | exception Sim.Driver.Driver_error _ -> ()
+  | _ -> Alcotest.fail "dt = 0 must be rejected"
+
+let test_compute_only_leaves_vm () =
+  (* compute_stage must not touch Vm (only the membrane update does) *)
+  let d = Sim.Driver.create (Lazy.force gen8) ~ncells:4 ~dt:0.01 in
+  let vm0 = Sim.Driver.vm d 0 in
+  Sim.Driver.compute_stage d;
+  Helpers.fcheck "Vm untouched by compute stage" vm0 (Sim.Driver.vm d 0);
+  (* but Iion was written *)
+  Alcotest.(check bool) "Iion computed" true
+    (Float.abs (Sim.Driver.ext d "Iion" 0) > 0.0)
+
+let test_tension_external () =
+  (* models with extra outputs (StressLumens exposes Tension) *)
+  let m = Models.Registry.model (Models.Registry.find_exn "StressLumens") in
+  let g = K.generate (C.mlir ~width:4) m in
+  let d = Sim.Driver.create g ~ncells:4 ~dt:0.01 in
+  let stim = Sim.Stim.make ~amplitude:60.0 ~start:0.5 ~duration:2.0 () in
+  for _ = 1 to 4000 do
+    Sim.Driver.step ~stim d
+  done;
+  Alcotest.(check bool) "tension develops under pacing" true
+    (Sim.Driver.ext d "Tension" 0 > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "vector padding" `Quick test_padding;
+    Alcotest.test_case "reset reproducible" `Quick test_reset_reproducible;
+    Alcotest.test_case "cells independent across lanes" `Quick
+      test_cells_independent;
+    Alcotest.test_case "step_timed" `Quick test_step_timed;
+    Alcotest.test_case "accessor errors" `Quick test_accessor_errors;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "compute stage leaves Vm" `Quick
+      test_compute_only_leaves_vm;
+    Alcotest.test_case "extra output externals" `Quick test_tension_external;
+  ]

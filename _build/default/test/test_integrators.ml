@@ -1,0 +1,183 @@
+(* Integration-method tests: closed-form agreement, convergence order,
+   clamping, and degenerate-coefficient guards. *)
+
+open Easyml
+module I = Codegen.Integrators
+
+(* a gate with constant rates: y' = a(1-y) - b y, exact solution known *)
+let gate ~(meth : Model.integ) ~(a : float) ~(b : float) : Model.state_var =
+  let diff =
+    Ast.(
+      Binary
+        ( Sub,
+          Binary (Mul, Num a, Binary (Sub, Num 1.0, Var "y")),
+          Binary (Mul, Num b, Var "y") ))
+  in
+  {
+    Model.sv_name = "y";
+    sv_init = 0.1;
+    sv_diff = diff;
+    sv_method = meth;
+    sv_affine =
+      (match meth with
+      | Model.RushLarsen | Model.Sundnes -> Linearity.affine ~y:"y" diff
+      | _ -> None);
+  }
+
+let exact ~a ~b ~y0 ~t =
+  let yinf = a /. (a +. b) and tau = 1.0 /. (a +. b) in
+  yinf +. ((y0 -. yinf) *. Float.exp (-.t /. tau))
+
+let integrate (sv : Model.state_var) ~dt ~steps =
+  let update = I.update_expr sv in
+  let y = ref sv.Model.sv_init in
+  for _ = 1 to steps do
+    y := Eval.eval_alist [ ("y", !y); ("dt", dt); ("t", 0.0) ] update
+  done;
+  !y
+
+let err meth ~dt =
+  let a = 0.4 and b = 0.15 in
+  let t_end = 4.0 in
+  let steps = int_of_float (Float.round (t_end /. dt)) in
+  let got = integrate (gate ~meth ~a ~b) ~dt ~steps in
+  Float.abs (got -. exact ~a ~b ~y0:0.1 ~t:t_end)
+
+let order meth =
+  Float.log (err meth ~dt:0.2 /. err meth ~dt:0.1) /. Float.log 2.0
+
+let test_fe_order () =
+  Alcotest.(check bool) "fe is first order" true
+    (Float.abs (order Model.FE -. 1.0) < 0.15)
+
+let test_rk2_order () =
+  Alcotest.(check bool) "rk2 is second order" true
+    (Float.abs (order Model.RK2 -. 2.0) < 0.2)
+
+let test_rk4_order () =
+  Alcotest.(check bool) "rk4 is fourth order" true
+    (Float.abs (order Model.RK4 -. 4.0) < 0.4)
+
+let test_rl_exact () =
+  Alcotest.(check bool) "rush_larsen exact for affine gates" true
+    (err Model.RushLarsen ~dt:0.5 < 1e-12)
+
+let test_sundnes_exact_affine () =
+  Alcotest.(check bool) "sundnes exact for affine gates" true
+    (err Model.Sundnes ~dt:0.5 < 1e-12)
+
+let test_sundnes_second_order_nonlinear () =
+  (* nonlinear ODE y' = -y^2, y(0)=1: exact y(t) = 1/(1+t).
+     Sundnes needs no affine decomposition (it linearizes symbolically). *)
+  let diff = Ast.(Unary (Neg, Binary (Mul, Var "y", Var "y"))) in
+  let sv =
+    {
+      Model.sv_name = "y";
+      sv_init = 1.0;
+      sv_diff = diff;
+      sv_method = Model.Sundnes;
+      sv_affine = None;
+    }
+  in
+  let run dt =
+    let update = I.update_expr sv in
+    let y = ref 1.0 in
+    let steps = int_of_float (2.0 /. dt) in
+    for _ = 1 to steps do
+      y := Eval.eval_alist [ ("y", !y); ("dt", dt); ("t", 0.0) ] update
+    done;
+    Float.abs (!y -. (1.0 /. 3.0))
+  in
+  let p = Float.log (run 0.2 /. run 0.1) /. Float.log 2.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sundnes order ~2 on nonlinear ODE (got %.2f)" p)
+    true (p > 1.6)
+
+let test_markov_be_clamps () =
+  (* a huge positive derivative: update must stay within [0, 1] *)
+  let diff = Ast.Num 1e6 in
+  let sv =
+    {
+      Model.sv_name = "y";
+      sv_init = 0.5;
+      sv_diff = diff;
+      sv_method = Model.MarkovBE;
+      sv_affine = None;
+    }
+  in
+  let y = Eval.eval_alist [ ("y", 0.5); ("dt", 0.1); ("t", 0.0) ] (I.update_expr sv) in
+  Alcotest.(check bool) "clamped to [0,1]" true (y >= 0.0 && y <= 1.0)
+
+let test_markov_be_stable_stiff () =
+  (* stiff relaxation y' = -100(y - 0.3) at dt = 0.1: fe oscillates/diverges
+     (|1 - dt*100| = 9), markov_be must converge toward 0.3 *)
+  let diff =
+    Ast.(Binary (Mul, Num (-100.0), Binary (Sub, Var "y", Num 0.3)))
+  in
+  let mk meth =
+    {
+      Model.sv_name = "y";
+      sv_init = 0.9;
+      sv_diff = diff;
+      sv_method = meth;
+      sv_affine = None;
+    }
+  in
+  let final meth = integrate (mk meth) ~dt:0.1 ~steps:50 in
+  Alcotest.(check bool) "markov_be stable" true
+    (Float.abs (final Model.MarkovBE -. 0.3) < 0.05);
+  Alcotest.(check bool) "fe diverges on the same problem" true
+    (Float.abs (final Model.FE) > 1.0 || Float.is_nan (final Model.FE))
+
+let test_rl_guard_small_b () =
+  (* derivative independent of y: b == 0, RL must fall back to fe smoothly *)
+  let diff = Ast.Num 0.25 in
+  let sv =
+    {
+      Model.sv_name = "y";
+      sv_init = 0.0;
+      sv_diff = diff;
+      sv_method = Model.RushLarsen;
+      sv_affine = Linearity.affine ~y:"y" diff;
+    }
+  in
+  let y = Eval.eval_alist [ ("y", 0.0); ("dt", 0.01); ("t", 0.0) ] (I.update_expr sv) in
+  Helpers.check_close ~tol:1e-12 "degenerate RL == fe" 0.0025 y
+
+let update_matches_fe_property =
+  (* for any random diff expression, the fe update equals y + dt*f *)
+  Helpers.qtest ~count:200 "fe update expression == y + dt f(y)"
+    QCheck.(
+      pair (Helpers.arbitrary_expr [ "y"; "v" ]) (QCheck.float_range 0.0 1.0))
+    (fun (diff, yv) ->
+      let sv =
+        {
+          Model.sv_name = "y";
+          sv_init = 0.0;
+          sv_diff = diff;
+          sv_method = Model.FE;
+          sv_affine = None;
+        }
+      in
+      let env = [ ("y", yv); ("v", 0.4); ("dt", 0.02); ("t", 0.0) ] in
+      let got = Eval.eval_alist env (I.update_expr sv) in
+      let want = yv +. (0.02 *. Eval.eval_alist env diff) in
+      Helpers.close ~tol:1e-12 got want
+      || (Float.is_nan got && Float.is_nan want))
+
+let suite =
+  [
+    Alcotest.test_case "fe order 1" `Quick test_fe_order;
+    Alcotest.test_case "rk2 order 2" `Quick test_rk2_order;
+    Alcotest.test_case "rk4 order 4" `Quick test_rk4_order;
+    Alcotest.test_case "rush_larsen exact on gates" `Quick test_rl_exact;
+    Alcotest.test_case "sundnes exact on affine gates" `Quick
+      test_sundnes_exact_affine;
+    Alcotest.test_case "sundnes ~order 2 nonlinear" `Quick
+      test_sundnes_second_order_nonlinear;
+    Alcotest.test_case "markov_be clamps to [0,1]" `Quick test_markov_be_clamps;
+    Alcotest.test_case "markov_be stable on stiff ODE" `Quick
+      test_markov_be_stable_stiff;
+    Alcotest.test_case "rush_larsen b=0 guard" `Quick test_rl_guard_small_b;
+    update_matches_fe_property;
+  ]

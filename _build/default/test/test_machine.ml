@@ -1,0 +1,155 @@
+(* Machine-model tests: cost analysis on known kernels, performance-model
+   monotonicity, ERT ceilings, roofline helpers, statistics. *)
+
+open Ir
+
+(* a hand-written kernel with exactly known per-iteration costs *)
+let tiny_kernel () =
+  let c = Builder.create_ctx () in
+  let m = Func.create_module "tiny" in
+  Func.add_func m
+    (Builder.func c ~name:"compute"
+       ~params:[ Ty.I64; Ty.I64; Ty.Memref ]
+       ~results:[]
+       (fun b args ->
+         let lb, ub, buf =
+           match args with [ a; b'; c' ] -> (a, b', c') | _ -> assert false
+         in
+         let one = Builder.consti b 1 in
+         let _ =
+           Builder.for_ b ~lb ~ub ~step:one ~inits:[] (fun ~iv ~iters:_ ->
+               let x = Builder.load b ~mem:buf ~idx:iv in
+               let y = Builder.mulf b x x in
+               let z = Builder.math b "exp" [ y ] in
+               Builder.store b z ~mem:buf ~idx:iv;
+               [])
+         in
+         Builder.ret b []));
+  m
+
+let test_kcost_counts () =
+  let m = tiny_kernel () in
+  let f = Option.get (Func.find_func m "compute") in
+  let a = Machine.Arch.scalar in
+  let k = Machine.Kcost.analyze a ~scalar_math:true f in
+  (* per cell: 1 load + 1 store (16 bytes), 1 mul (1 flop), 1 exp (20 flops) *)
+  Helpers.fcheck "bytes" 16.0 k.Machine.Kcost.bytes_per_cell;
+  Helpers.fcheck "flops" 21.0 k.Machine.Kcost.flops_per_cell;
+  Helpers.fcheck "loads" 1.0 k.Machine.Kcost.loads_per_cell;
+  Helpers.fcheck "stores" 1.0 k.Machine.Kcost.stores_per_cell;
+  (* cycles: load 1 + store 1 + mul 1 + exp libm 2.4*20 + loop 2 + consts *)
+  Alcotest.(check bool) "cycles in a plausible band" true
+    (k.Machine.Kcost.cycles_per_cell > 50.0
+    && k.Machine.Kcost.cycles_per_cell < 60.0)
+
+let test_kcost_vector_amortizes () =
+  (* the same model kernel at width 8 must cost less per cell *)
+  let m = Models.Registry.model (Models.Registry.find_exn "BeelerReuter") in
+  let ks = Machine.Kcost.of_kernel (Codegen.Kernel.generate Codegen.Config.baseline m) in
+  let kv =
+    Machine.Kcost.of_kernel (Codegen.Kernel.generate (Codegen.Config.mlir ~width:8) m)
+  in
+  Alcotest.(check bool) "vector cheaper per cell" true
+    (kv.Machine.Kcost.cycles_per_cell < ks.Machine.Kcost.cycles_per_cell /. 2.0)
+
+let test_perfmodel_thread_scaling () =
+  let m = Models.Registry.model (Models.Registry.find_exn "TenTusscher") in
+  let g = Codegen.Kernel.generate Codegen.Config.baseline m in
+  let t n =
+    (Machine.Perfmodel.run_kernel g ~ncells:8192 ~steps:1000 ~nthreads:n)
+      .Machine.Perfmodel.seconds
+  in
+  (* compute-bound large model: near-linear early scaling *)
+  Alcotest.(check bool) "2 threads ~2x" true (t 1 /. t 2 > 1.8);
+  Alcotest.(check bool) "monotone to 32" true (t 32 < t 16 && t 16 < t 8);
+  (* speedup saturates below ideal at 32 threads (sync overhead) *)
+  Alcotest.(check bool) "sub-ideal at 32T" true (t 1 /. t 32 < 32.0)
+
+let test_perfmodel_small_flattens () =
+  let m = Models.Registry.model (Models.Registry.find_exn "Plonsey") in
+  let g = Codegen.Kernel.generate (Codegen.Config.mlir ~width:8) m in
+  let t n =
+    (Machine.Perfmodel.run_kernel g ~ncells:8192 ~steps:1000 ~nthreads:n)
+      .Machine.Perfmodel.seconds
+  in
+  (* tiny kernels stop scaling: 32 threads no better than 2x over 4 threads *)
+  Alcotest.(check bool) "small model flattens" true (t 4 /. t 32 < 2.0)
+
+let test_perfmodel_width_ordering () =
+  let m = Models.Registry.model (Models.Registry.find_exn "Courtemanche") in
+  let t w =
+    let g = Codegen.Kernel.generate (Codegen.Config.mlir ~width:w) m in
+    (Machine.Perfmodel.run_kernel g ~ncells:8192 ~steps:1000 ~nthreads:1)
+      .Machine.Perfmodel.seconds
+  in
+  Alcotest.(check bool) "avx512 < avx2 < sse" true (t 8 < t 4 && t 4 < t 2)
+
+let test_ert_ceilings () =
+  let c = Machine.Ert.ceilings Machine.Arch.avx512 ~nthreads:32 in
+  (* the paper's measured platform: 760 GF/s, 199 GB/s DRAM, ~1052 GB/s L1 *)
+  Alcotest.(check bool) "peak ~760" true
+    (Float.abs (c.Machine.Ert.peak_gflops -. 760.0) < 10.0);
+  Helpers.fcheck "dram bw" 199.0 c.Machine.Ert.dram_bw;
+  Alcotest.(check bool) "l1 ~1052" true
+    (Float.abs (c.Machine.Ert.l1_bw -. 1052.0) < 10.0)
+
+let test_ert_sweep_plateaus () =
+  let c = Machine.Ert.ceilings Machine.Arch.avx512 ~nthreads:32 in
+  let pts = Machine.Ert.sweep Machine.Arch.avx512 ~nthreads:32 in
+  (* low OI points sit on the bandwidth line, high OI ones on the peak *)
+  let lo_oi, lo_gf = List.hd pts in
+  Helpers.check_close ~tol:1e-6 "bandwidth-bound end"
+    (lo_oi *. c.Machine.Ert.dram_bw) lo_gf;
+  let _, hi_gf = List.nth pts (List.length pts - 1) in
+  Helpers.check_close ~tol:1e-6 "compute-bound end" c.Machine.Ert.peak_gflops hi_gf
+
+let test_roofline_helpers () =
+  let c = { Perf.Roofline.peak_gflops = 760.0; dram_bw = 199.0; l1_bw = 1052.0 } in
+  Helpers.check_close ~tol:1e-9 "ridge" (760.0 /. 199.0) (Perf.Roofline.ridge c);
+  Alcotest.(check bool) "left of ridge is memory bound" true
+    (Perf.Roofline.memory_bound c ~oi:1.0);
+  Alcotest.(check bool) "right of ridge is compute bound" false
+    (Perf.Roofline.memory_bound c ~oi:10.0);
+  Helpers.check_close ~tol:1e-9 "attainable on slope" 199.0
+    (Perf.Roofline.attainable c ~oi:1.0);
+  Helpers.check_close ~tol:1e-9 "attainable at peak" 760.0
+    (Perf.Roofline.attainable c ~oi:100.0)
+
+(* -- statistics ------------------------------------------------------------ *)
+
+let test_stats () =
+  Helpers.check_close ~tol:1e-12 "geomean" 2.0
+    (Perf.Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Helpers.fcheck "trimmed mean drops extrema" 3.0
+    (Perf.Stats.trimmed_mean [ 100.0; 2.0; 4.0; 3.0; 0.001 ]);
+  Helpers.fcheck "mean" 2.5 (Perf.Stats.mean [ 1.0; 4.0; 2.0; 3.0 ]);
+  let mn, mx = Perf.Stats.min_max [ 3.0; -1.0; 2.0 ] in
+  Helpers.fcheck "min" (-1.0) mn;
+  Helpers.fcheck "max" 3.0 mx
+
+let geomean_scale_invariant =
+  Helpers.qtest ~count:200 "geomean is multiplicative"
+    QCheck.(
+      pair
+        (QCheck.list_of_size (QCheck.Gen.int_range 1 10)
+           (QCheck.float_range 0.1 10.0))
+        (QCheck.float_range 0.1 10.0))
+    (fun (xs, k) ->
+      let g1 = Perf.Stats.geomean (List.map (fun x -> x *. k) xs) in
+      let g2 = k *. Perf.Stats.geomean xs in
+      Helpers.close ~tol:1e-9 g1 g2)
+
+let suite =
+  [
+    Alcotest.test_case "kcost exact counts" `Quick test_kcost_counts;
+    Alcotest.test_case "vector amortizes cycles" `Quick
+      test_kcost_vector_amortizes;
+    Alcotest.test_case "thread scaling shape" `Quick test_perfmodel_thread_scaling;
+    Alcotest.test_case "small models flatten" `Quick test_perfmodel_small_flattens;
+    Alcotest.test_case "width ordering" `Quick test_perfmodel_width_ordering;
+    Alcotest.test_case "ert ceilings match paper" `Quick test_ert_ceilings;
+    Alcotest.test_case "ert sweep plateaus" `Quick test_ert_sweep_plateaus;
+    Alcotest.test_case "roofline helpers" `Quick test_roofline_helpers;
+    Alcotest.test_case "statistics" `Quick test_stats;
+    geomean_scale_invariant;
+  ]

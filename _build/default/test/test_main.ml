@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "limpetmlir"
+    [
+      ("frontend", Test_frontend.suite);
+      ("analysis", Test_analysis.suite);
+      ("mmt", Test_mmt.suite);
+      ("ir", Test_ir.suite);
+      ("engine", Test_engine.suite);
+      ("passes", Test_passes.suite);
+      ("integrators", Test_integrators.suite);
+      ("runtime", Test_runtime.suite);
+      ("solver", Test_solver.suite);
+      ("codegen", Test_codegen.suite);
+      ("driver", Test_driver.suite);
+      ("models", Test_models.suite);
+      ("machine", Test_machine.suite);
+    ]

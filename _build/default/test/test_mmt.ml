@@ -1,0 +1,169 @@
+(* MMT (Myokit) importer tests: translation, name flattening, aliases,
+   power/if/piecewise desugaring, end-to-end simulation of an imported
+   model. *)
+
+let mmt_src =
+  {|
+[[model]]
+name: mmt_hh
+# initial conditions
+membrane.V = -65.0
+gates.m = 0.0529
+gates.h = 0.5961
+gates.n = 0.3177
+
+[membrane]
+dot(V) = -(i_ion) / Cm
+    in [mV]
+Cm = 1 [uF/cm^2]
+i_ion = ina.INa + ik.IK + il.IL
+
+[gates]
+use membrane.V as V
+am = if(abs(V + 40) < 1e-6, 1.0, 0.1 * (V + 40) / (1 - exp(-(V + 40) / 10)))
+bm = 4 * exp(-(V + 65) / 18)
+dot(m) = am * (1 - m) - bm * m
+ah = 0.07 * exp(-(V + 65) / 20)
+bh = 1 / (1 + exp(-(V + 35) / 10))
+dot(h) = ah * (1 - h) - bh * h
+an = if(abs(V + 55) < 1e-6, 0.1, 0.01 * (V + 55) / (1 - exp(-(V + 55) / 10)))
+bn = 0.125 * exp(-(V + 65) / 80)
+dot(n) = an * (1 - n) - bn * n
+
+[ina]
+use membrane.V as V
+gNa = 120 [mS/cm^2]
+ENa = 50 [mV]
+INa = gNa * gates.m^3 * gates.h * (V - ENa)
+
+[ik]
+use membrane.V as V
+gK = 36
+EK = -77
+IK = gK * gates.n^4 * (V - EK)
+
+[il]
+use membrane.V as V
+IL = 0.3 * (V - (-54.387))
+|}
+
+let test_parse_structure () =
+  let t = Easyml.Mmt.parse mmt_src in
+  Alcotest.(check string) "model name" "mmt_hh" t.name;
+  Alcotest.(check int) "initial conditions" 4 (List.length t.inits);
+  Alcotest.(check (float 0.0)) "V init" (-65.0)
+    (List.assoc "membrane__V" t.inits);
+  (* 4 dot equations among the definitions *)
+  let dots = List.filter (fun (d : Easyml.Mmt.definition) -> d.d_dot) t.defs in
+  Alcotest.(check int) "state equations" 4 (List.length dots)
+
+let test_easyml_rendering () =
+  let t = Easyml.Mmt.parse mmt_src in
+  let src = Easyml.Mmt.to_easyml ~vm:"membrane.V" ~iion:"membrane.i_ion" t in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (frag ^ " present") true (Helpers.contains src frag))
+    [
+      "Vm; .external()";
+      "Iion; .external()";
+      "diff_gates__m";
+      "gates__m; .method(rush_larsen);";
+      "pow(gates__m, 3.0)";
+      "Iion = membrane__i_ion;";
+      "Vm_init = -65";
+    ];
+  (* the Vm dot equation must be dropped *)
+  Alcotest.(check bool) "no diff_Vm" false (Helpers.contains src "diff_membrane__V")
+
+let test_import_analyzes () =
+  let m = Easyml.Mmt.import ~vm:"membrane.V" ~iion:"membrane.i_ion" mmt_src in
+  Alcotest.(check int) "three states" 3 (List.length m.states);
+  Alcotest.(check (list string)) "no warnings" [] m.warnings;
+  (* all gates are Rush-Larsen *)
+  List.iter
+    (fun (sv : Easyml.Model.state_var) ->
+      Alcotest.(check string) (sv.sv_name ^ " method") "rush_larsen"
+        (Easyml.Model.integ_name sv.sv_method))
+    m.states
+
+let test_imported_matches_native () =
+  (* the imported HH must reproduce the native HodgkinHuxley trajectory
+     (identical equations, up to the E_L literal spelled inline) *)
+  let imported = Easyml.Mmt.import ~vm:"membrane.V" ~iion:"membrane.i_ion" mmt_src in
+  let native = Models.Registry.model (Models.Registry.find_exn "HodgkinHuxley") in
+  let run m =
+    let g = Codegen.Kernel.generate (Codegen.Config.mlir ~width:4) m in
+    let d = Sim.Driver.create g ~ncells:4 ~dt:0.01 in
+    let stim = Sim.Stim.make ~amplitude:15.0 ~start:0.5 ~duration:0.5 () in
+    for _ = 1 to 800 do
+      Sim.Driver.step ~stim d
+    done;
+    Sim.Driver.vm d 0
+  in
+  let vi = run imported and vn = run native in
+  Helpers.check_close ~tol:1e-3 "imported HH == native HH (Vm after 8 ms)" vn vi
+
+let test_power_precedence () =
+  (* a * b^c must parse as a * (b^c); -x^2 as -(x^2) *)
+  let t =
+    Easyml.Mmt.parse
+      {|
+[[model]]
+name: prec
+c.y = 1.0
+[c]
+p = 2 * y^3
+q = -y^2
+dot(y) = 0
+|}
+  in
+  let find v =
+    (List.find (fun (d : Easyml.Mmt.definition) -> d.d_var = v) t.defs).d_rhs
+  in
+  Helpers.fcheck "2 * y^3" 16.0
+    (Easyml.Eval.eval_alist [ ("c__y", 2.0) ] (find "c__p"));
+  Helpers.fcheck "-y^2" (-4.0)
+    (Easyml.Eval.eval_alist [ ("c__y", 2.0) ] (find "c__q"))
+
+let test_piecewise () =
+  let t =
+    Easyml.Mmt.parse
+      {|
+[[model]]
+name: pw
+c.y = 0.5
+[c]
+v = piecewise(y < 0, 1.0, y > 1, 2.0, 3.0)
+dot(y) = 0
+|}
+  in
+  let e =
+    (List.find (fun (d : Easyml.Mmt.definition) -> d.d_var = "c__v") t.defs).d_rhs
+  in
+  let at y = Easyml.Eval.eval_alist [ ("c__y", y) ] e in
+  Helpers.fcheck "first branch" 1.0 (at (-1.0));
+  Helpers.fcheck "second branch" 2.0 (at 2.0);
+  Helpers.fcheck "default" 3.0 (at 0.5)
+
+let test_errors () =
+  let bad src =
+    match Easyml.Mmt.parse src with
+    | exception Easyml.Mmt.Error _ -> ()
+    | _ -> Alcotest.failf "expected MMT error for %S" src
+  in
+  bad "x = 1";
+  (* content before any section *)
+  bad "[[model]]\nfoo.bar = not_a_number";
+  bad "[[model]]\n[c]\nuse broken syntax here"
+
+let suite =
+  [
+    Alcotest.test_case "parse structure" `Quick test_parse_structure;
+    Alcotest.test_case "easyml rendering" `Quick test_easyml_rendering;
+    Alcotest.test_case "import analyzes" `Quick test_import_analyzes;
+    Alcotest.test_case "imported HH == native HH" `Quick
+      test_imported_matches_native;
+    Alcotest.test_case "power precedence" `Quick test_power_precedence;
+    Alcotest.test_case "piecewise" `Quick test_piecewise;
+    Alcotest.test_case "mmt errors" `Quick test_errors;
+  ]

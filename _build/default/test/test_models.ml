@@ -1,0 +1,181 @@
+(* Model-suite tests: the 43-model catalogue analyzes, compiles, verifies
+   and simulates stably; scalar and vector kernels agree exactly. *)
+
+module K = Codegen.Kernel
+module C = Codegen.Config
+
+let test_counts () =
+  Alcotest.(check int) "43 models" 43 (List.length Models.Registry.all);
+  let counts = Models.Registry.class_counts () in
+  Alcotest.(check int) "8 small" 8 (List.assoc Models.Model_def.Small counts);
+  Alcotest.(check int) "22 medium" 22 (List.assoc Models.Model_def.Medium counts);
+  Alcotest.(check int) "13 large" 13 (List.assoc Models.Model_def.Large counts)
+
+let test_unique_names () =
+  let names = Models.Registry.names () in
+  Alcotest.(check int) "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_paper_models_present () =
+  (* the models the paper calls out by name in figures and text *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " present") true
+        (Option.is_some (Models.Registry.find n)))
+    [
+      "ISAC_Hu"; "KChCheng"; "Plonsey"; "StressLumens"; "Stress_Niederer";
+      "DrouhardRoberge"; "HodgkinHuxley"; "Maleckar"; "Courtemanche"; "OHara";
+      "WangSobie"; "GrandiPanditVoigt"; "MitchellSchaeffer"; "Pathmanathan";
+    ]
+
+let test_all_analyze () =
+  List.iter
+    (fun (e : Models.Model_def.entry) ->
+      let m = Models.Registry.model e in
+      Alcotest.(check bool) (e.name ^ " has states") true (m.states <> []);
+      Alcotest.(check bool)
+        (e.name ^ " has Vm and Iion externals")
+        true
+        (Option.is_some (Easyml.Model.find_ext m "Vm")
+        && Option.is_some (Easyml.Model.find_ext m "Iion"));
+      (* warnings would signal silently-degraded methods *)
+      Alcotest.(check (list string)) (e.name ^ " warnings") [] m.warnings)
+    Models.Registry.all
+
+let test_all_generate_and_verify () =
+  List.iter
+    (fun (e : Models.Model_def.entry) ->
+      let m = Models.Registry.model e in
+      List.iter
+        (fun cfg ->
+          let g = K.generate cfg m in
+          match Ir.Verifier.verify_module g.K.modl with
+          | [] -> ()
+          | errs ->
+              Alcotest.failf "%s (%s): %s" e.name (C.describe cfg)
+                (Ir.Verifier.errors_to_string errs))
+        [ C.baseline; C.mlir ~width:8 ])
+    Models.Registry.all
+
+let test_all_simulate_stably () =
+  (* 150 steps with stimulus: finite states, exact scalar/vector match *)
+  List.iter
+    (fun (e : Models.Model_def.entry) ->
+      let m = Models.Registry.model e in
+      let gs = K.generate C.baseline m in
+      let gv = K.generate (C.mlir ~width:8) m in
+      let ds = Sim.Driver.create gs ~ncells:8 ~dt:0.01 in
+      let dv = Sim.Driver.create gv ~ncells:8 ~dt:0.01 in
+      let stim = Sim.Stim.make ~amplitude:40.0 ~start:0.5 ~duration:1.0 () in
+      for _ = 1 to 150 do
+        Sim.Driver.step ~stim ds;
+        Sim.Driver.step ~stim dv
+      done;
+      List.iter2
+        (fun (n, a) (_, b) ->
+          if not (Float.is_finite a) then
+            Alcotest.failf "%s: %s is not finite" e.name n;
+          if not (Helpers.same_float a b) then
+            Alcotest.failf "%s: scalar/vector mismatch on %s: %.17g vs %.17g"
+              e.name n a b)
+        (Sim.Driver.snapshot ds 3) (Sim.Driver.snapshot dv 3))
+    Models.Registry.all
+
+let test_method_coverage () =
+  (* the suite exercises every integration method the paper implements *)
+  let used = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Models.Model_def.entry) ->
+      let m = Models.Registry.model e in
+      List.iter
+        (fun (sv : Easyml.Model.state_var) ->
+          Hashtbl.replace used (Easyml.Model.integ_name sv.sv_method) ())
+        m.states)
+    Models.Registry.all;
+  List.iter
+    (fun meth ->
+      Alcotest.(check bool) (meth ^ " used by some model") true
+        (Hashtbl.mem used meth))
+    [ "fe"; "rk2"; "rk4"; "rush_larsen"; "sundnes"; "markov_be" ]
+
+let test_lut_usage () =
+  (* every medium/large model tabulates Vm; ISAC_Hu famously does not *)
+  let has_lut e =
+    (Models.Registry.model e).Easyml.Model.luts <> []
+  in
+  Alcotest.(check bool) "ISAC_Hu has no LUT" false
+    (has_lut (Models.Registry.find_exn "ISAC_Hu"));
+  List.iter
+    (fun (e : Models.Model_def.entry) ->
+      if e.cls <> Models.Model_def.Small then
+        Alcotest.(check bool) (e.name ^ " uses a LUT") true (has_lut e))
+    Models.Registry.all
+
+let test_state_counts_by_class () =
+  (* large models must be structurally heavier than small ones *)
+  let avg cls =
+    let es = Models.Registry.by_class cls in
+    float_of_int
+      (List.fold_left
+         (fun n e -> n + Easyml.Model.n_states (Models.Registry.model e))
+         0 es)
+    /. float_of_int (List.length es)
+  in
+  let s = avg Models.Model_def.Small
+  and m = avg Models.Model_def.Medium
+  and l = avg Models.Model_def.Large in
+  Alcotest.(check bool)
+    (Printf.sprintf "state counts grow with class (%.1f < %.1f < %.1f)" s m l)
+    true
+    (s < m && m < l && l > 18.0)
+
+let test_faithful_hh_rest () =
+  (* the faithful Hodgkin-Huxley model holds its resting potential *)
+  let m = Models.Registry.model (Models.Registry.find_exn "HodgkinHuxley") in
+  let g = K.generate C.baseline m in
+  let d = Sim.Driver.create g ~ncells:1 ~dt:0.01 in
+  for _ = 1 to 2000 do
+    Sim.Driver.step d (* no stimulus *)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "rest stays near -65 mV (got %.2f)" (Sim.Driver.vm d 0))
+    true
+    (Float.abs (Sim.Driver.vm d 0 +. 65.0) < 3.0)
+
+let test_faithful_lr91_upstroke () =
+  (* stimulating LuoRudy91 fires an action potential with realistic
+     overshoot *)
+  let m = Models.Registry.model (Models.Registry.find_exn "LuoRudy91") in
+  let g = K.generate (C.mlir ~width:4) m in
+  let d = Sim.Driver.create g ~ncells:1 ~dt:0.01 in
+  let stim = Sim.Stim.make ~amplitude:80.0 ~start:1.0 ~duration:1.0 () in
+  let peak = ref neg_infinity in
+  for _ = 1 to 5000 do
+    Sim.Driver.step ~stim d;
+    peak := Float.max !peak (Sim.Driver.vm d 0)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "AP overshoot between 10 and 80 mV (got %.1f)" !peak)
+    true
+    (!peak > 10.0 && !peak < 80.0)
+
+let suite =
+  [
+    Alcotest.test_case "class counts 8/22/13" `Quick test_counts;
+    Alcotest.test_case "unique names" `Quick test_unique_names;
+    Alcotest.test_case "paper-named models present" `Quick
+      test_paper_models_present;
+    Alcotest.test_case "all 43 analyze cleanly" `Quick test_all_analyze;
+    Alcotest.test_case "all 43 generate + verify" `Slow
+      test_all_generate_and_verify;
+    Alcotest.test_case "all 43 simulate stably, scalar == vector" `Slow
+      test_all_simulate_stably;
+    Alcotest.test_case "integration-method coverage" `Quick test_method_coverage;
+    Alcotest.test_case "LUT usage" `Quick test_lut_usage;
+    Alcotest.test_case "state counts grow with class" `Quick
+      test_state_counts_by_class;
+    Alcotest.test_case "HodgkinHuxley resting potential" `Slow
+      test_faithful_hh_rest;
+    Alcotest.test_case "LuoRudy91 action potential" `Slow
+      test_faithful_lr91_upstroke;
+  ]

@@ -1,0 +1,276 @@
+(* Optimization-pass tests: semantic preservation (differentially against
+   the engine), plus the specific transformations each pass promises. *)
+
+open Ir
+open Exec
+
+let lower_expr_func (e : Easyml.Ast.expr) : Func.modl =
+  let m = Func.create_module "t" in
+  let c = Builder.create_ctx () in
+  Func.add_func m
+    (Builder.func c ~name:"f" ~params:[ Ty.F64; Ty.F64 ] ~results:[ Ty.F64 ]
+       (fun b args ->
+         let env =
+           Codegen.Lower.make_env ~b ~width:1
+             [ ("x", List.nth args 0); ("y", List.nth args 1) ]
+         in
+         Builder.ret b [ Codegen.Lower.lower_num env e ]));
+  m
+
+let run1 m x y =
+  match Engine.run m "f" [| Rt.F x; Rt.F y |] with
+  | [| Rt.F v |] -> v
+  | _ -> Alcotest.fail "expected one result"
+
+let op_count m =
+  List.fold_left (fun n f -> n + Func.op_count f) 0 m.Func.m_funcs
+
+let pipeline_preserves =
+  Helpers.qtest ~count:250 "optimization pipeline preserves results"
+    QCheck.(
+      triple (Helpers.arbitrary_expr [ "x"; "y" ])
+        (QCheck.float_range (-3.0) 3.0) (QCheck.float_range (-3.0) 3.0))
+    (fun (e, x, y) ->
+      let m = lower_expr_func e in
+      let before = run1 m x y in
+      Passes.Pipeline.optimize ~verify:true m;
+      let after = run1 m x y in
+      Helpers.same_float before after)
+
+let each_pass_preserves =
+  Helpers.qtest ~count:150 "each pass individually preserves results"
+    QCheck.(
+      pair (Helpers.arbitrary_expr [ "x"; "y" ])
+        (QCheck.int_range 0 (List.length Passes.Pipeline.by_name - 1)))
+    (fun (e, k) ->
+      let _, pass = List.nth Passes.Pipeline.by_name k in
+      let m = lower_expr_func e in
+      let x = 1.25 and y = -0.75 in
+      let before = run1 m x y in
+      ignore (Passes.Pass.run_on_module pass m);
+      (match Verifier.verify_module m with
+      | [] -> ()
+      | errs -> Alcotest.fail (Verifier.errors_to_string errs));
+      Helpers.same_float before (run1 m x y))
+
+(* -- CSE ---------------------------------------------------------------- *)
+
+let test_cse_dedups () =
+  (* exp(x) computed twice must collapse to one op *)
+  let e =
+    Easyml.Ast.(
+      Binary (Add, Call ("exp", [ Var "x" ]), Call ("exp", [ Var "x" ])))
+  in
+  let m = lower_expr_func e in
+  let count_exp () =
+    List.fold_left
+      (fun n f ->
+        Op.fold_region
+          (fun n (o : Op.op) ->
+            match o.Op.kind with Op.Math "exp" -> n + 1 | _ -> n)
+          n f.Func.f_body)
+      0 m.Func.m_funcs
+  in
+  Alcotest.(check int) "two exps before" 2 (count_exp ());
+  ignore (Passes.Pass.run_on_module Passes.Cse.pass m);
+  Alcotest.(check int) "one exp after" 1 (count_exp ());
+  Helpers.fcheck "value unchanged" (2.0 *. Float.exp 0.5) (run1 m 0.5 0.0)
+
+(* -- DCE ---------------------------------------------------------------- *)
+
+let test_dce_removes_dead () =
+  let m = Func.create_module "t" in
+  let c = Builder.create_ctx () in
+  Func.add_func m
+    (Builder.func c ~name:"f" ~params:[ Ty.F64 ] ~results:[ Ty.F64 ]
+       (fun b args ->
+         let x = List.hd args in
+         (* dead chain *)
+         let d1 = Builder.math b "exp" [ x ] in
+         let _d2 = Builder.mulf b d1 d1 in
+         Builder.ret b [ Builder.addf b x x ]));
+  let before = op_count m in
+  ignore (Passes.Pass.run_on_module Passes.Dce.pass m);
+  Alcotest.(check int) "dead chain removed" (before - 2) (op_count m);
+  (match Engine.run m "f" [| Rt.F 2.0 |] with
+  | [| Rt.F v |] -> Helpers.fcheck "value" 4.0 v
+  | _ -> Alcotest.fail "bad result")
+
+let test_dce_keeps_stores () =
+  let m = Func.create_module "t" in
+  let c = Builder.create_ctx () in
+  Func.add_func m
+    (Builder.func c ~name:"f" ~params:[ Ty.Memref ] ~results:[]
+       (fun b args ->
+         let buf = List.hd args in
+         Builder.store b (Builder.constf b 9.0) ~mem:buf ~idx:(Builder.consti b 0);
+         Builder.ret b []));
+  ignore (Passes.Pass.run_on_module Passes.Dce.pass m);
+  let buf = Rt.buffer 1 in
+  ignore (Engine.run m "f" [| Rt.M buf |]);
+  Helpers.fcheck "store survived DCE" 9.0 (Float.Array.get buf 0)
+
+(* -- const fold ---------------------------------------------------------- *)
+
+let test_const_fold () =
+  let e =
+    Easyml.Ast.(
+      Binary
+        ( Add,
+          Var "x",
+          Binary (Mul, Num 3.0, Call ("sqrt", [ Num 16.0 ])) ))
+  in
+  let m = lower_expr_func e in
+  ignore (Passes.Pass.run_on_module Passes.Const_fold.pass m);
+  ignore (Passes.Pass.run_on_module Passes.Dce.pass m);
+  (* after folding, no math op should remain *)
+  let maths =
+    List.fold_left
+      (fun n f ->
+        Op.fold_region
+          (fun n (o : Op.op) ->
+            match o.Op.kind with Op.Math _ -> n + 1 | _ -> n)
+          n f.Func.f_body)
+      0 m.Func.m_funcs
+  in
+  Alcotest.(check int) "math folded away" 0 maths;
+  Helpers.fcheck "value" 13.0 (run1 m 1.0 0.0)
+
+(* -- canonicalize --------------------------------------------------------- *)
+
+let test_canonicalize_identities () =
+  let e =
+    Easyml.Ast.(
+      Binary
+        ( Add,
+          Binary (Mul, Var "x", Num 1.0),
+          Binary (Sub, Binary (Add, Var "y", Num 0.0), Num 0.0) ))
+  in
+  let m = lower_expr_func e in
+  let before = op_count m in
+  ignore (Passes.Pass.run_on_module Passes.Canonicalize.pass m);
+  ignore (Passes.Pass.run_on_module Passes.Dce.pass m);
+  Alcotest.(check bool) "ops eliminated" true (op_count m < before);
+  Helpers.fcheck "value" 3.5 (run1 m 1.25 2.25)
+
+(* -- LICM ----------------------------------------------------------------- *)
+
+let test_licm_hoists () =
+  (* n iterations of a loop whose body contains a loop-invariant exp *)
+  let m = Func.create_module "t" in
+  let c = Builder.create_ctx () in
+  Func.add_func m
+    (Builder.func c ~name:"f" ~params:[ Ty.I64; Ty.F64 ] ~results:[ Ty.F64 ]
+       (fun b args ->
+         let n = List.nth args 0 and x = List.nth args 1 in
+         let res =
+           Builder.for_ b ~lb:(Builder.consti b 0) ~ub:n
+             ~step:(Builder.consti b 1)
+             ~inits:[ Builder.constf b 0.0 ]
+             (fun ~iv:_ ~iters ->
+               let inv = Builder.math b "exp" [ x ] in
+               [ Builder.addf b (List.hd iters) inv ])
+         in
+         Builder.ret b res));
+  let in_loop_ops () =
+    List.fold_left
+      (fun n f ->
+        List.fold_left
+          (fun n (o : Op.op) ->
+            match o.Op.kind with
+            | Op.For _ -> n + List.length o.Op.regions.(0).Op.r_ops
+            | _ -> n)
+          n f.Func.f_body.Op.r_ops)
+      0 m.Func.m_funcs
+  in
+  let before = in_loop_ops () in
+  ignore (Passes.Pass.run_on_module Passes.Licm.pass m);
+  (match Verifier.verify_module m with
+  | [] -> ()
+  | errs -> Alcotest.fail (Verifier.errors_to_string errs));
+  Alcotest.(check bool) "loop body shrank" true (in_loop_ops () < before);
+  match Engine.run m "f" [| Rt.I 5; Rt.F 0.5 |] with
+  | [| Rt.F v |] -> Helpers.check_close "value" (5.0 *. Float.exp 0.5) v
+  | _ -> Alcotest.fail "bad result"
+
+(* -- widen ---------------------------------------------------------------- *)
+
+let widen_lanes_match =
+  Helpers.qtest ~count:200 "widened function == scalar per lane"
+    (Helpers.arbitrary_expr [ "x"; "y" ])
+    (fun e ->
+      let m = lower_expr_func e in
+      let f = Option.get (Func.find_func m "f") in
+      let w = 4 in
+      match Passes.Widen.widen ~w f with
+      | exception Passes.Widen.Not_widenable _ -> true
+      | fv ->
+          (match Verifier.verify_func fv with
+          | [] -> ()
+          | errs -> Alcotest.fail (Verifier.errors_to_string errs));
+          let mv = Func.create_module "w" in
+          Func.add_func mv fv;
+          let xs = [| 0.25; -1.5; 2.75; 0.0 |] in
+          let ys = [| -0.5; 1.0; 3.25; -2.0 |] in
+          let vx = Float.Array.init w (fun i -> xs.(i)) in
+          let vy = Float.Array.init w (fun i -> ys.(i)) in
+          (match Engine.run mv fv.Func.f_name [| Rt.VF vx; Rt.VF vy |] with
+          | [| Rt.VF got |] ->
+              Array.for_all Fun.id
+                (Array.init w (fun i ->
+                     Helpers.same_float (Float.Array.get got i)
+                       (run1 m xs.(i) ys.(i))))
+          | _ -> false))
+
+let test_widen_rejects () =
+  (* control flow and memory must be rejected, not silently mis-widened *)
+  let c = Builder.create_ctx () in
+  let f_loop =
+    Builder.func c ~name:"has_loop" ~params:[ Ty.I64 ] ~results:[]
+      (fun b args ->
+        let n = List.hd args in
+        let _ =
+          Builder.for_ b ~lb:(Builder.consti b 0) ~ub:n
+            ~step:(Builder.consti b 1) ~inits:[] (fun ~iv:_ ~iters:_ -> [])
+        in
+        Builder.ret b [])
+  in
+  (match Passes.Widen.widen ~w:4 f_loop with
+  | exception Passes.Widen.Not_widenable _ -> ()
+  | _ -> Alcotest.fail "loops must be rejected");
+  let c = Builder.create_ctx () in
+  let f_mem =
+    Builder.func c ~name:"has_mem" ~params:[ Ty.Memref ] ~results:[ Ty.F64 ]
+      (fun b args ->
+        let v = Builder.load b ~mem:(List.hd args) ~idx:(Builder.consti b 0) in
+        Builder.ret b [ v ])
+  in
+  match Passes.Widen.widen ~w:4 f_mem with
+  | exception Passes.Widen.Not_widenable _ -> ()
+  | _ -> Alcotest.fail "memory ops must be rejected"
+
+let test_kernel_pipeline_on_model () =
+  (* the full pipeline on a real kernel: verified + observably smaller *)
+  let m = Models.Registry.model (Models.Registry.find_exn "LuoRudy91") in
+  let g0 = Codegen.Kernel.generate ~optimize:false Codegen.Config.baseline m in
+  let g1 = Codegen.Kernel.generate ~optimize:true Codegen.Config.baseline m in
+  Alcotest.(check bool) "pipeline shrinks the kernel" true
+    (op_count g1.modl < op_count g0.modl / 2);
+  Verifier.verify_module_exn g1.modl
+
+let suite =
+  [
+    pipeline_preserves;
+    each_pass_preserves;
+    Alcotest.test_case "cse dedups" `Quick test_cse_dedups;
+    Alcotest.test_case "dce removes dead code" `Quick test_dce_removes_dead;
+    Alcotest.test_case "dce keeps stores" `Quick test_dce_keeps_stores;
+    Alcotest.test_case "const fold" `Quick test_const_fold;
+    Alcotest.test_case "canonicalize identities" `Quick
+      test_canonicalize_identities;
+    Alcotest.test_case "licm hoists invariants" `Quick test_licm_hoists;
+    widen_lanes_match;
+    Alcotest.test_case "widen rejects non-widenable" `Quick test_widen_rejects;
+    Alcotest.test_case "pipeline on a real kernel" `Quick
+      test_kernel_pipeline_on_model;
+  ]

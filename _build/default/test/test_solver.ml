@@ -1,0 +1,174 @@
+(* Solver-substrate tests: tridiagonal, CSR, CG, monodomain cable. *)
+
+open Solver
+
+let fa = Float.Array.of_list
+
+(* -- tridiagonal ---------------------------------------------------------- *)
+
+let test_tridiag_known () =
+  (* [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8] -> x = [1; 2; 3] *)
+  let a = fa [ 0.0; 1.0; 1.0 ] in
+  let b = fa [ 2.0; 2.0; 2.0 ] in
+  let c = fa [ 1.0; 1.0; 0.0 ] in
+  let d = fa [ 4.0; 8.0; 8.0 ] in
+  let x = Tridiag.solve ~a ~b ~c ~d in
+  List.iteri
+    (fun i want -> Helpers.check_close ~tol:1e-12 "x" want (Float.Array.get x i))
+    [ 1.0; 2.0; 3.0 ]
+
+let tridiag_residual =
+  Helpers.qtest ~count:200 "tridiagonal solve has tiny residual"
+    (QCheck.int_range 2 60)
+    (fun n ->
+      (* diagonally dominant random system *)
+      let rnd i = Float.rem (Float.of_int ((i * 2654435761) land 0xFFFF)) 97.0 /. 97.0 in
+      let a = Float.Array.init n (fun i -> if i = 0 then 0.0 else rnd i -. 0.5) in
+      let c = Float.Array.init n (fun i -> if i = n - 1 then 0.0 else rnd (i + 7) -. 0.5) in
+      let b =
+        Float.Array.init n (fun i ->
+            3.0 +. Float.abs (Float.Array.get a i) +. Float.abs (Float.Array.get c i))
+      in
+      let d = Float.Array.init n (fun i -> rnd (i + 13) *. 10.0 -. 5.0) in
+      let x = Tridiag.solve ~a ~b ~c ~d in
+      let ax = Tridiag.mul ~a ~b ~c x in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Float.abs (Float.Array.get ax i -. Float.Array.get d i) > 1e-9 then
+          ok := false
+      done;
+      !ok)
+
+let test_tridiag_singular () =
+  let z = fa [ 0.0; 0.0 ] in
+  match Tridiag.solve ~a:z ~b:z ~c:z ~d:z with
+  | exception Tridiag.Singular 0 -> ()
+  | _ -> Alcotest.fail "singular system must raise"
+
+(* -- CSR ------------------------------------------------------------------- *)
+
+let test_csr_mul () =
+  let m = Sparse.of_triplets ~n:3 [ (0, 0, 2.0); (0, 2, 1.0); (1, 1, 3.0); (2, 0, -1.0) ] in
+  Alcotest.(check int) "nnz" 4 (Sparse.nnz m);
+  let y = Sparse.mul m (fa [ 1.0; 2.0; 3.0 ]) in
+  List.iteri
+    (fun i want -> Helpers.fcheck "y" want (Float.Array.get y i))
+    [ 5.0; 6.0; -1.0 ]
+
+let test_csr_duplicates_combine () =
+  let m = Sparse.of_triplets ~n:2 [ (0, 0, 1.0); (0, 0, 2.5) ] in
+  Alcotest.(check int) "combined" 1 (Sparse.nnz m);
+  let y = Sparse.mul m (fa [ 2.0; 0.0 ]) in
+  Helpers.fcheck "value" 7.0 (Float.Array.get y 0)
+
+let test_csr_diagonal () =
+  let m = Sparse.of_triplets ~n:2 [ (0, 0, 4.0); (0, 1, 9.0); (1, 1, 5.0) ] in
+  let d = Sparse.diagonal m in
+  Helpers.fcheck "d0" 4.0 (Float.Array.get d 0);
+  Helpers.fcheck "d1" 5.0 (Float.Array.get d 1)
+
+(* -- CG --------------------------------------------------------------------- *)
+
+let test_cg_matches_tridiag () =
+  let n = 40 in
+  let cable = Cable.create ~n ~dx:0.01 ~sigma:0.001 ~cm:1.0 ~dt:0.02 in
+  let rhs = Float.Array.init n (fun i -> Float.cos (float_of_int i /. 5.0)) in
+  let x_direct =
+    Tridiag.solve ~a:cable.Cable.sub ~b:cable.Cable.diag ~c:cable.Cable.sup ~d:rhs
+  in
+  let x_cg, stats = Cg.solve ~tol:1e-12 (Cable.matrix cable) rhs in
+  Alcotest.(check bool) "converged" true (stats.Cg.residual < 1e-10);
+  for i = 0 to n - 1 do
+    Helpers.check_close ~tol:1e-8 "cg == direct" (Float.Array.get x_direct i)
+      (Float.Array.get x_cg i)
+  done
+
+let test_cg_identity () =
+  let m = Sparse.of_triplets ~n:3 [ (0, 0, 1.0); (1, 1, 1.0); (2, 2, 1.0) ] in
+  let b = fa [ 3.0; -1.0; 0.5 ] in
+  let x, stats = Cg.solve m b in
+  Alcotest.(check bool) "few iterations" true (stats.Cg.iterations <= 2);
+  for i = 0 to 2 do
+    Helpers.check_close ~tol:1e-10 "identity solve" (Float.Array.get b i)
+      (Float.Array.get x i)
+  done
+
+(* -- cable ------------------------------------------------------------------ *)
+
+let test_cable_flat_stays_flat () =
+  (* no stimulus, uniform Vm, zero Iion: diffusion must not move anything *)
+  let n = 32 in
+  let cable = Cable.create ~n ~dx:0.01 ~sigma:0.001 ~cm:1.0 ~dt:0.01 in
+  let vm = Float.Array.make n (-80.0) in
+  let iion = Float.Array.make n 0.0 in
+  for _ = 1 to 100 do
+    Cable.step cable ~vm ~iion ~istim:0.0 ~stim_lo:0 ~stim_hi:0
+  done;
+  for i = 0 to n - 1 do
+    Helpers.check_close ~tol:1e-9 "flat" (-80.0) (Float.Array.get vm i)
+  done
+
+let test_cable_conserves_charge () =
+  (* with Neumann boundaries and no reaction, the mean of Vm is conserved *)
+  let n = 32 in
+  let cable = Cable.create ~n ~dx:0.01 ~sigma:0.002 ~cm:1.0 ~dt:0.01 in
+  let vm = Float.Array.init n (fun i -> if i < 8 then 0.0 else -80.0) in
+  let iion = Float.Array.make n 0.0 in
+  let mean v =
+    let s = ref 0.0 in
+    Float.Array.iter (fun x -> s := !s +. x) v;
+    !s /. float_of_int n
+  in
+  let m0 = mean vm in
+  for _ = 1 to 500 do
+    Cable.step cable ~vm ~iion ~istim:0.0 ~stim_lo:0 ~stim_hi:0
+  done;
+  Helpers.check_close ~tol:1e-6 "mean conserved" m0 (mean vm);
+  (* and the profile relaxes toward uniform *)
+  let spread = Float.Array.get vm 0 -. Float.Array.get vm (n - 1) in
+  Alcotest.(check bool) "diffusion smooths" true (Float.abs spread < 80.0)
+
+let test_cable_stimulus_depolarizes () =
+  let n = 16 in
+  let cable = Cable.create ~n ~dx:0.01 ~sigma:0.001 ~cm:1.0 ~dt:0.01 in
+  let vm = Float.Array.make n (-80.0) in
+  let iion = Float.Array.make n 0.0 in
+  for _ = 1 to 100 do
+    Cable.step cable ~vm ~iion ~istim:50.0 ~stim_lo:0 ~stim_hi:4
+  done;
+  Alcotest.(check bool) "stimulated end depolarized" true
+    (Float.Array.get vm 0 > -60.0);
+  Alcotest.(check bool) "monotone decay along fibre" true
+    (Float.Array.get vm 0 > Float.Array.get vm (n - 1))
+
+let test_conduction_velocity_helper () =
+  let act = [| 1.0; 2.0; 3.0; 4.0 |] in
+  (match Cable.conduction_velocity ~dx:0.1 act ~from_cell:0 ~to_cell:3 with
+  | Some cv -> Helpers.check_close ~tol:1e-12 "cv" 0.1 cv
+  | None -> Alcotest.fail "cv expected");
+  match
+    Cable.conduction_velocity ~dx:0.1
+      [| 1.0; Float.infinity |]
+      ~from_cell:0 ~to_cell:1
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unactivated cell must yield None"
+
+let suite =
+  [
+    Alcotest.test_case "tridiag known system" `Quick test_tridiag_known;
+    tridiag_residual;
+    Alcotest.test_case "tridiag singular" `Quick test_tridiag_singular;
+    Alcotest.test_case "csr mul" `Quick test_csr_mul;
+    Alcotest.test_case "csr duplicate triplets" `Quick test_csr_duplicates_combine;
+    Alcotest.test_case "csr diagonal" `Quick test_csr_diagonal;
+    Alcotest.test_case "cg == direct solve" `Quick test_cg_matches_tridiag;
+    Alcotest.test_case "cg identity" `Quick test_cg_identity;
+    Alcotest.test_case "cable: flat stays flat" `Quick test_cable_flat_stays_flat;
+    Alcotest.test_case "cable: charge conserved" `Quick
+      test_cable_conserves_charge;
+    Alcotest.test_case "cable: stimulus depolarizes" `Quick
+      test_cable_stimulus_depolarizes;
+    Alcotest.test_case "conduction velocity helper" `Quick
+      test_conduction_velocity_helper;
+  ]
