@@ -42,16 +42,10 @@ let with_csv (section : string) (header : string) (rows : string list) : unit =
 let model e = Models.Registry.model e
 let all_models = Models.Registry.all
 
-let gen_cache : (string, Codegen.Kernel.t) Hashtbl.t = Hashtbl.create 64
-
+(* All sections share the process-wide compile cache; repeated
+   model × config pairs across sections cost one codegen. *)
 let gen (cfg : Codegen.Config.t) (e : Models.Model_def.entry) : Codegen.Kernel.t =
-  let key = e.name ^ "/" ^ Codegen.Config.describe cfg in
-  match Hashtbl.find_opt gen_cache key with
-  | Some g -> g
-  | None ->
-      let g = Codegen.Kernel.generate cfg (model e) in
-      Hashtbl.replace gen_cache key g;
-      g
+  Codegen.Cache.generate_named cfg ~name:e.name (fun () -> model e)
 
 let base e = gen Codegen.Config.baseline e
 let mlir w e = gen (Codegen.Config.mlir ~width:w) e
@@ -366,37 +360,99 @@ let spline_ablation () =
 (* Real wall-clock measurements through the execution engine            *)
 (* ------------------------------------------------------------------ *)
 
+(* Perf-regression harness over the real execution engines.  Tunables come
+   from the command line: [cells=N] sets cells per kernel invocation,
+   [steps=N] caps the bechamel sample count (the smoke target uses
+   cells=64 steps=100), [json=FILE] writes the per-kernel medians to FILE
+   so future PRs have a recorded trajectory (BENCH_wall.json in-tree). *)
+let wall_cells = ref 512
+let wall_limit = ref 300
+let wall_json : string option ref = ref None
+
+type wall_row = {
+  wr_model : string;
+  wr_cls : string;
+  wr_cfg : string;  (** "scalar" | "vector" *)
+  wr_engine : string;  (** "interp" | "closure" | "fused" *)
+  wr_median_ns : float;
+  wr_samples : int;
+}
+
+let wall_engines =
+  [
+    ("interp", Sim.Driver.Reference);
+    ("closure", Sim.Driver.Compiled);
+    ("fused", Sim.Driver.Fused);
+  ]
+
+let wall_configs =
+  [ ("scalar", Codegen.Config.baseline); ("vector", Codegen.Config.mlir ~width:8) ]
+
+let wall_reps =
+  [ "MitchellSchaeffer"; "LuoRudy91"; "TenTusscher"; "GrandiPanditVoigt" ]
+
+let median (xs : float list) : float =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then Float.nan
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let wall_write_json (path : string) (rows : wall_row list)
+    (summary : (string * float) list) : unit =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"cells\": %d,\n  \"sample_limit\": %d,\n" !wall_cells
+       !wall_limit);
+  Buffer.add_string b "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"model\": %S, \"class\": %S, \"config\": %S, \"engine\": \
+            %S, \"median_ns\": %.1f, \"samples\": %d}%s\n"
+           r.wr_model r.wr_cls r.wr_cfg r.wr_engine r.wr_median_ns r.wr_samples
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n  \"summary\": {\n";
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "    %S: %.4f%s\n" k v
+           (if i = List.length summary - 1 then "" else ",")))
+    summary;
+  Buffer.add_string b "  }\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Fmt.pr "(wrote %s)@." path
+
 let wallclock () =
   hr ();
   Fmt.pr "Wall-clock microbenchmarks (bechamel): real execution of the@.";
-  Fmt.pr "generated kernels through the closure engine on this host.@.";
-  Fmt.pr "One Test.make pair per figure-equivalent comparison.@.";
+  Fmt.pr "generated kernels on this host, {interp, closure, fused} engines@.";
+  Fmt.pr "x {scalar, vector} configs; per-kernel median ns per invocation.@.";
   hr ();
-  let wc_cells = 512 in
-  let mk_driver g = Sim.Driver.create g ~ncells:wc_cells ~dt:0.01 in
-  let reps =
-    [
-      ("fig2_small_MitchellSchaeffer", "MitchellSchaeffer");
-      ("fig2_medium_LuoRudy91", "LuoRudy91");
-      ("fig2_large_TenTusscher", "TenTusscher");
-      ("fig6_compute_GrandiPanditVoigt", "GrandiPanditVoigt");
-    ]
-  in
   let tests =
     List.concat_map
-      (fun (label, name) ->
+      (fun name ->
         let e = Models.Registry.find_exn name in
-        let db = mk_driver (base e) in
-        let dv = mk_driver (mlir 8 e) in
-        [
-          Bechamel.Test.make
-            ~name:(label ^ "/baseline")
-            (Bechamel.Staged.stage (fun () -> Sim.Driver.compute_stage db));
-          Bechamel.Test.make
-            ~name:(label ^ "/limpetMLIR")
-            (Bechamel.Staged.stage (fun () -> Sim.Driver.compute_stage dv));
-        ])
-      reps
+        List.concat_map
+          (fun (cname, cfg) ->
+            let g = gen cfg e in
+            List.map
+              (fun (ename, engine) ->
+                let d =
+                  Sim.Driver.create ~engine g ~ncells:!wall_cells ~dt:0.01
+                in
+                Bechamel.Test.make
+                  ~name:(Printf.sprintf "%s/%s/%s" name cname ename)
+                  (Bechamel.Staged.stage (fun () -> Sim.Driver.compute_stage d)))
+              wall_engines)
+          wall_configs)
+      wall_reps
   in
   let test = Bechamel.Test.make_grouped ~name:"kernels" ~fmt:"%s %s" tests in
   (* the preceding sections leave a large heap behind; compact so GC churn
@@ -404,31 +460,92 @@ let wallclock () =
   Gc.compact ();
   let open Bechamel in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 1.0) () in
+  let quota = if !wall_limit < 300 then 0.1 else 1.0 in
+  let cfg = Benchmark.cfg ~limit:!wall_limit ~quota:(Time.second quota) () in
   let raw = Benchmark.all cfg [ instance ] test in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
-  in
-  let results = Analyze.all ols instance raw in
-  let time_of label =
-    match Hashtbl.find_opt results ("kernels " ^ label) with
-    | Some est -> (
-        match Analyze.OLS.estimates est with
-        | Some [ t ] -> Some t
-        | _ -> None)
+  let clock = Measure.label instance in
+  let median_of label : (float * int) option =
+    match Hashtbl.find_opt raw ("kernels " ^ label) with
     | None -> None
+    | Some (b : Benchmark.t) ->
+        let per_run =
+          Array.to_list b.Benchmark.lr
+          |> List.filter_map (fun m ->
+                 let runs = Measurement_raw.run m in
+                 if runs <= 0.0 then None
+                 else Some (Measurement_raw.get ~label:clock m /. runs))
+        in
+        if per_run = [] then None
+        else Some (median per_run, List.length per_run)
   in
+  let rows = ref [] in
   List.iter
-    (fun (label, _) ->
-      match (time_of (label ^ "/baseline"), time_of (label ^ "/limpetMLIR")) with
-      | Some tb, Some tv ->
-          Fmt.pr "%-34s baseline %9.1f us  limpetMLIR %9.1f us  speedup %5.2fx@."
-            label (tb /. 1e3) (tv /. 1e3) (tb /. tv)
-      | _ -> Fmt.pr "%-34s (no estimate)@." label)
-    reps;
-  Fmt.pr "@.(%d cells per kernel invocation; engine dispatch dominates, so the@."
-    wc_cells;
-  Fmt.pr "measured ratio reflects the per-op dispatch advantage of vector IR.)@."
+    (fun name ->
+      let e = Models.Registry.find_exn name in
+      List.iter
+        (fun (cname, _) ->
+          let by_engine =
+            List.filter_map
+              (fun (ename, _) ->
+                match median_of (Printf.sprintf "%s/%s/%s" name cname ename) with
+                | None -> None
+                | Some (ns, samples) ->
+                    rows :=
+                      {
+                        wr_model = name;
+                        wr_cls = cls_tag e;
+                        wr_cfg = cname;
+                        wr_engine = ename;
+                        wr_median_ns = ns;
+                        wr_samples = samples;
+                      }
+                      :: !rows;
+                    Some (ename, ns))
+              wall_engines
+          in
+          let ns ename = List.assoc_opt ename by_engine in
+          match (ns "interp", ns "closure", ns "fused") with
+          | Some ti, Some tc, Some tf ->
+              Fmt.pr
+                "%-24s %-6s interp %11.1f us  closure %9.1f us  fused %9.1f \
+                 us  (closure/fused %.2fx)@."
+                name cname (ti /. 1e3) (tc /. 1e3) (tf /. 1e3) (tc /. tf)
+          | _ -> Fmt.pr "%-24s %-6s (no estimate)@." name cname)
+        wall_configs)
+    wall_reps;
+  let rows = List.rev !rows in
+  (* headline: fused vs the seed closure engine on the large-model class *)
+  let speedups ~cfg_filter =
+    List.filter_map
+      (fun r ->
+        if r.wr_cls <> "large" || r.wr_engine <> "closure" then None
+        else if cfg_filter r.wr_cfg then
+          List.find_opt
+            (fun f ->
+              f.wr_model = r.wr_model && f.wr_cfg = r.wr_cfg
+              && f.wr_engine = "fused")
+            rows
+          |> Option.map (fun f -> r.wr_median_ns /. f.wr_median_ns)
+        else None)
+      rows
+  in
+  let geo_or_nan = function [] -> Float.nan | xs -> geo xs in
+  let sc = geo_or_nan (speedups ~cfg_filter:(fun c -> c = "scalar")) in
+  let ve = geo_or_nan (speedups ~cfg_filter:(fun c -> c = "vector")) in
+  let all = geo_or_nan (speedups ~cfg_filter:(fun _ -> true)) in
+  Fmt.pr "@.large-class fused-vs-closure median speedup: scalar %.2fx, \
+          vector %.2fx, geomean %.2fx@."
+    sc ve all;
+  Fmt.pr "(%d cells per kernel invocation)@." !wall_cells;
+  match !wall_json with
+  | None -> ()
+  | Some path ->
+      wall_write_json path rows
+        [
+          ("large_fused_vs_closure_scalar", sc);
+          ("large_fused_vs_closure_vector", ve);
+          ("large_fused_vs_closure_geomean", all);
+        ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -448,14 +565,36 @@ let sections =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let key_val a =
+    match String.index_opt a '=' with
+    | None -> None
+    | Some i ->
+        Some (String.sub a 0 i, String.sub a (i + 1) (String.length a - i - 1))
+  in
+  let posint k v =
+    match int_of_string_opt v with
+    | Some n when n > 0 -> n
+    | _ ->
+        Fmt.epr "%s= wants a positive integer, got %S@." k v;
+        exit 2
+  in
   let args =
     List.filter
       (fun a ->
-        if String.length a > 4 && String.sub a 0 4 = "csv=" then begin
-          csv_dir := Some (String.sub a 4 (String.length a - 4));
-          false
-        end
-        else true)
+        match key_val a with
+        | Some ("csv", v) ->
+            csv_dir := Some v;
+            false
+        | Some ("json", v) ->
+            wall_json := Some v;
+            false
+        | Some ("cells", v) ->
+            wall_cells := posint "cells" v;
+            false
+        | Some ("steps", v) ->
+            wall_limit := posint "steps" v;
+            false
+        | _ -> true)
       args
   in
   let todo =
@@ -475,4 +614,5 @@ let () =
   Fmt.pr "workload: %d cells, %d steps of 0.01 ms (paper defaults)@." cells steps;
   Fmt.pr "figures use the calibrated Cascade Lake machine model (DESIGN.md);@.";
   Fmt.pr "the 'wall' section measures real kernel execution on this host.@.@.";
-  List.iter (fun (_, f) -> f ()) todo
+  List.iter (fun (_, f) -> f ()) todo;
+  Fmt.pr "@.%s@." (Codegen.Cache.describe_stats ())

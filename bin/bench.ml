@@ -27,8 +27,8 @@ let run models cells steps dt width threads validate =
   List.iter
     (fun (e : Models.Model_def.entry) ->
       let m = Models.Registry.model e in
-      let gb = Codegen.Kernel.generate Codegen.Config.baseline m in
-      let gv = Codegen.Kernel.generate (Codegen.Config.mlir ~width) m in
+      let gb = Codegen.Cache.generate Codegen.Config.baseline m in
+      let gv = Codegen.Cache.generate (Codegen.Config.mlir ~width) m in
       let db = Sim.Driver.create gb ~ncells:cells ~dt in
       let dv = Sim.Driver.create gv ~ncells:cells ~dt in
       let tb = Sim.Driver.run ~nthreads:threads ~stim db ~steps in

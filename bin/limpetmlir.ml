@@ -114,7 +114,7 @@ let emit_cmd =
   let run name width layout no_lut autovec spline no_opt output =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
-    let g = Codegen.Kernel.generate ~optimize:(not no_opt) cfg m in
+    let g = Codegen.Cache.generate ~optimize:(not no_opt) cfg m in
     (match Ir.Verifier.verify_module g.modl with
     | [] -> ()
     | errs -> Fmt.epr "%s@." (Ir.Verifier.errors_to_string errs));
@@ -152,7 +152,7 @@ let run_cmd =
       =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
-    let g = Codegen.Kernel.generate cfg m in
+    let g = Codegen.Cache.generate cfg m in
     let d = Sim.Driver.create g ~ncells:cells ~dt in
     let stim = Sim.Stim.default in
     Fmt.pr "# model=%s config=%s cells=%d steps=%d dt=%gms@." m.name
@@ -236,7 +236,7 @@ let cost_cmd =
   let run name width layout no_lut autovec spline cells steps threads =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
-    let g = Codegen.Kernel.generate cfg m in
+    let g = Codegen.Cache.generate cfg m in
     let k = Machine.Kcost.of_kernel g in
     Fmt.pr "kernel %s (%s)@." m.name (Codegen.Config.describe cfg);
     Fmt.pr "  per cell per step: %.1f cycles, %.1f flops, %.1f bytes@."

@@ -33,7 +33,7 @@ let exact ~t =
 
 let simulate meth ~dt ~t_end =
   let m = Easyml.Sema.analyze_source ~name:("gate_" ^ meth) (gate_src meth) in
-  let g = Codegen.Kernel.generate Codegen.Config.baseline m in
+  let g = Codegen.Cache.generate Codegen.Config.baseline m in
   let d = Sim.Driver.create g ~ncells:1 ~dt in
   let steps = int_of_float (Float.round (t_end /. dt)) in
   for _ = 1 to steps do

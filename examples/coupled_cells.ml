@@ -20,13 +20,13 @@ let simulate ~(n_fib : int) ~(g_gap : float) =
   let dt = 0.01 in
   let myo =
     Sim.Driver.create
-      (Codegen.Kernel.generate (Codegen.Config.mlir ~width:8)
+      (Codegen.Cache.generate (Codegen.Config.mlir ~width:8)
          (Models.Registry.model (Models.Registry.find_exn "DrouhardRoberge")))
       ~ncells:8 ~dt
   in
   let fib =
     Sim.Driver.create
-      (Codegen.Kernel.generate (Codegen.Config.mlir ~width:8)
+      (Codegen.Cache.generate (Codegen.Config.mlir ~width:8)
          (Models.Registry.model
             (Models.Registry.find_exn "MacCannellFibroblast")))
       ~ncells:8 ~dt

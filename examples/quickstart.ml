@@ -28,8 +28,8 @@ let () =
   Fmt.pr "== analyzed model ==@.%a@.@." Easyml.Model.pp model;
 
   (* 2. Code generation: scalar baseline vs vector limpetMLIR. *)
-  let scalar = Codegen.Kernel.generate Codegen.Config.baseline model in
-  let vector = Codegen.Kernel.generate (Codegen.Config.mlir ~width:8) model in
+  let scalar = Codegen.Cache.generate Codegen.Config.baseline model in
+  let vector = Codegen.Cache.generate (Codegen.Config.mlir ~width:8) model in
   Ir.Verifier.verify_module_exn scalar.modl;
   Ir.Verifier.verify_module_exn vector.modl;
   Fmt.pr "== generated vector IR (Listing 3 analogue) ==@.%a@.@."

@@ -39,7 +39,7 @@ let () =
   let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "LuoRudy91" in
   let entry = Models.Registry.find_exn name in
   let model = Models.Registry.model entry in
-  let gen = Codegen.Kernel.generate (Codegen.Config.mlir ~width:8) model in
+  let gen = Codegen.Cache.generate (Codegen.Config.mlir ~width:8) model in
   let dt = 0.02 in
   let s1_cl = 600.0 (* ms *) in
   let n_s1 = 3 in

@@ -12,7 +12,7 @@ let () =
   let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "LuoRudy91" in
   let entry = Models.Registry.find_exn name in
   let model = Models.Registry.model entry in
-  let gen = Codegen.Kernel.generate (Codegen.Config.mlir ~width:8) model in
+  let gen = Codegen.Cache.generate (Codegen.Config.mlir ~width:8) model in
   let dt = 0.01 in
   let d = Sim.Driver.create gen ~ncells:8 ~dt in
   let stim =

@@ -16,7 +16,7 @@ let () =
   let dx = 0.01 (* cm *) in
   let entry = Models.Registry.find_exn "DrouhardRoberge" in
   let model = Models.Registry.model entry in
-  let gen = Codegen.Kernel.generate (Codegen.Config.mlir ~width:8) model in
+  let gen = Codegen.Cache.generate (Codegen.Config.mlir ~width:8) model in
   let d = Sim.Driver.create gen ~ncells:n ~dt in
   let cable = Solver.Cable.create ~n ~dx ~sigma:0.001 ~cm:1.0 ~dt in
   (* cross-check the cable operator once: direct vs CG on a random rhs *)

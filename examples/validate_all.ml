@@ -7,8 +7,8 @@ let () =
     (try
       let m = Models.Registry.model e in
       List.iter (fun w -> Fmt.pr "  [%s] warn: %s@." name w) m.warnings;
-      let gs = Codegen.Kernel.generate Codegen.Config.baseline m in
-      let gv = Codegen.Kernel.generate (Codegen.Config.mlir ~width:8) m in
+      let gs = Codegen.Cache.generate Codegen.Config.baseline m in
+      let gv = Codegen.Cache.generate (Codegen.Config.mlir ~width:8) m in
       (match Ir.Verifier.verify_module gs.modl @ Ir.Verifier.verify_module gv.modl with
        | [] -> ()
        | errs -> failwith (Ir.Verifier.errors_to_string errs));

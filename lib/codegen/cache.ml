@@ -1,0 +1,105 @@
+(** Shared kernel-compile cache.
+
+    Every entry point (CLI, bench harness, examples, the simulation
+    driver) used to regenerate kernels from scratch — the bench harness
+    even grew its own private memo table.  This module centralizes that:
+    one process-wide table memoizing the whole
+    parse → analyze → codegen → optimize → verify front half, keyed on
+
+      model name × {!Config.describe} × pass-pipeline id × optimize flag.
+
+    [Config.describe] covers every semantically relevant config field
+    (width, layout, LUT mode, math mode, parameter folding, parallel
+    marker), and the pipeline id is derived from the pass names of
+    {!Passes.Pipeline.standard}, so a future pipeline change invalidates
+    old keys rather than serving stale kernels.
+
+    The table is guarded by a mutex so Domain-parallel harness code can
+    share it; the cached {!Kernel.t} is immutable after generation (the
+    execution engines allocate their own register files per compile), so
+    handing the same kernel to several callers is safe. *)
+
+module M = Easyml.Model
+
+type stats = {
+  hits : int;
+  misses : int;
+  compile_ms : float;  (** total milliseconds spent on cache misses *)
+}
+
+(* Pipeline identity: pass names in order.  Recorded into the key so a
+   changed pipeline can never serve kernels optimized by the old one. *)
+let pipeline_id : string =
+  String.concat ">" (List.map (fun (p : Passes.Pass.t) -> p.name) Passes.Pipeline.standard)
+
+let lock = Mutex.create ()
+let table : (string, Kernel.t) Hashtbl.t = Hashtbl.create 64
+let hits = ref 0
+let misses = ref 0
+let compile_ms = ref 0.0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let key ~(optimize : bool) (cfg : Config.t) (name : string) : string =
+  Printf.sprintf "%s|%s|%s|%s" name (Config.describe cfg)
+    (if optimize then pipeline_id else "no-opt")
+    "v1"
+
+(** [generate_named ?optimize cfg ~name parse] returns the cached kernel
+    for [name] under [cfg], calling [parse] (the parse+analyze front end)
+    only on a miss.  The generated module is verified once, on the miss. *)
+let generate_named ?(optimize = true) (cfg : Config.t) ~(name : string)
+    (parse : unit -> M.t) : Kernel.t =
+  let k = key ~optimize cfg name in
+  match locked (fun () -> Hashtbl.find_opt table k) with
+  | Some g ->
+      locked (fun () -> incr hits);
+      g
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let model = parse () in
+      let g = Kernel.generate ~optimize cfg model in
+      Ir.Verifier.verify_module_exn g.Kernel.modl;
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      locked (fun () ->
+          (* another domain may have raced us to the same key; keep the
+             first entry so every caller sees one kernel instance *)
+          match Hashtbl.find_opt table k with
+          | Some g' ->
+              incr hits;
+              g'
+          | None ->
+              incr misses;
+              compile_ms := !compile_ms +. ms;
+              Hashtbl.replace table k g;
+              g)
+
+(** Like {!generate_named} for an already-analyzed model (keyed on
+    [model.name]). *)
+let generate ?optimize (cfg : Config.t) (model : M.t) : Kernel.t =
+  generate_named ?optimize cfg ~name:model.M.name (fun () -> model)
+
+let stats () : stats =
+  locked (fun () ->
+      { hits = !hits; misses = !misses; compile_ms = !compile_ms })
+
+let reset_stats () : unit =
+  locked (fun () ->
+      hits := 0;
+      misses := 0;
+      compile_ms := 0.0)
+
+(** Drop every entry (tests use this to force fresh compiles). *)
+let clear () : unit =
+  locked (fun () ->
+      Hashtbl.reset table;
+      hits := 0;
+      misses := 0;
+      compile_ms := 0.0)
+
+let describe_stats () : string =
+  let s = stats () in
+  Printf.sprintf "cache: %d hits / %d misses / %.1f ms compiling" s.hits
+    s.misses s.compile_ms

@@ -1,0 +1,34 @@
+(** Shared kernel-compile cache: one process-wide, mutex-guarded memo
+    table for the parse → analyze → codegen → optimize → verify front
+    half, keyed on model name × {!Config.describe} × pass-pipeline id.
+    Cached kernels are immutable; sharing one {!Kernel.t} between callers
+    (or domains) is safe because engines allocate their own register
+    files per compile. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  compile_ms : float;  (** total milliseconds spent on cache misses *)
+}
+
+val pipeline_id : string
+(** Identity of {!Passes.Pipeline.standard} (pass names, in order);
+    part of every cache key. *)
+
+val generate_named :
+  ?optimize:bool -> Config.t -> name:string -> (unit -> Easyml.Model.t) -> Kernel.t
+(** Cached kernel for [name] under the config; [parse] runs only on a
+    miss.  The generated module is verified on the miss.
+    @raise Ir.Verifier errors if the generated module is malformed. *)
+
+val generate : ?optimize:bool -> Config.t -> Easyml.Model.t -> Kernel.t
+(** {!generate_named} for an already-analyzed model, keyed on its name. *)
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+val clear : unit -> unit
+(** Drop all entries and zero the statistics. *)
+
+val describe_stats : unit -> string
+(** One-line [cache: H hits / M misses / C ms compiling] summary. *)

@@ -62,8 +62,14 @@ let arch_name (c : t) : string =
   | 8 -> "avx512"
   | w -> Printf.sprintf "vec%d" w
 
+(* Covers every semantically relevant field — the compile cache keys on
+   this string, so omitting a field here would alias distinct kernels.
+   Default fold/parallel settings print nothing, keeping the common
+   labels short and stable. *)
 let describe (c : t) : string =
-  Printf.sprintf "%s/%s%s%s" (arch_name c)
+  Printf.sprintf "%s/%s%s%s%s%s" (arch_name c)
     (Runtime.Layout.name c.layout)
     (if c.use_lut then (if c.lut_spline then "+lutc" else "+lut") else "-lut")
     (if c.scalar_math then "-svml" else "+svml")
+    (if c.fold_params then "" else "+params")
+    (if c.parallel then "" else "-seq")

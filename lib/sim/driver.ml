@@ -14,7 +14,7 @@ exception Driver_error of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Driver_error s)) fmt
 
-type engine = Compiled | Reference
+type engine = Fused | Compiled | Reference
 
 type t = {
   gen : Codegen.Kernel.t;
@@ -45,6 +45,9 @@ let make_registry () : Rt.registry =
 let make_runner (d_engine : engine) (registry : Rt.registry)
     (modl : Ir.Func.modl) : Rt.v array -> Rt.v array =
   match d_engine with
+  | Fused ->
+      let lookup = Fused.compile_module ~externs:registry modl in
+      lookup Codegen.Kernel.compute_name
   | Compiled ->
       let lookup = Engine.compile_module ~externs:registry modl in
       lookup Codegen.Kernel.compute_name
@@ -97,6 +100,8 @@ let reset (d : t) : unit =
   (* lookup tables *)
   let lookup =
     match d.engine with
+    | Fused ->
+        Fused.compile_module ~externs:d.registry d.gen.Codegen.Kernel.modl
     | Compiled ->
         Engine.compile_module ~externs:d.registry d.gen.Codegen.Kernel.modl
     | Reference ->
@@ -111,7 +116,7 @@ let reset (d : t) : unit =
   d.t_now <- 0.0;
   d.steps_done <- 0
 
-let create ?(engine = Compiled) (gen : Codegen.Kernel.t) ~(ncells : int)
+let create ?(engine = Fused) (gen : Codegen.Kernel.t) ~(ncells : int)
     ~(dt : float) : t =
   if ncells <= 0 then fail "ncells must be positive";
   if dt <= 0.0 then fail "dt must be positive";
@@ -164,6 +169,14 @@ let create ?(engine = Compiled) (gen : Codegen.Kernel.t) ~(ncells : int)
   reset d;
   d
 
+(** {!create} through the shared compile cache: generate (or reuse) the
+    kernel for [model] under [cfg] via {!Codegen.Cache}, then build the
+    driver.  Repeated drivers for the same model × config skip codegen
+    entirely. *)
+let create_cached ?engine ?optimize (cfg : Codegen.Config.t)
+    (model : M.t) ~(ncells : int) ~(dt : float) : t =
+  create ?engine (Codegen.Cache.generate ?optimize cfg model) ~ncells ~dt
+
 (* Make sure we have per-thread kernel instances and row buffers. *)
 let ensure_threads (d : t) (nthreads : int) : unit =
   let cur = Array.length d.runners in
@@ -202,26 +215,18 @@ let compute_stage ?(nthreads = 1) (d : t) : unit =
   if nthreads = 1 then
     let args = kernel_args d ~start:0 ~stop:d.ncells_pad ~rows:d.rows.(0) in
     ignore (d.runners.(0) args)
-  else begin
-    (* chunk boundaries must be aligned to the vector width *)
+  else
+    (* chunk boundaries must be aligned to the vector width, so the
+       parallel-for runs over AoSoA blocks rather than cells; each domain
+       uses its own kernel instance and LUT scratch rows (register files
+       are not reentrant) *)
     let nblocks = d.ncells_pad / w in
-    let chunks = Runtime.Parallel.chunks ~nthreads ~lo:0 ~hi:nblocks in
-    let jobs =
-      List.mapi
-        (fun k (blo, bhi) ->
-          let args =
-            kernel_args d ~start:(blo * w) ~stop:(bhi * w) ~rows:d.rows.(k)
-          in
-          fun () -> if bhi > blo then ignore (d.runners.(k) args))
-        chunks
-    in
-    match jobs with
-    | [] -> ()
-    | first :: rest ->
-        let domains = List.map (fun job -> Domain.spawn job) rest in
-        first ();
-        List.iter Domain.join domains
-  end
+    Runtime.Parallel.parallel_for_chunks ~nthreads ~lo:0 ~hi:nblocks
+      (fun k blo bhi ->
+        let args =
+          kernel_args d ~start:(blo * w) ~stop:(bhi * w) ~rows:d.rows.(k)
+        in
+        ignore (d.runners.(k) args))
 
 let find_ext_buf (d : t) (name : string) : floatarray =
   match List.assoc_opt name d.exts with

@@ -9,7 +9,8 @@
 exception Driver_error of string
 
 type engine =
-  | Compiled  (** closure engine (fast; one instance per thread) *)
+  | Fused  (** threaded-code engine with superinstructions (default) *)
+  | Compiled  (** closure engine (one instance per thread) *)
   | Reference  (** tree-walking interpreter (slow; differential tests) *)
 
 type t = {
@@ -32,7 +33,19 @@ type t = {
 val create : ?engine:engine -> Codegen.Kernel.t -> ncells:int -> dt:float -> t
 (** Allocate, initialize from the model's [_init] values and build the
     lookup tables (by running the generated [lut_init_*] functions).
+    [engine] defaults to {!Fused}.
     @raise Driver_error on non-positive [ncells]/[dt]. *)
+
+val create_cached :
+  ?engine:engine ->
+  ?optimize:bool ->
+  Codegen.Config.t ->
+  Easyml.Model.t ->
+  ncells:int ->
+  dt:float ->
+  t
+(** {!create}, generating the kernel through the shared
+    {!Codegen.Cache} (repeat model × config pairs skip codegen). *)
 
 val reset : t -> unit
 (** Back to the initial state (also rebuilds tables). *)

@@ -1,0 +1,179 @@
+(* Fused threaded-code engine tests: differential equivalence against the
+   closure engine and the reference interpreter on the full model catalogue
+   and on random straight-line IR, Domain-parallel determinism, and the
+   shared compile cache. *)
+
+open Exec
+module K = Codegen.Kernel
+module C = Codegen.Config
+
+let stim = Sim.Stim.make ~amplitude:40.0 ~start:0.5 ~duration:1.0 ()
+
+(* The three code-generation points that matter for engine coverage:
+   scalar AoS (baseline), vector AoSoA (contiguous vector loads/stores),
+   vector AoS (the gather/scatter path). *)
+let configs =
+  [ ("scalar", C.baseline); ("aosoa", C.mlir ~width:4); ("aos-vec", C.autovec ~width:4) ]
+
+let check_snapshots ~ctx a b =
+  List.iter2
+    (fun (n, x) (_, y) ->
+      if not (Float.is_finite x) then Alcotest.failf "%s: %s not finite" ctx n;
+      if not (Helpers.same_float x y) then
+        Alcotest.failf "%s: mismatch on %s: %.17g vs %.17g" ctx n x y)
+    a b
+
+(* fused == closure == interpreter on all 43 models, 100 steps, both
+   layouts.  Kernels come through the shared cache, so each model x config
+   compiles once for all three engines. *)
+let test_all_models_engines_agree () =
+  List.iter
+    (fun (e : Models.Model_def.entry) ->
+      List.iter
+        (fun (cname, cfg) ->
+          let g = Codegen.Cache.generate_named cfg ~name:e.name (fun () ->
+              Models.Registry.model e) in
+          let mk engine = Sim.Driver.create ~engine g ~ncells:8 ~dt:0.01 in
+          let df = mk Sim.Driver.Fused in
+          let dc = mk Sim.Driver.Compiled in
+          let dr = mk Sim.Driver.Reference in
+          for _ = 1 to 100 do
+            Sim.Driver.step ~stim df;
+            Sim.Driver.step ~stim dc;
+            Sim.Driver.step ~stim dr
+          done;
+          List.iter
+            (fun cell ->
+              let ctx = Printf.sprintf "%s/%s cell %d" e.name cname cell in
+              let sf = Sim.Driver.snapshot df cell in
+              check_snapshots ~ctx:(ctx ^ " fused/closure") sf
+                (Sim.Driver.snapshot dc cell);
+              check_snapshots ~ctx:(ctx ^ " fused/interp") sf
+                (Sim.Driver.snapshot dr cell))
+            [ 0; 5 ])
+        configs)
+    Models.Registry.all
+
+(* Domain-parallel stepping must be bitwise-identical to sequential: the
+   chunking only partitions AoSoA blocks, it never changes per-cell math. *)
+let test_all_models_parallel_identical () =
+  List.iter
+    (fun (e : Models.Model_def.entry) ->
+      let g = Codegen.Cache.generate_named (C.mlir ~width:4) ~name:e.name
+          (fun () -> Models.Registry.model e) in
+      let dp = Sim.Driver.create g ~ncells:16 ~dt:0.01 in
+      let ds = Sim.Driver.create g ~ncells:16 ~dt:0.01 in
+      for _ = 1 to 50 do
+        Sim.Driver.step ~nthreads:4 ~stim dp;
+        Sim.Driver.step ~stim ds
+      done;
+      for cell = 0 to 15 do
+        check_snapshots
+          ~ctx:(Printf.sprintf "%s parallel cell %d" e.name cell)
+          (Sim.Driver.snapshot dp cell)
+          (Sim.Driver.snapshot ds cell)
+      done)
+    Models.Registry.all
+
+(* -- random straight-line IR ------------------------------------------- *)
+
+let fused_scalar m x y =
+  match Fused.run m "f" [| Rt.F x; Rt.F y |] with
+  | [| Rt.F v |] -> v
+  | _ -> Alcotest.fail "expected one f64 result"
+
+let fused_matches_closure =
+  Helpers.qtest ~count:300 "fused == closure on random scalar exprs"
+    QCheck.(
+      triple (Helpers.arbitrary_expr [ "x"; "y" ])
+        (QCheck.float_range (-3.0) 3.0) (QCheck.float_range (-3.0) 3.0))
+    (fun (e, x, y) ->
+      let m = Test_engine.lower_scalar e in
+      Ir.Verifier.verify_module_exn m;
+      Helpers.same_float (fused_scalar m x y) (Test_engine.run_scalar m x y))
+
+let fused_matches_interp =
+  Helpers.qtest ~count:200 "fused == interpreter on random scalar exprs"
+    QCheck.(
+      triple (Helpers.arbitrary_expr [ "x"; "y" ])
+        (QCheck.float_range (-3.0) 3.0) (QCheck.float_range (-3.0) 3.0))
+    (fun (e, x, y) ->
+      let m = Test_engine.lower_scalar e in
+      Helpers.same_float (fused_scalar m x y) (Test_engine.interp_scalar m x y))
+
+let fused_vector_matches_scalar =
+  Helpers.qtest ~count:200 "fused vector lanes == fused scalar"
+    (Helpers.arbitrary_expr [ "x"; "y" ])
+    (fun e ->
+      let w = 4 in
+      let ms = Test_engine.lower_scalar e in
+      let mv = Test_engine.lower_vector ~w e in
+      Ir.Verifier.verify_module_exn mv;
+      let xs = [| 0.5; -1.25; 2.0; -0.125 |] in
+      let ys = [| 1.5; 0.25; -2.5; 3.0 |] in
+      let vx = Float.Array.init w (fun i -> xs.(i)) in
+      let vy = Float.Array.init w (fun i -> ys.(i)) in
+      match Fused.run mv "f" [| Rt.VF vx; Rt.VF vy |] with
+      | [| Rt.VF out |] ->
+          Array.for_all Fun.id
+            (Array.init w (fun i ->
+                 Helpers.same_float (Float.Array.get out i)
+                   (fused_scalar ms xs.(i) ys.(i))))
+      | _ -> false)
+
+(* -- compile cache ------------------------------------------------------ *)
+
+let test_cache_hit_bitwise_identical () =
+  Codegen.Cache.clear ();
+  let m = Models.Registry.model (Models.Registry.find_exn "LuoRudy91") in
+  let cfg = C.mlir ~width:4 in
+  let g1 = Codegen.Cache.generate cfg m in
+  let g2 = Codegen.Cache.generate cfg m in
+  let s = Codegen.Cache.stats () in
+  Alcotest.(check int) "one miss" 1 s.Codegen.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Codegen.Cache.hits;
+  Alcotest.(check bool) "hit returns the same kernel" true (g1 == g2);
+  (* a cached kernel must execute bitwise-identically to a fresh compile *)
+  let fresh = K.generate cfg m in
+  let dc = Sim.Driver.create g2 ~ncells:8 ~dt:0.01 in
+  let df = Sim.Driver.create fresh ~ncells:8 ~dt:0.01 in
+  for _ = 1 to 50 do
+    Sim.Driver.step ~stim dc;
+    Sim.Driver.step ~stim df
+  done;
+  check_snapshots ~ctx:"cached vs fresh"
+    (Sim.Driver.snapshot dc 3) (Sim.Driver.snapshot df 3)
+
+let test_cache_distinguishes_configs () =
+  Codegen.Cache.clear ();
+  let m = Models.Registry.model (Models.Registry.find_exn "MitchellSchaeffer") in
+  let g1 = Codegen.Cache.generate C.baseline m in
+  let g2 = Codegen.Cache.generate (C.mlir ~width:4) m in
+  let g3 = Codegen.Cache.generate ~optimize:false C.baseline m in
+  Alcotest.(check bool) "widths are distinct entries" true (g1 != g2);
+  Alcotest.(check bool) "pipelines are distinct entries" true (g1 != g3);
+  let s = Codegen.Cache.stats () in
+  Alcotest.(check int) "three misses, no aliasing" 3 s.Codegen.Cache.misses
+
+let test_driver_defaults_to_fused () =
+  let m = Models.Registry.model (Models.Registry.find_exn "MitchellSchaeffer") in
+  let d = Sim.Driver.create_cached C.baseline m ~ncells:4 ~dt:0.01 in
+  Alcotest.(check bool) "default engine is Fused" true
+    (d.Sim.Driver.engine = Sim.Driver.Fused)
+
+let suite =
+  [
+    Alcotest.test_case "all 43: fused == closure == interp, 100 steps" `Slow
+      test_all_models_engines_agree;
+    Alcotest.test_case "all 43: Domain-parallel == sequential" `Slow
+      test_all_models_parallel_identical;
+    fused_matches_closure;
+    fused_matches_interp;
+    fused_vector_matches_scalar;
+    Alcotest.test_case "cache hit is bitwise-identical" `Quick
+      test_cache_hit_bitwise_identical;
+    Alcotest.test_case "cache keys on config and pipeline" `Quick
+      test_cache_distinguishes_configs;
+    Alcotest.test_case "driver defaults to fused engine" `Quick
+      test_driver_defaults_to_fused;
+  ]

@@ -6,6 +6,7 @@ let () =
       ("mmt", Test_mmt.suite);
       ("ir", Test_ir.suite);
       ("engine", Test_engine.suite);
+    ("fused", Test_fused.suite);
       ("passes", Test_passes.suite);
       ("integrators", Test_integrators.suite);
       ("runtime", Test_runtime.suite);
