@@ -1,0 +1,35 @@
+open Ir
+open Exec
+
+let () =
+  let w = 4 in
+  let c = Builder.create_ctx () in
+  let m = Func.create_module "repro" in
+  let f =
+    Builder.func c ~name:"f"
+      ~params:[ Ty.Memref; Ty.vec w Ty.F64; Ty.vec w Ty.F64 ]
+      ~results:[]
+      (fun b args ->
+        let mem = List.nth args 0 and a = List.nth args 1
+        and bb = List.nth args 2 in
+        let t = Builder.mulf b a bb in          (* single-use producer *)
+        let i0 = Builder.consti b 0 in
+        let x = Builder.vec_load b ~width:w ~mem ~idx:i0 in
+        let y = Builder.addf b x t in           (* consumer of both *)
+        Builder.vec_store b ~vec:y ~mem ~idx:i0;
+        Builder.ret b [])
+  in
+  Func.add_func m f;
+  Ir.Verifier.verify_module_exn m;
+  let buf () = Float.Array.of_array [| 1.0; 2.0; 3.0; 4.0 |] in
+  let va = Float.Array.of_array [| 10.0; 20.0; 30.0; 40.0 |] in
+  let vb = Float.Array.of_array [| 2.0; 2.0; 2.0; 2.0 |] in
+  let run engine =
+    let mem = buf () in
+    ignore (engine m "f" [| Rt.M mem; Rt.VF va; Rt.VF vb |]);
+    mem
+  in
+  let closure = run Engine.run and fused = run Fused.run in
+  Printf.printf "closure: %s\nfused:   %s\n"
+    (String.concat " " (List.map string_of_float (Float.Array.to_list closure)))
+    (String.concat " " (List.map string_of_float (Float.Array.to_list fused)))
