@@ -378,11 +378,16 @@ type wall_row = {
   wr_samples : int;
 }
 
+(* Each engine variant knows how to build its driver; "fused-noelide"
+   keeps every runtime bounds check so the row pair quantifies what the
+   bounds-proof elision pass buys on real hardware. *)
 let wall_engines =
   [
-    ("interp", Sim.Driver.Reference);
-    ("closure", Sim.Driver.Compiled);
-    ("fused", Sim.Driver.Fused);
+    ("interp", fun g n -> Sim.Driver.create ~engine:Sim.Driver.Reference g ~ncells:n ~dt:0.01);
+    ("closure", fun g n -> Sim.Driver.create ~engine:Sim.Driver.Compiled g ~ncells:n ~dt:0.01);
+    ("fused", fun g n -> Sim.Driver.create ~engine:Sim.Driver.Fused g ~ncells:n ~dt:0.01);
+    ("fused-noelide",
+     fun g n -> Sim.Driver.create ~engine:Sim.Driver.Fused ~elide:false g ~ncells:n ~dt:0.01);
   ]
 
 let wall_configs =
@@ -443,10 +448,8 @@ let wallclock () =
           (fun (cname, cfg) ->
             let g = gen cfg e in
             List.map
-              (fun (ename, engine) ->
-                let d =
-                  Sim.Driver.create ~engine g ~ncells:!wall_cells ~dt:0.01
-                in
+              (fun (ename, mk) ->
+                let d = mk g !wall_cells in
                 Bechamel.Test.make
                   ~name:(Printf.sprintf "%s/%s/%s" name cname ename)
                   (Bechamel.Staged.stage (fun () -> Sim.Driver.compute_stage d)))
@@ -504,12 +507,13 @@ let wallclock () =
               wall_engines
           in
           let ns ename = List.assoc_opt ename by_engine in
-          match (ns "interp", ns "closure", ns "fused") with
-          | Some ti, Some tc, Some tf ->
+          match (ns "interp", ns "closure", ns "fused", ns "fused-noelide") with
+          | Some ti, Some tc, Some tf, Some tn ->
               Fmt.pr
                 "%-24s %-6s interp %11.1f us  closure %9.1f us  fused %9.1f \
-                 us  (closure/fused %.2fx)@."
+                 us  (closure/fused %.2fx, elision %.2fx)@."
                 name cname (ti /. 1e3) (tc /. 1e3) (tf /. 1e3) (tc /. tf)
+                (tn /. tf)
           | _ -> Fmt.pr "%-24s %-6s (no estimate)@." name cname)
         wall_configs)
     wall_reps;
@@ -536,6 +540,25 @@ let wallclock () =
   Fmt.pr "@.large-class fused-vs-closure median speedup: scalar %.2fx, \
           vector %.2fx, geomean %.2fx@."
     sc ve all;
+  (* bounds-elision delta: fused with every runtime check vs fused with
+     proved checks dropped, all models and configs (>= 1 means elision
+     did not regress) *)
+  let elision =
+    List.filter_map
+      (fun r ->
+        if r.wr_engine <> "fused-noelide" then None
+        else
+          List.find_opt
+            (fun f ->
+              f.wr_model = r.wr_model && f.wr_cfg = r.wr_cfg
+              && f.wr_engine = "fused")
+            rows
+          |> Option.map (fun f -> r.wr_median_ns /. f.wr_median_ns))
+      rows
+  in
+  let el = geo_or_nan elision in
+  Fmt.pr "bounds-check elision speedup (fused-noelide/fused geomean): %.2fx@."
+    el;
   Fmt.pr "(%d cells per kernel invocation)@." !wall_cells;
   match !wall_json with
   | None -> ()
@@ -545,6 +568,7 @@ let wallclock () =
           ("large_fused_vs_closure_scalar", sc);
           ("large_fused_vs_closure_vector", ve);
           ("large_fused_vs_closure_geomean", all);
+          ("fused_elision_speedup_geomean", el);
         ]
 
 (* ------------------------------------------------------------------ *)

@@ -3,6 +3,8 @@
    Subcommands:
      list                   catalogue of bundled ionic models
      inspect MODEL          analyzed model (states, methods, LUTs, warnings)
+     check MODEL...         lint models (diagnostics, --format=json, exit 1
+                            on errors; --deep-verify runs the IR prover)
      emit MODEL             generated IR (scalar baseline or vector kernel)
      run MODEL              simulate and print an action-potential trace
      passes MODEL           before/after op counts for each optimization pass
@@ -95,9 +97,96 @@ let inspect_cmd =
   let run name =
     let m = load_model name in
     Fmt.pr "%a@." Easyml.Model.pp m;
-    List.iter (Fmt.pr "warning: %s@.") m.warnings
+    List.iter (fun d -> Fmt.pr "%a@." (Easyml.Diag.pp ~file:name) d) m.warnings
   in
   Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ model_arg)
+
+(* -- check ---------------------------------------------------------- *)
+
+let check_cmd =
+  let doc =
+    "Lint EasyML models: analyzer diagnostics plus range-based checks \
+     (unused state variables, lookup-table domains, markov occupancies). \
+     Exits non-zero when any error-severity diagnostic is found."
+  in
+  let models =
+    Arg.(value & pos_all string [] & info [] ~docv:"MODEL"
+           ~doc:"Models to check (registry names or .easyml paths).")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Check every bundled model.")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,text) (GCC-style, one line per \
+                   diagnostic) or $(b,json) (an array of objects).")
+  in
+  let deep =
+    Arg.(value & flag & info [ "deep-verify" ]
+           ~doc:"Also generate the scalar and vector kernels for each model \
+                 and run the deep IR verifier (structural checks plus \
+                 dataflow-backed range and initialization proofs).")
+  in
+  let run models all format deep =
+    let names =
+      if all then List.map (fun (e : Models.Model_def.entry) -> e.name)
+          Models.Registry.all
+      else models
+    in
+    if names = [] then
+      Fmt.failwith "no models to check (name one or pass --all)";
+    let json_items = ref [] in
+    let n_err = ref 0 and n_warn = ref 0 and n_info = ref 0 in
+    let emit_diag ~file (d : Easyml.Diag.t) =
+      (match d.Easyml.Diag.sev with
+      | Easyml.Diag.Error -> incr n_err
+      | Easyml.Diag.Warning -> incr n_warn
+      | Easyml.Diag.Info -> incr n_info);
+      match format with
+      | `Text -> Fmt.pr "%a@." (Easyml.Diag.pp ~file) d
+      | `Json -> json_items := Easyml.Diag.to_json ~file d :: !json_items
+    in
+    List.iter
+      (fun name ->
+        match load_model name with
+        | exception e ->
+            emit_diag ~file:name
+              (Easyml.Diag.makef ~sev:Easyml.Diag.Error ~code:"load-failed"
+                 "%s" (Printexc.to_string e))
+        | m ->
+            List.iter (emit_diag ~file:name) (Analysis.Lint.check m);
+            if deep then
+              List.iter
+                (fun cfg ->
+                  match Codegen.Cache.generate cfg m with
+                  | exception e ->
+                      emit_diag ~file:name
+                        (Easyml.Diag.makef ~sev:Easyml.Diag.Error
+                           ~code:"codegen-failed" "%s (%s)"
+                           (Printexc.to_string e)
+                           (Codegen.Config.describe cfg))
+                  | g ->
+                      List.iter
+                        (fun err ->
+                          emit_diag ~file:name
+                            (Easyml.Diag.makef ~sev:Easyml.Diag.Error
+                               ~code:"deep-verify" "%a (%s)"
+                               Ir.Verifier.pp_error err
+                               (Codegen.Config.describe cfg)))
+                        (Analysis.Deep.verify_module g.Codegen.Kernel.modl))
+                [ Codegen.Config.baseline; Codegen.Config.mlir ~width:8 ])
+      names;
+    (match format with
+    | `Text ->
+        Fmt.pr "checked %d model(s): %d error(s), %d warning(s), %d info@."
+          (List.length names) !n_err !n_warn !n_info
+    | `Json ->
+        Fmt.pr "[%s]@." (String.concat ",\n " (List.rev !json_items)));
+    if !n_err > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ models $ all $ format $ deep)
 
 (* -- emit ----------------------------------------------------------- *)
 
@@ -301,8 +390,8 @@ let main =
   in
   Cmd.group (Cmd.info "limpetmlir" ~doc)
     [
-      list_cmd; inspect_cmd; emit_cmd; parse_cmd; run_cmd; passes_cmd;
-      cost_cmd; import_mmt_cmd;
+      list_cmd; inspect_cmd; check_cmd; emit_cmd; parse_cmd; run_cmd;
+      passes_cmd; cost_cmd; import_mmt_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -6,7 +6,9 @@ let () =
     let name = e.name in
     (try
       let m = Models.Registry.model e in
-      List.iter (fun w -> Fmt.pr "  [%s] warn: %s@." name w) m.warnings;
+      List.iter
+        (fun d -> Fmt.pr "  [%s] %s@." name (Easyml.Diag.to_string ~file:name d))
+        m.warnings;
       let gs = Codegen.Cache.generate Codegen.Config.baseline m in
       let gv = Codegen.Cache.generate (Codegen.Config.mlir ~width:8) m in
       (match Ir.Verifier.verify_module gs.modl @ Ir.Verifier.verify_module gv.modl with

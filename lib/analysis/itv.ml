@@ -1,0 +1,399 @@
+(** Interval lattices for the dataflow framework.
+
+    Two numeric domains:
+
+    - {!F}: floating-point intervals [\[lo, hi\]] (endpoints may be
+      infinite) with an explicit "may be NaN" flag, mirroring the f64
+      semantics of the engines;
+    - {!I}: integer intervals with a congruence component
+      [x ≡ r (mod m)], the classic strided-interval domain.  The
+      congruence is what lets the analysis reason about AoSoA address
+      math exactly: a loop induction variable running over
+      [\[start, stop)] in steps of the vector width [w] is
+      [{lo; hi; m = w; r = 0}], so [iv mod w] folds to a constant and
+      [iv / w] stays exact.
+
+    Both domains have an explicit bottom ("no value reaches here"), which
+    arises for unreachable code (empty loop ranges, impossible branches). *)
+
+(* -- saturating machine-int helpers ---------------------------------- *)
+
+let sat_add (a : int) (b : int) : int =
+  if a > 0 && b > 0 && a + b < 0 then max_int
+  else if a < 0 && b < 0 && a + b >= 0 then min_int
+  else a + b
+
+let sat_neg (a : int) : int = if a = min_int then max_int else -a
+let sat_sub a b = sat_add a (sat_neg b)
+
+let sat_mul (a : int) (b : int) : int =
+  if a = 0 || b = 0 then 0
+  else if a = min_int || b = min_int then
+    if a < 0 <> (b < 0) then min_int else max_int
+  else
+    let sign = if a < 0 <> (b < 0) then -1 else 1 in
+    if abs a > max_int / abs b then if sign < 0 then min_int else max_int
+    else a * b
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(** Euclidean remainder: always in [\[0, m)] for [m > 0]. *)
+let emod (a : int) (m : int) : int =
+  let r = a mod m in
+  if r < 0 then r + m else r
+
+(* ------------------------------------------------------------------ *)
+(* Integer intervals with congruence                                   *)
+(* ------------------------------------------------------------------ *)
+
+module I = struct
+  (* Invariants: [lo <= hi] unless bottom; [m >= 1]; [0 <= r < m];
+     [min_int]/[max_int] endpoints act as -oo/+oo sentinels.  Congruence
+     moduli are kept small (see [max_modulus]) so residue arithmetic can
+     never overflow. *)
+  type t = { lo : int; hi : int; m : int; r : int }
+
+  let bot = { lo = 1; hi = 0; m = 1; r = 0 }
+  let top = { lo = min_int; hi = max_int; m = 1; r = 0 }
+  let is_bot (t : t) = t.lo > t.hi
+
+  (* beyond this we drop congruence info rather than risk overflow in
+     residue arithmetic; real moduli here are vector widths and row sizes *)
+  let max_modulus = 1 lsl 30
+
+  (* A bound close to the sentinels must not be shifted by congruence
+     alignment (overflow); treat it as unaligned. *)
+  let near_inf x = x <= min_int / 2 || x >= max_int / 2
+
+  let mk lo hi m r : t =
+    if lo > hi then bot
+    else if m <= 1 || m >= max_modulus then { lo; hi; m = 1; r = 0 }
+    else
+      let r = emod r m in
+      let lo = if near_inf lo then lo else lo + emod (r - lo) m in
+      let hi = if near_inf hi then hi else hi - emod (hi - r) m in
+      if lo > hi then bot
+      else if lo = hi then { lo; hi; m = 1; r = 0 }
+      else { lo; hi; m; r }
+
+  let const n = { lo = n; hi = n; m = 1; r = 0 }
+  let range lo hi = mk lo hi 1 0
+  let is_const (t : t) = (not (is_bot t)) && t.lo = t.hi
+
+  (* Congruence as (modulus, residue); modulus 0 encodes "exactly residue"
+     (a singleton), which composes through gcd: gcd 0 x = x. *)
+  let cong (t : t) : int * int = if t.lo = t.hi then (0, t.lo) else (t.m, t.r)
+
+  let equal (a : t) (b : t) =
+    (is_bot a && is_bot b)
+    || (a.lo = b.lo && a.hi = b.hi && a.m = b.m && a.r = b.r)
+
+  let mem (x : int) (t : t) : bool =
+    (not (is_bot t)) && x >= t.lo && x <= t.hi && (t.m <= 1 || emod x t.m = t.r)
+
+  let pp ppf (t : t) =
+    if is_bot t then Fmt.string ppf "_|_"
+    else begin
+      let bound ppf x =
+        if x = min_int then Fmt.string ppf "-oo"
+        else if x = max_int then Fmt.string ppf "+oo"
+        else Fmt.int ppf x
+      in
+      Fmt.pf ppf "[%a, %a]" bound t.lo bound t.hi;
+      if t.m > 1 then Fmt.pf ppf "≡%d(mod %d)" t.r t.m
+    end
+
+  let join (a : t) (b : t) : t =
+    if is_bot a then b
+    else if is_bot b then a
+    else
+      let m1, r1 = cong a and m2, r2 = cong b in
+      let g = gcd (gcd m1 m2) (sat_sub r1 r2) in
+      if g = 0 then (* both exact and equal *) const r1
+      else mk (min a.lo b.lo) (max a.hi b.hi) g (emod r1 (max g 1))
+
+  (** [subset a b]: every concrete value of [a] is a value of [b]. *)
+  let subset (a : t) (b : t) : bool =
+    is_bot a
+    || (not (is_bot b))
+       && b.lo <= a.lo && a.hi <= b.hi
+       &&
+       if b.m <= 1 then true
+       else
+         let ma, ra = cong a in
+         if ma = 0 then emod ra b.m = b.r
+         else ma mod b.m = 0 && emod ra b.m = b.r
+
+  (** May the concrete sets of [a] and [b] intersect?  False when ranges
+      are disjoint or congruence classes are incompatible. *)
+  let overlap (a : t) (b : t) : bool =
+    (not (is_bot a)) && (not (is_bot b))
+    && a.lo <= b.hi && b.lo <= a.hi
+    &&
+    let m1, r1 = cong a and m2, r2 = cong b in
+    let g = gcd m1 m2 in
+    g = 0 (* both exact: ranges overlap => same value *) || emod (r1 - r2) (max g 1) = 0
+
+  let add (a : t) (b : t) : t =
+    if is_bot a || is_bot b then bot
+    else
+      let m1, r1 = cong a and m2, r2 = cong b in
+      let g = gcd m1 m2 in
+      let lo = sat_add a.lo b.lo and hi = sat_add a.hi b.hi in
+      if g = 0 then const (sat_add r1 r2)
+      else mk lo hi g (emod (sat_add r1 r2) (max g 1))
+
+  let neg (a : t) : t =
+    if is_bot a then bot
+    else
+      let m, r = cong a in
+      if m = 0 then const (sat_neg r) else mk (sat_neg a.hi) (sat_neg a.lo) m (-r)
+
+  let sub a b = add a (neg b)
+
+  let mul (a : t) (b : t) : t =
+    if is_bot a || is_bot b then bot
+    else
+      let c1 = sat_mul a.lo b.lo
+      and c2 = sat_mul a.lo b.hi
+      and c3 = sat_mul a.hi b.lo
+      and c4 = sat_mul a.hi b.hi in
+      let lo = min (min c1 c2) (min c3 c4)
+      and hi = max (max c1 c2) (max c3 c4) in
+      let m1, r1 = cong a and m2, r2 = cong b in
+      if m1 = 0 && m2 = 0 then const (sat_mul r1 r2)
+      else if m1 = 0 then
+        (* exact scale: c*y with y ≡ r2 (mod m2)  =>  ≡ c*r2 (mod |c|*m2) *)
+        let c = r1 in
+        if c = 0 then const 0
+        else
+          let m' = sat_mul (abs c) m2 in
+          if m' >= max_modulus then mk lo hi 1 0
+          else mk lo hi (max m' 1) (sat_mul c r2)
+      else if m2 = 0 then
+        let c = r2 in
+        if c = 0 then const 0
+        else
+          let m' = sat_mul (abs c) m1 in
+          if m' >= max_modulus then mk lo hi 1 0
+          else mk lo hi (max m' 1) (sat_mul c r1)
+      else
+        let g = gcd m1 m2 in
+        if g <= 1 then mk lo hi 1 0 else mk lo hi g (emod r1 g * emod r2 g)
+
+  (* Truncated (toward-zero) division, matching OCaml's [/] and the
+     engines' i64 semantics. *)
+  let div (a : t) (b : t) : t =
+    if is_bot a || is_bot b then bot
+    else if is_const b then
+      let c = b.lo in
+      if c = 0 then bot (* division by zero raises; no value flows *)
+      else
+        let q1 = a.lo / c and q2 = a.hi / c in
+        let lo = min q1 q2 and hi = max q1 q2 in
+        let ma, ra = cong a in
+        if ma = 0 then const (ra / c)
+        else if c > 0 && ma mod c = 0 && ra mod c = 0 then
+          (* c divides every concrete value, so truncation is exact *)
+          mk lo hi (ma / c) (ra / c)
+        else mk lo hi 1 0
+    else if b.lo > 0 || b.hi < 0 then
+      let corners =
+        [ a.lo / b.lo; a.lo / b.hi; a.hi / b.lo; a.hi / b.hi ]
+      in
+      mk (List.fold_left min max_int corners)
+        (List.fold_left max min_int corners)
+        1 0
+    else
+      (* divisor range contains 0: quotient magnitude is still bounded by
+         the dividend's (|y| >= 1 when defined) *)
+      let amax = max (abs a.lo) (abs a.hi) in
+      mk (sat_neg amax) amax 1 0
+
+  (* Remainder with dividend sign, matching OCaml's [mod]. *)
+  let rem (a : t) (b : t) : t =
+    if is_bot a || is_bot b then bot
+    else
+      let bound ac =
+        (* |x mod c| <= ac-1, sign follows x *)
+        let lo = if a.lo >= 0 then 0 else max (sat_neg (ac - 1)) a.lo in
+        let hi = if a.hi <= 0 then 0 else min (ac - 1) a.hi in
+        (lo, hi)
+      in
+      if is_const b && b.lo <> 0 then
+        let ac = abs b.lo in
+        let ma, ra = cong a in
+        if ma = 0 then const (ra mod b.lo)
+        else if ma mod ac = 0 then
+          if a.lo >= 0 then const (emod ra ac)
+          else if a.hi <= 0 then const (-emod (-ra) ac)
+          else
+            (* x mod c ≡ x (mod |c|), and |c| divides a's modulus *)
+            let lo, hi = bound ac in
+            mk lo hi ac (emod ra ac)
+        else
+          let lo, hi = bound ac in
+          mk lo hi 1 0
+      else
+        let bmax = max (abs b.lo) (abs b.hi) in
+        if bmax = 0 then bot
+        else
+          let lo, hi = bound bmax in
+          mk lo hi 1 0
+
+  let min_ (a : t) (b : t) : t =
+    if is_bot a || is_bot b then bot
+    else mk (min a.lo b.lo) (min a.hi b.hi) 1 0
+
+  let max_ (a : t) (b : t) : t =
+    if is_bot a || is_bot b then bot
+    else mk (max a.lo b.lo) (max a.hi b.hi) 1 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Float intervals with NaN flag                                       *)
+(* ------------------------------------------------------------------ *)
+
+module F = struct
+  (* [lo > hi] encodes an empty range; a non-empty [nan] flag means the
+     value may be NaN.  Bottom is empty range + no NaN: no value at all. *)
+  type t = { lo : float; hi : float; nan : bool }
+
+  let bot = { lo = infinity; hi = neg_infinity; nan = false }
+  let top = { lo = neg_infinity; hi = infinity; nan = true }
+  let finite_top = { lo = neg_infinity; hi = infinity; nan = false }
+  let range_empty (t : t) = not (t.lo <= t.hi)
+  let is_bot (t : t) = range_empty t && not t.nan
+
+  let const (f : float) =
+    if Float.is_nan f then { bot with nan = true } else { lo = f; hi = f; nan = false }
+
+  let make ?(nan = false) lo hi = { lo; hi; nan }
+
+  let equal (a : t) (b : t) =
+    Bool.equal a.nan b.nan
+    && ((range_empty a && range_empty b)
+       || (a.lo = b.lo && a.hi = b.hi))
+
+  let mem (x : float) (t : t) : bool =
+    if Float.is_nan x then t.nan else t.lo <= x && x <= t.hi
+
+  let pp ppf (t : t) =
+    if is_bot t then Fmt.string ppf "_|_"
+    else
+      Fmt.pf ppf "[%g, %g]%s" t.lo t.hi (if t.nan then "?nan" else "")
+
+  let join (a : t) (b : t) : t =
+    let nan = a.nan || b.nan in
+    if range_empty a then { b with nan }
+    else if range_empty b then { a with nan }
+    else { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi; nan }
+
+  let contains_pinf (t : t) = (not (range_empty t)) && t.hi = infinity
+  let contains_ninf (t : t) = (not (range_empty t)) && t.lo = neg_infinity
+  let contains_inf t = contains_pinf t || contains_ninf t
+  let contains_zero (t : t) = (not (range_empty t)) && t.lo <= 0.0 && t.hi >= 0.0
+  let is_finite (t : t) =
+    (not t.nan) && (not (range_empty t))
+    && Float.is_finite t.lo && Float.is_finite t.hi
+
+  (* Endpoint arithmetic can produce NaN (inf - inf); widen such endpoints
+     to the corresponding infinity. *)
+  let elo x = if Float.is_nan x then neg_infinity else x
+  let ehi x = if Float.is_nan x then infinity else x
+
+  let add (a : t) (b : t) : t =
+    if is_bot a || is_bot b then bot
+    else
+      let nan =
+        a.nan || b.nan
+        || (contains_pinf a && contains_ninf b)
+        || (contains_ninf a && contains_pinf b)
+      in
+      if range_empty a || range_empty b then { bot with nan }
+      else { lo = elo (a.lo +. b.lo); hi = ehi (a.hi +. b.hi); nan }
+
+  let neg (a : t) : t =
+    if range_empty a then a else { lo = -.a.hi; hi = -.a.lo; nan = a.nan }
+
+  let sub a b = add a (neg b)
+
+  let mul (a : t) (b : t) : t =
+    if is_bot a || is_bot b then bot
+    else
+      let nan =
+        a.nan || b.nan
+        || (contains_zero a && contains_inf b)
+        || (contains_zero b && contains_inf a)
+      in
+      if range_empty a || range_empty b then { bot with nan }
+      else
+        let cs =
+          List.filter
+            (fun x -> not (Float.is_nan x))
+            [ a.lo *. b.lo; a.lo *. b.hi; a.hi *. b.lo; a.hi *. b.hi ]
+        in
+        (match cs with
+        | [] -> { lo = neg_infinity; hi = infinity; nan }
+        | c :: rest ->
+            {
+              lo = List.fold_left Float.min c rest;
+              hi = List.fold_left Float.max c rest;
+              nan;
+            })
+
+  let div (a : t) (b : t) : t =
+    if is_bot a || is_bot b then bot
+    else
+      let nan =
+        a.nan || b.nan
+        || (contains_zero a && contains_zero b)
+        || (contains_inf a && contains_inf b)
+      in
+      if range_empty a || range_empty b then { bot with nan }
+      else if contains_zero b then
+        (* x / (+-eps) diverges; sign analysis not worth it here *)
+        { lo = neg_infinity; hi = infinity; nan }
+      else
+        let cs =
+          List.filter
+            (fun x -> not (Float.is_nan x))
+            [ a.lo /. b.lo; a.lo /. b.hi; a.hi /. b.lo; a.hi /. b.hi ]
+        in
+        (match cs with
+        | [] -> { lo = neg_infinity; hi = infinity; nan }
+        | c :: rest ->
+            {
+              lo = List.fold_left Float.min c rest;
+              hi = List.fold_left Float.max c rest;
+              nan;
+            })
+
+  (* Float.min/max propagate NaN (the engines use them directly). *)
+  let min_ (a : t) (b : t) : t =
+    if is_bot a || is_bot b then bot
+    else if range_empty a || range_empty b then { bot with nan = a.nan || b.nan }
+    else
+      { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi; nan = a.nan || b.nan }
+
+  let max_ (a : t) (b : t) : t =
+    if is_bot a || is_bot b then bot
+    else if range_empty a || range_empty b then { bot with nan = a.nan || b.nan }
+    else
+      { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi; nan = a.nan || b.nan }
+
+  let rem (a : t) (b : t) : t =
+    if is_bot a || is_bot b then bot
+    else
+      let nan = a.nan || b.nan || contains_inf a || contains_zero b in
+      if range_empty a || range_empty b then { bot with nan }
+      else
+        let amax = Float.max (Float.abs a.lo) (Float.abs a.hi) in
+        let bmax = Float.max (Float.abs b.lo) (Float.abs b.hi) in
+        let m = Float.min amax bmax in
+        { lo = -.m; hi = m; nan }
+
+  (** Abstract a monotone nondecreasing total function. *)
+  let mono (f : float -> float) (a : t) : t =
+    if range_empty a then a else { lo = elo (f a.lo); hi = ehi (f a.hi); nan = a.nan }
+end

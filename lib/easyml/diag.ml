@@ -1,0 +1,64 @@
+(** Compiler diagnostics with source locations and severities.
+
+    Shared by the semantic analyzer ({!Sema}) and the lint / check tooling,
+    so warnings print uniformly as [file:line:col: severity: message]
+    whether they surface during [limpetmlir check] or during compilation. *)
+
+type severity = Info | Warning | Error
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+(** Stable severity order: [Error] ranks highest. *)
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+type t = {
+  sev : severity;
+  loc : Loc.t;  (** {!Loc.none} for model-level diagnostics *)
+  code : string;  (** stable kebab-case identifier, e.g. ["missing-init"] *)
+  message : string;
+}
+
+let make ?(sev = Warning) ?(loc = Loc.none) ~code message =
+  { sev; loc; code; message }
+
+let makef ?sev ?loc ~code fmt =
+  Fmt.kstr (fun message -> make ?sev ?loc ~code message) fmt
+
+let is_error (d : t) = d.sev = Error
+
+(** [pp ~file] prints GCC-style: [file:line:col: severity: message [code]].
+    Diagnostics at {!Loc.none} omit the position. *)
+let pp ~(file : string) ppf (d : t) =
+  if d.loc = Loc.none then
+    Fmt.pf ppf "%s: %s: %s [%s]" file (severity_name d.sev) d.message d.code
+  else
+    Fmt.pf ppf "%s:%d:%d: %s: %s [%s]" file d.loc.Loc.line d.loc.Loc.col
+      (severity_name d.sev) d.message d.code
+
+let to_string ~file (d : t) = Fmt.str "%a" (pp ~file) d
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** One JSON object per diagnostic, for [--format=json] consumers. *)
+let to_json ~(file : string) (d : t) : string =
+  Printf.sprintf
+    "{\"file\": \"%s\", \"line\": %d, \"col\": %d, \"severity\": \"%s\", \
+     \"code\": \"%s\", \"message\": \"%s\"}"
+    (json_escape file) d.loc.Loc.line d.loc.Loc.col (severity_name d.sev)
+    d.code (json_escape d.message)

@@ -58,8 +58,21 @@ type t = {
   assigns : (string * Ast.expr) list;
       (** intermediate and output definitions in topological order *)
   luts : lut_spec list;
-  warnings : string list;
+  warnings : Diag.t list;
+      (** analysis diagnostics (silently-degraded methods, defaulted inits,
+          unused parameters) with source locations and severities *)
+  locs : (string * Loc.t) list;
+      (** best-known definition site per name (states point at their
+          [diff_] equation, lookup specs at the markup) — consumed by the
+          lint pass for located diagnostics *)
 }
+
+(** Messages of the accumulated diagnostics, for quick assertions. *)
+let warning_strings (m : t) : string list =
+  List.map (fun (d : Diag.t) -> d.Diag.message) m.warnings
+
+let find_loc (m : t) (name : string) : Loc.t =
+  Option.value ~default:Loc.none (List.assoc_opt name m.locs)
 
 let find_state (m : t) (name : string) : state_var option =
   List.find_opt (fun s -> String.equal s.sv_name name) m.states

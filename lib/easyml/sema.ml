@@ -36,21 +36,21 @@ module SSet = Set.Make (String)
 (* ------------------------------------------------------------------ *)
 
 type raw = {
-  mutable markups : Ast.markup list SMap.t;
-  mutable defs : (string * Ast.expr) list;  (* reverse program order *)
+  mutable markups : (Ast.markup * Loc.t) list SMap.t;
+  mutable defs : (string * Ast.expr * Loc.t) list;  (* reverse program order *)
   mutable def_names : SSet.t;
   mutable decls : SSet.t;
 }
 
-let add_markup raw v m =
+let add_markup raw v m loc =
   let cur = Option.value ~default:[] (SMap.find_opt v raw.markups) in
-  raw.markups <- SMap.add v (m :: cur) raw.markups
+  raw.markups <- SMap.add v ((m, loc) :: cur) raw.markups
 
-let add_def raw v e =
+let add_def raw v e loc =
   if SSet.mem v raw.def_names then
     errf "variable %s assigned more than once (EasyML is single-assignment)" v;
   raw.def_names <- SSet.add v raw.def_names;
-  raw.defs <- (v, e) :: raw.defs
+  raw.defs <- (v, e, loc) :: raw.defs
 
 (* Substitute the bindings accumulated along a branch. *)
 let subst_env (env : Ast.expr SMap.t) (e : Ast.expr) : Ast.expr =
@@ -129,11 +129,11 @@ let collect (prog : Ast.program) : raw =
     (fun stmt ->
       match stmt with
       | Ast.Decl (_, x) -> raw.decls <- SSet.add x raw.decls
-      | Ast.Assign (_, x, e) -> add_def raw x e
-      | Ast.MarkupOn (_, x, m) -> add_markup raw x m
-      | Ast.If (_, branches, els) ->
+      | Ast.Assign (loc, x, e) -> add_def raw x e loc
+      | Ast.MarkupOn (loc, x, m) -> add_markup raw x m loc
+      | Ast.If (loc, branches, els) ->
           let bindings = if_to_bindings SMap.empty branches els in
-          SMap.iter (fun x e -> add_def raw x e) bindings)
+          SMap.iter (fun x e -> add_def raw x e loc) bindings)
     prog;
   raw.defs <- List.rev raw.defs;
   raw
@@ -160,14 +160,23 @@ let init_target (name : string) : string option =
 
 let has_markup raw v m =
   match SMap.find_opt v raw.markups with
-  | Some ms -> List.mem m ms
+  | Some ms -> List.exists (fun (m', _) -> m' = m) ms
   | None -> false
 
 let method_of raw v =
   match SMap.find_opt v raw.markups with
   | None -> None
   | Some ms ->
-      List.find_map (function Ast.Method m -> Some m | _ -> None) ms
+      List.find_map (function Ast.Method m, _ -> Some m | _ -> None) ms
+
+(** Location of the first markup on [v] satisfying [pred], for
+    diagnostics pointing at the markup site. *)
+let markup_loc raw v pred : Loc.t =
+  match SMap.find_opt v raw.markups with
+  | None -> Loc.none
+  | Some ms ->
+      Option.value ~default:Loc.none
+        (List.find_map (fun (m, loc) -> if pred m then Some loc else None) ms)
 
 (* Check that every call is to a known builtin with the right arity. *)
 let check_calls (where : string) (e : Ast.expr) : unit =
@@ -196,12 +205,24 @@ let analyze ?(options = default_options) ~(name : string) (prog : Ast.program) :
     Model.t =
   let raw = collect prog in
   let warnings = ref [] in
-  let warn fmt = Fmt.kstr (fun s -> warnings := s :: !warnings) fmt in
+  let warn ?sev ?loc ~code fmt =
+    Fmt.kstr
+      (fun s -> warnings := Diag.make ?sev ?loc ~code s :: !warnings)
+      fmt
+  in
+  let def_loc =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (x, _, loc) ->
+        if not (Hashtbl.mem tbl x) then Hashtbl.add tbl x loc)
+      raw.defs;
+    fun x -> Option.value ~default:Loc.none (Hashtbl.find_opt tbl x)
+  in
   (* -- parameters ------------------------------------------------- *)
   let param_tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
   let is_param v = has_markup raw v Ast.Param in
   List.iter
-    (fun (x, e) ->
+    (fun (x, e, _) ->
       if is_param x then
         match Fold.fold_expr param_tbl e with
         | Ast.Num f -> Hashtbl.replace param_tbl x f
@@ -211,9 +232,25 @@ let analyze ?(options = default_options) ~(name : string) (prog : Ast.program) :
     raw.defs;
   SMap.iter
     (fun v ms ->
-      if List.mem Ast.Param ms && not (Hashtbl.mem param_tbl v) then
-        errf "parameter %s has no value" v)
+      if List.exists (fun (m, _) -> m = Ast.Param) ms
+         && not (Hashtbl.mem param_tbl v)
+      then errf "parameter %s has no value" v)
     raw.markups;
+  (* dead .param()s: a parameter no other definition ever references is
+     compile-time noise — surface it for [limpetmlir check].  Scan in
+     program order so diagnostics are deterministic. *)
+  List.iter
+    (fun (p, _, loc) ->
+      if is_param p then
+        let used =
+          List.exists
+            (fun (x, e, _) -> x <> p && List.mem p (Ast.free_vars e))
+            raw.defs
+        in
+        if not used then
+          warn ~sev:Diag.Info ~loc ~code:"unused-param"
+            "parameter %s is never used" p)
+    raw.defs;
   let params =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) param_tbl []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -229,7 +266,7 @@ let analyze ?(options = default_options) ~(name : string) (prog : Ast.program) :
   let diffs : (string, Ast.expr) Hashtbl.t = Hashtbl.create 16 in
   let assigns = ref [] in
   List.iter
-    (fun (x, e) ->
+    (fun (x, e, _) ->
       if is_param x then ()
       else
         match init_target x with
@@ -278,7 +315,7 @@ let analyze ?(options = default_options) ~(name : string) (prog : Ast.program) :
   let externals =
     SMap.fold
       (fun v ms acc ->
-        if List.mem Ast.External ms then
+        if List.exists (fun (m, _) -> m = Ast.External) ms then
           {
             Model.ext_name = v;
             ext_init = Option.value ~default:0.0 (Hashtbl.find_opt inits v);
@@ -364,7 +401,8 @@ let analyze ?(options = default_options) ~(name : string) (prog : Ast.program) :
           match Hashtbl.find_opt inits sname with
           | Some f -> f
           | None ->
-              warn "state %s has no %s%s definition, defaulting to 0" sname
+              warn ~loc:(def_loc (diff_prefix ^ sname)) ~code:"missing-init"
+                "state %s has no %s%s definition, defaulting to 0" sname
                 sname init_suffix;
               0.0
         in
@@ -383,6 +421,11 @@ let analyze ?(options = default_options) ~(name : string) (prog : Ast.program) :
               | Some dec -> (Some dec, meth)
               | None ->
                   warn
+                    ~loc:
+                      (markup_loc raw sname (function
+                        | Ast.Method _ -> true
+                        | _ -> false))
+                    ~code:"non-affine-gate"
                     "diff_%s is not affine in %s; falling back to forward \
                      Euler for .method(%s)"
                     sname sname (Model.integ_name meth);
@@ -400,7 +443,8 @@ let analyze ?(options = default_options) ~(name : string) (prog : Ast.program) :
       externals
     @ SMap.fold
         (fun v ms acc ->
-          if List.mem Ast.Trace ms || List.mem Ast.Store ms then v :: acc
+          if List.exists (fun (m, _) -> m = Ast.Trace || m = Ast.Store) ms
+          then v :: acc
           else acc)
         raw.markups []
   in
@@ -419,7 +463,7 @@ let analyze ?(options = default_options) ~(name : string) (prog : Ast.program) :
       (fun v ms acc ->
         List.filter_map
           (function
-            | Ast.Lookup (lo, hi, step) ->
+            | Ast.Lookup (lo, hi, step), _ ->
                 if step <= 0.0 || hi <= lo then
                   errf "invalid lookup bounds on %s: [%g, %g] step %g" v lo hi
                     step;
@@ -433,6 +477,30 @@ let analyze ?(options = default_options) ~(name : string) (prog : Ast.program) :
   in
   (* externals with no markup at all referenced anywhere? Undeclared names
      were already rejected by check_refs. *)
+  (* definition sites for the lint pass: states point at their diff_
+     equation, lookup specs at the .lookup markup ("lookup:" prefix),
+     everything else at its first definition *)
+  let locs =
+    List.map
+      (fun s ->
+        (s.Model.sv_name, def_loc (diff_prefix ^ s.Model.sv_name)))
+      states
+    @ List.map
+        (fun (l : Model.lut_spec) ->
+          ( "lookup:" ^ l.Model.lut_var,
+            markup_loc raw l.Model.lut_var (function
+              | Ast.Lookup _ -> true
+              | _ -> false) ))
+        luts
+    @ List.map
+        (fun (e : Model.ext_var) ->
+          ( e.Model.ext_name,
+            markup_loc raw e.Model.ext_name (function
+              | Ast.External -> true
+              | _ -> false) ))
+        externals
+    @ List.map (fun (p, _) -> (p, def_loc p)) params
+  in
   {
     Model.name;
     params;
@@ -441,6 +509,7 @@ let analyze ?(options = default_options) ~(name : string) (prog : Ast.program) :
     assigns;
     luts;
     warnings = List.rev !warnings;
+    locs;
   }
 
 (** Parse + analyze in one step. *)

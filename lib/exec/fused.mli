@@ -12,13 +12,24 @@
     Compiled functions are NOT reentrant: one register file per
     compilation, so use one compiled instance per thread. *)
 
-val compile_func : get:(string -> Engine.compiled) -> Ir.Func.func -> Engine.compiled
-(** Compile one function with the fused engine (for custom linkers). *)
+val compile_func :
+  ?proved:(int, unit) Hashtbl.t ->
+  get:(string -> Engine.compiled) ->
+  Ir.Func.func ->
+  Engine.compiled
+(** Compile one function with the fused engine (for custom linkers).
+    [proved] op ids (from [Analysis.Bounds]) compile to unchecked
+    load/store instructions. *)
 
 val compile_module :
-  ?externs:Rt.registry -> Ir.Func.modl -> string -> Engine.compiled
+  ?externs:Rt.registry ->
+  ?proved:(int, unit) Hashtbl.t ->
+  Ir.Func.modl ->
+  string ->
+  Engine.compiled
 (** Lazy per-function compiler; unknown names fall back to the extern
-    registry.  Local calls between module functions are supported. *)
+    registry.  Local calls between module functions are supported.
+    [proved] elides bounds checks on the listed op ids. *)
 
 val run :
   ?externs:Rt.registry -> Ir.Func.modl -> string -> Rt.v array -> Rt.v array

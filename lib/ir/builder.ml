@@ -19,6 +19,11 @@ let fresh_value (ctx : ctx) (ty : Ty.t) : Value.t =
   ctx.next_value <- id + 1;
   { Value.id; ty }
 
+let fresh_op_id (ctx : ctx) : int =
+  let id = ctx.next_op in
+  ctx.next_op <- id + 1;
+  id
+
 (* The builder appends ops to the innermost open region; ops are collected
    in reverse and put in order when the region is closed. *)
 type frame = { region : Op.region; mutable acc : Op.op list }

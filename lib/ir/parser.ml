@@ -328,8 +328,7 @@ let next_line (ls : lines) : (int * string) option =
 
 let mk_op (env : env) (kind : Op.kind) (operands : Value.t list)
     (results : Value.t list) (regions : Op.region array) : Op.op =
-  let id = env.ctx.Builder.next_op in
-  env.ctx.Builder.next_op <- id + 1;
+  let id = Builder.fresh_op_id env.ctx in
   {
     Op.o_id = id;
     kind;

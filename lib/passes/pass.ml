@@ -12,19 +12,36 @@ type t = { name : string; run : Ir.Func.func -> bool }
 let run_on_module (p : t) (m : Ir.Func.modl) : bool =
   List.fold_left (fun changed f -> p.run f || changed) false m.Ir.Func.m_funcs
 
-type pipeline_options = { verify_each : bool }
+type pipeline_options = {
+  verify_each : bool;
+  deep_verify : bool;
+      (** verify with the dataflow-backed deep mode
+          ({!Analysis.Deep}) instead of the structural verifier *)
+}
 
-let default_options = { verify_each = false }
+let default_options = { verify_each = false; deep_verify = false }
 
 exception Verification_failed of string * Ir.Verifier.error list
 
-let run_pipeline ?(options = default_options) (passes : t list)
-    (m : Ir.Func.modl) : unit =
+(** Run a pipeline.  [analyses] is the shared per-pipeline analysis
+    cache: every function a pass changes is invalidated in it, so passes
+    and post-pipeline clients querying it always see facts for the
+    current body.  Pass a cache in to keep using it after the pipeline
+    returns. *)
+let run_pipeline ?(options = default_options)
+    ?(analyses = Analyses.create ()) (passes : t list) (m : Ir.Func.modl) :
+    unit =
+  let verify () =
+    if options.deep_verify then Analysis.Deep.verify_module m
+    else Ir.Verifier.verify_module m
+  in
   List.iter
     (fun p ->
-      ignore (run_on_module p m);
+      List.iter
+        (fun f -> if p.run f then Analyses.invalidate analyses f)
+        m.Ir.Func.m_funcs;
       if options.verify_each then
-        match Ir.Verifier.verify_module m with
+        match verify () with
         | [] -> ()
         | errs -> raise (Verification_failed (p.name, errs)))
     passes

@@ -15,9 +15,9 @@ let standard : Pass.t list =
     Dce.pass;
   ]
 
-let optimize ?(verify = false) (m : Ir.Func.modl) : unit =
+let optimize ?(verify = false) ?(deep = false) (m : Ir.Func.modl) : unit =
   Pass.run_pipeline
-    ~options:{ Pass.verify_each = verify }
+    ~options:{ Pass.verify_each = verify; deep_verify = deep }
     standard m
 
 (** Pass registry for the CLI's [-pass] flag. *)

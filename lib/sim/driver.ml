@@ -27,6 +27,9 @@ type t = {
   tables : floatarray list;  (** one per lookup plan, row-major *)
   engine : engine;
   registry : Rt.registry;
+  proved : (int, unit) Hashtbl.t;
+      (** access ops of the compute kernel proved in-bounds under this
+          driver's buffer contract; engines compile them unchecked *)
   mutable runners : (Rt.v array -> Rt.v array) array;
       (** one compiled kernel instance per thread (engines are not
           reentrant: each has its own register file) *)
@@ -42,16 +45,17 @@ let make_registry () : Rt.registry =
   Runtime.Lut.register r;
   r
 
-let make_runner (d_engine : engine) (registry : Rt.registry)
+let make_runner (d_engine : engine) (registry : Rt.registry) ~proved
     (modl : Ir.Func.modl) : Rt.v array -> Rt.v array =
   match d_engine with
   | Fused ->
-      let lookup = Fused.compile_module ~externs:registry modl in
+      let lookup = Fused.compile_module ~externs:registry ~proved modl in
       lookup Codegen.Kernel.compute_name
   | Compiled ->
-      let lookup = Engine.compile_module ~externs:registry modl in
+      let lookup = Engine.compile_module ~externs:registry ~proved modl in
       lookup Codegen.Kernel.compute_name
   | Reference ->
+      (* the reference interpreter never elides checks *)
       fun args -> Interp.run ~externs:registry modl Codegen.Kernel.compute_name args
 
 let make_rows (gen : Codegen.Kernel.t) : floatarray list =
@@ -101,9 +105,11 @@ let reset (d : t) : unit =
   let lookup =
     match d.engine with
     | Fused ->
-        Fused.compile_module ~externs:d.registry d.gen.Codegen.Kernel.modl
+        Fused.compile_module ~externs:d.registry ~proved:d.proved
+          d.gen.Codegen.Kernel.modl
     | Compiled ->
-        Engine.compile_module ~externs:d.registry d.gen.Codegen.Kernel.modl
+        Engine.compile_module ~externs:d.registry ~proved:d.proved
+          d.gen.Codegen.Kernel.modl
     | Reference ->
         fun name args ->
           Interp.run ~externs:d.registry d.gen.Codegen.Kernel.modl name args
@@ -116,8 +122,14 @@ let reset (d : t) : unit =
   d.t_now <- 0.0;
   d.steps_done <- 0
 
-let create ?(engine = Fused) (gen : Codegen.Kernel.t) ~(ncells : int)
-    ~(dt : float) : t =
+(** [create ?engine ?elide gen ~ncells ~dt] builds a driver.  With
+    [elide] (the default) the bounds prover runs over the compute kernel
+    seeded with this driver's buffer sizes, and every access it
+    certifies compiles without its runtime bounds check — results are
+    bitwise identical either way (only failure branches are dropped);
+    [~elide:false] keeps every check, for differentials and ablation. *)
+let create ?(engine = Fused) ?(elide = true) (gen : Codegen.Kernel.t)
+    ~(ncells : int) ~(dt : float) : t =
   if ncells <= 0 then fail "ncells must be positive";
   if dt <= 0.0 then fail "dt must be positive";
   let cfg = gen.Codegen.Kernel.cfg in
@@ -148,6 +160,10 @@ let create ?(engine = Fused) (gen : Codegen.Kernel.t) ~(ncells : int)
       gen.Codegen.Kernel.lut_plans
   in
   let registry = make_registry () in
+  let proved =
+    if elide then Kernel_facts.prove_bounds gen ~ncells_pad
+    else Hashtbl.create 1
+  in
   let d =
     {
       gen;
@@ -160,6 +176,7 @@ let create ?(engine = Fused) (gen : Codegen.Kernel.t) ~(ncells : int)
       tables;
       engine;
       registry;
+      proved;
       runners = [||];
       rows = [||];
       t_now = 0.0;
@@ -173,9 +190,10 @@ let create ?(engine = Fused) (gen : Codegen.Kernel.t) ~(ncells : int)
     kernel for [model] under [cfg] via {!Codegen.Cache}, then build the
     driver.  Repeated drivers for the same model × config skip codegen
     entirely. *)
-let create_cached ?engine ?optimize (cfg : Codegen.Config.t)
+let create_cached ?engine ?elide ?optimize (cfg : Codegen.Config.t)
     (model : M.t) ~(ncells : int) ~(dt : float) : t =
-  create ?engine (Codegen.Cache.generate ?optimize cfg model) ~ncells ~dt
+  create ?engine ?elide (Codegen.Cache.generate ?optimize cfg model) ~ncells
+    ~dt
 
 (* Make sure we have per-thread kernel instances and row buffers. *)
 let ensure_threads (d : t) (nthreads : int) : unit =
@@ -183,7 +201,8 @@ let ensure_threads (d : t) (nthreads : int) : unit =
   if cur < nthreads then begin
     let extra_runners =
       Array.init (nthreads - cur) (fun _ ->
-          make_runner d.engine d.registry d.gen.Codegen.Kernel.modl)
+          make_runner d.engine d.registry ~proved:d.proved
+            d.gen.Codegen.Kernel.modl)
     in
     let extra_rows =
       Array.init (nthreads - cur) (fun _ -> make_rows d.gen)

@@ -24,20 +24,34 @@ type t = {
   tables : floatarray list;
   engine : engine;
   registry : Exec.Rt.registry;
+  proved : (int, unit) Hashtbl.t;
+      (** compute-kernel access ops proved in-bounds by
+          [Analysis.Bounds] under this driver's buffer contract; the
+          engines compile them without runtime bounds checks *)
   mutable runners : (Exec.Rt.v array -> Exec.Rt.v array) array;
   mutable rows : floatarray list array;
   mutable t_now : float;
   mutable steps_done : int;
 }
 
-val create : ?engine:engine -> Codegen.Kernel.t -> ncells:int -> dt:float -> t
+val create :
+  ?engine:engine ->
+  ?elide:bool ->
+  Codegen.Kernel.t ->
+  ncells:int ->
+  dt:float ->
+  t
 (** Allocate, initialize from the model's [_init] values and build the
     lookup tables (by running the generated [lut_init_*] functions).
-    [engine] defaults to {!Fused}.
+    [engine] defaults to {!Fused}.  [elide] (default true) runs the
+    bounds prover and drops runtime bounds checks on proved accesses —
+    bitwise-identical results, fewer branches; [~elide:false] keeps
+    every check.
     @raise Driver_error on non-positive [ncells]/[dt]. *)
 
 val create_cached :
   ?engine:engine ->
+  ?elide:bool ->
   ?optimize:bool ->
   Codegen.Config.t ->
   Easyml.Model.t ->

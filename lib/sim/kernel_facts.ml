@@ -1,0 +1,114 @@
+(** Driver-side facts about generated kernels, packaged for the
+    dataflow analyses.
+
+    The compute kernel's parameter list is a fixed ABI
+    ([start; stop; ncells_pad; dt; t; sv] followed by the external
+    buffers, the optional parameter buffer and the per-plan
+    (table, row) pairs — see {!Codegen.Kernel}).  This module classifies
+    each position, knows the exact length the driver allocates for every
+    buffer parameter, and builds interval seeds for the loop bounds —
+    the three ingredients the bounds prover ({!Analysis.Bounds}) and the
+    race checker ({!Racecheck}) need to turn the generic analyses into
+    kernel-specific proofs. *)
+
+module K = Codegen.Kernel
+module I = Analysis.Itv.I
+
+type param_info =
+  | Pstart
+  | Pstop
+  | Pncells  (** padded cell count *)
+  | Pdt
+  | Ptime
+  | Psv  (** shared state buffer *)
+  | Pext of int  (** shared external buffer [k] *)
+  | Pparams  (** shared parameter buffer (when not folded) *)
+  | Ptable of int  (** shared, read-only LUT table of plan [j] *)
+  | Prow of int  (** per-thread LUT row scratch of plan [j] *)
+
+let param_infos (gen : K.t) : param_info array =
+  Array.of_list
+    ([ Pstart; Pstop; Pncells; Pdt; Ptime; Psv ]
+    @ List.mapi (fun k _ -> Pext k) gen.K.ext_order
+    @ (if gen.K.param_order = [] then [] else [ Pparams ])
+    @ List.concat
+        (List.mapi (fun j _ -> [ Ptable j; Prow j ]) gen.K.lut_plans))
+
+(** Is the buffer behind this compute parameter shared between the
+    driver's worker threads?  Row scratch buffers are per-thread;
+    everything else (state, externals, params, tables) is one shared
+    allocation. *)
+let shared (infos : param_info array) (i : int) : bool =
+  i >= Array.length infos
+  || match infos.(i) with Prow _ -> false | _ -> true
+
+(** Guaranteed length (in doubles) of the buffer the driver passes for
+    each memref parameter, mirroring the allocations in
+    {!Driver.create}. *)
+let len_of (gen : K.t) ~(ncells_pad : int) (infos : param_info array)
+    (origin : Analysis.Interval.origin) : int option =
+  match origin with
+  | Analysis.Interval.Oparam i when i < Array.length infos -> (
+      let cfg = gen.K.cfg in
+      let w = cfg.Codegen.Config.width in
+      let nvars = max 1 gen.K.nvars in
+      match infos.(i) with
+      | Psv ->
+          Some
+            (Runtime.Layout.size cfg.Codegen.Config.layout ~nvars
+               ~ncells:ncells_pad)
+      | Pext _ -> Some ncells_pad
+      | Pparams -> Some (List.length gen.K.param_order)
+      | Ptable j ->
+          let plan = List.nth gen.K.lut_plans j in
+          Some
+            (max 1
+               (Easyml.Model.lut_rows plan.Easyml.Lut_cones.spec
+               * Easyml.Lut_cones.n_columns plan))
+      | Prow j ->
+          let plan = List.nth gen.K.lut_plans j in
+          Some (max 1 (Easyml.Lut_cones.n_columns plan * w))
+      | Pstart | Pstop | Pncells | Pdt | Ptime -> None)
+  | _ -> None
+
+(** Interval seeds for the compute function's scalar parameters.
+    Without [range], [start] / [stop] cover every width-aligned chunk of
+    [\[0, ncells_pad\]] (the facts {!Driver.compute_stage} guarantees
+    for any thread count); with [range = (b, e)] they are the concrete
+    bounds of one chunk. *)
+let compute_seeds (gen : K.t) ~(ncells_pad : int) ?range
+    (f : Ir.Func.func) : (Ir.Value.t * Analysis.Interval.v) list =
+  let w = gen.K.cfg.Codegen.Config.width in
+  match f.Ir.Func.f_params with
+  | start :: stop :: ncells :: _ ->
+      let start_i, stop_i =
+        match range with
+        | Some (b, e) -> (I.const b, I.const e)
+        | None ->
+            ( I.mk 0 (max 0 (ncells_pad - 1)) w 0,
+              I.mk 0 ncells_pad w 0 )
+      in
+      [
+        (start, Analysis.Interval.AI start_i);
+        (stop, Analysis.Interval.AI stop_i);
+        (ncells, Analysis.Interval.AI (I.const ncells_pad));
+      ]
+  | _ -> []
+
+(** The compute function of a generated kernel module. *)
+let compute_func (gen : K.t) : Ir.Func.func option =
+  Ir.Func.find_func gen.K.modl K.compute_name
+
+(** Bounds proofs for the compute kernel under the driver's buffer
+    contract: every access op whose touched indices provably fit the
+    buffers the driver allocates.  Returns an empty set when the module
+    has no compute function. *)
+let prove_bounds (gen : K.t) ~(ncells_pad : int) : Analysis.Bounds.proved =
+  match compute_func gen with
+  | None -> Hashtbl.create 1
+  | Some f ->
+      let infos = param_infos gen in
+      Analysis.Bounds.prove_func
+        ~seed:(compute_seeds gen ~ncells_pad f)
+        ~len_of:(len_of gen ~ncells_pad infos)
+        f

@@ -6,6 +6,7 @@
 open Exec
 module K = Codegen.Kernel
 module C = Codegen.Config
+module B = Ir.Builder
 
 let stim = Sim.Stim.make ~amplitude:40.0 ~start:0.5 ~duration:1.0 ()
 
@@ -121,6 +122,104 @@ let fused_vector_matches_scalar =
                    (fused_scalar ms xs.(i) ys.(i))))
       | _ -> false)
 
+(* -- load/store fusion windows ------------------------------------------ *)
+
+let seeded_buf n = Float.Array.init n (fun i -> float_of_int (i + 1) /. 3.0)
+
+let check_bufs ~ctx (a : floatarray) (b : floatarray) =
+  for i = 0 to Float.Array.length a - 1 do
+    if not (Helpers.same_float (Float.Array.get a i) (Float.Array.get b i))
+    then
+      Alcotest.failf "%s: buffer slot %d: %.17g vs %.17g" ctx i
+        (Float.Array.get a i) (Float.Array.get b i)
+  done
+
+(* vec_load mem[0..3]; add; vec_store mem[1..4].  The windows overlap, so
+   the load-op-store triple must NOT fuse into a VLos (which would
+   interleave lane reads and writes); the footprint alias check keeps the
+   full-width load ahead of the store. *)
+let test_vlos_aliasing_not_fused () =
+  let m = Ir.Func.create_module "alias" in
+  let c = B.create_ctx () in
+  let vec4 = Ir.Ty.Vec (4, Ir.Ty.F64) in
+  Ir.Func.add_func m
+    (B.func c ~name:"f" ~params:[ Ir.Ty.Memref; vec4 ] ~results:[ Ir.Ty.F64 ]
+       (fun b args ->
+         let mem = List.nth args 0 and y = List.nth args 1 in
+         let v = B.vec_load b ~width:4 ~mem ~idx:(B.consti b 0) in
+         let s = B.addf b v y in
+         B.vec_store b ~vec:s ~mem ~idx:(B.consti b 1);
+         B.ret b [ B.constf b 0.0 ]));
+  Ir.Verifier.verify_module_exn m;
+  let y = Float.Array.of_list [ 0.25; -1.5; 2.0; 0.125 ] in
+  let bf = seeded_buf 8 and bi = seeded_buf 8 in
+  ignore (Fused.run m "f" [| Rt.M bf; Rt.VF y |]);
+  ignore (Interp.run m "f" [| Rt.M bi; Rt.VF y |]);
+  check_bufs ~ctx:"aliasing load/store triple" bf bi
+
+(* t = mulf a b feeds only the fusion window's middle op, so the pairing
+   pass defers it into a VFma.  The VLos window around the same add must
+   refuse to consume that add: doing so would leave the deferred multiply
+   unemitted and read a stale slot. *)
+let test_vlos_claimed_op_not_consumed () =
+  let m = Ir.Func.create_module "claimed" in
+  let c = B.create_ctx () in
+  let vec4 = Ir.Ty.Vec (4, Ir.Ty.F64) in
+  Ir.Func.add_func m
+    (B.func c
+       ~name:"f"
+       ~params:[ Ir.Ty.Memref; vec4; vec4 ]
+       ~results:[ Ir.Ty.F64 ]
+       (fun b args ->
+         let mem = List.nth args 0 in
+         let a = List.nth args 1 and b2 = List.nth args 2 in
+         let t = B.mulf b a b2 in
+         let v = B.vec_load b ~width:4 ~mem ~idx:(B.consti b 0) in
+         let s = B.addf b t v in
+         B.vec_store b ~vec:s ~mem ~idx:(B.consti b 4);
+         B.ret b [ B.constf b 0.0 ]));
+  Ir.Verifier.verify_module_exn m;
+  let va = Float.Array.of_list [ 1.5; -0.25; 3.0; 0.5 ] in
+  let vb = Float.Array.of_list [ 2.0; 4.0; -1.0; 8.0 ] in
+  let bf = seeded_buf 8 and bi = seeded_buf 8 in
+  ignore (Fused.run m "f" [| Rt.M bf; Rt.VF va; Rt.VF vb |]);
+  ignore (Interp.run m "f" [| Rt.M bi; Rt.VF va; Rt.VF vb |]);
+  check_bufs ~ctx:"pair-claimed add in fusion window" bf bi
+
+(* -- bounds-check elision ----------------------------------------------- *)
+
+(* Eliding proved-inbounds checks must not change a single bit of any
+   trajectory, on any engine, on any model. *)
+let test_all_models_elide_bitwise_identical () =
+  List.iter
+    (fun (e : Models.Model_def.entry) ->
+      List.iter
+        (fun (cname, cfg) ->
+          let g = Codegen.Cache.generate_named cfg ~name:e.name (fun () ->
+              Models.Registry.model e) in
+          let mk engine elide =
+            Sim.Driver.create ~engine ~elide g ~ncells:8 ~dt:0.01
+          in
+          let drivers =
+            [ mk Sim.Driver.Fused true; mk Sim.Driver.Fused false;
+              mk Sim.Driver.Compiled true; mk Sim.Driver.Compiled false ]
+          in
+          for _ = 1 to 50 do
+            List.iter (fun d -> Sim.Driver.step ~stim d) drivers
+          done;
+          match List.map (fun d -> Sim.Driver.snapshot d 5) drivers with
+          | ref :: rest ->
+              List.iteri
+                (fun k s ->
+                  check_snapshots
+                    ~ctx:(Printf.sprintf "%s/%s elide variant %d" e.name
+                            cname (k + 1))
+                    ref s)
+                rest
+          | [] -> assert false)
+        configs)
+    Models.Registry.all
+
 (* -- compile cache ------------------------------------------------------ *)
 
 let test_cache_hit_bitwise_identical () =
@@ -170,7 +269,14 @@ let suite =
     fused_matches_closure;
     fused_matches_interp;
     fused_vector_matches_scalar;
+    Alcotest.test_case "aliasing load/store triple is not fused" `Quick
+      test_vlos_aliasing_not_fused;
+    Alcotest.test_case "fusion window spares pair-claimed ops" `Quick
+      test_vlos_claimed_op_not_consumed;
+    Alcotest.test_case "all 43: bounds-check elision is bitwise-identical"
+      `Slow test_all_models_elide_bitwise_identical;
     Alcotest.test_case "cache hit is bitwise-identical" `Quick
+
       test_cache_hit_bitwise_identical;
     Alcotest.test_case "cache keys on config and pipeline" `Quick
       test_cache_distinguishes_configs;

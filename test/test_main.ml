@@ -3,6 +3,8 @@ let () =
     [
       ("frontend", Test_frontend.suite);
       ("analysis", Test_analysis.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("race", Test_race.suite);
       ("mmt", Test_mmt.suite);
       ("ir", Test_ir.suite);
       ("engine", Test_engine.suite);

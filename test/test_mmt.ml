@@ -78,7 +78,8 @@ let test_easyml_rendering () =
 let test_import_analyzes () =
   let m = Easyml.Mmt.import ~vm:"membrane.V" ~iion:"membrane.i_ion" mmt_src in
   Alcotest.(check int) "three states" 3 (List.length m.states);
-  Alcotest.(check (list string)) "no warnings" [] m.warnings;
+  Alcotest.(check (list string)) "no warnings" []
+    (List.map (Easyml.Diag.to_string ~file:m.name) m.warnings);
   (* all gates are Rush-Larsen *)
   List.iter
     (fun (sv : Easyml.Model.state_var) ->

@@ -1,0 +1,86 @@
+(* Race-checker tests: the Domain-parallel chunking must be proved
+   write-disjoint on every model, a deliberately misaligned partition
+   must be rejected, and the proof must agree with a sequential-vs-
+   parallel differential run. *)
+
+module C = Codegen.Config
+module R = Sim.Racecheck
+
+let gen_of name cfg =
+  let e = Models.Registry.find_exn name in
+  Codegen.Cache.generate_named cfg ~name:e.Models.Model_def.name (fun () ->
+      Models.Registry.model e)
+
+let test_all_models_partition_disjoint () =
+  List.iter
+    (fun (e : Models.Model_def.entry) ->
+      List.iter
+        (fun cfg ->
+          let g =
+            Codegen.Cache.generate_named cfg ~name:e.name (fun () ->
+                Models.Registry.model e)
+          in
+          List.iter
+            (fun nthreads ->
+              match R.check g ~ncells:33 ~nthreads with
+              | Ok _ -> ()
+              | Error cs ->
+                  Alcotest.failf "%s (%s, %d threads): %s" e.name
+                    (C.describe cfg) nthreads (R.errors_to_string cs))
+            [ 2; 4 ])
+        [ C.baseline; C.mlir ~width:4 ])
+    Models.Registry.all
+
+let test_misaligned_partition_rejected () =
+  let g = gen_of "MitchellSchaeffer" (C.mlir ~width:4) in
+  (* chunk boundary at 6 splits a 4-wide block between two domains *)
+  (match R.check_partition g ~ncells_pad:16 [ (0, 6); (6, 16) ] with
+  | Ok _ -> Alcotest.fail "misaligned partition was not rejected"
+  | Error cs ->
+      Alcotest.(check bool) "conflicts reported" true (List.length cs > 0);
+      Alcotest.(check bool)
+        "message names both chunks" true
+        (Helpers.contains (R.errors_to_string cs) "[0,6)"));
+  (* the same cells split on a block boundary are provably disjoint *)
+  match R.check_partition g ~ncells_pad:16 [ (0, 8); (8, 16) ] with
+  | Ok pairs -> Alcotest.(check int) "one pair checked" 1 pairs
+  | Error cs -> Alcotest.failf "aligned partition rejected: %s"
+                  (R.errors_to_string cs)
+
+(* The checker's verdict must match reality: with a proved-disjoint
+   partition, a Domain-parallel run is bitwise identical to the
+   sequential one. *)
+let test_agrees_with_parallel_differential () =
+  List.iter
+    (fun name ->
+      let g = gen_of name (C.mlir ~width:4) in
+      (match R.check g ~ncells:13 ~nthreads:4 with
+      | Ok _ -> ()
+      | Error cs -> Alcotest.failf "%s: %s" name (R.errors_to_string cs));
+      let mk () = Sim.Driver.create g ~ncells:13 ~dt:0.01 in
+      let ds = mk () and dp = mk () in
+      let stim = Sim.Stim.make ~amplitude:40.0 ~start:0.2 ~duration:1.0 () in
+      for _ = 1 to 50 do
+        Sim.Driver.step ~stim ds;
+        Sim.Driver.step ~nthreads:4 ~stim dp
+      done;
+      for cell = 0 to 12 do
+        List.iter2
+          (fun (n, a) (_, b) ->
+            if not (Helpers.same_float a b) then
+              Alcotest.failf "%s: cell %d state %s diverges (%h vs %h)" name
+                cell n a b)
+          (Sim.Driver.snapshot ds cell)
+          (Sim.Driver.snapshot dp cell)
+      done)
+    [ "MitchellSchaeffer"; "LuoRudy91"; "TenTusscher" ]
+
+let suite =
+  [
+    Alcotest.test_case "all 43: parallel partitions proved disjoint" `Slow
+      test_all_models_partition_disjoint;
+    Alcotest.test_case "misaligned partition rejected" `Quick
+      test_misaligned_partition_rejected;
+    Alcotest.test_case "proof agrees with parallel differential" `Quick
+      test_agrees_with_parallel_differential;
+  ]
