@@ -373,8 +373,9 @@ type wall_row = {
   wr_model : string;
   wr_cls : string;
   wr_cfg : string;  (** "scalar" | "vector" *)
-  wr_engine : string;  (** "interp" | "closure" | "fused" *)
+  wr_engine : string;  (** "interp" | "closure" | "fused" | "batched" | ... *)
   wr_median_ns : float;
+  wr_iqr_ns : float;  (** interquartile range of the per-run samples *)
   wr_samples : int;
 }
 
@@ -388,6 +389,8 @@ let wall_engines =
     ("fused", fun g n -> Sim.Driver.create ~engine:Sim.Driver.Fused g ~ncells:n ~dt:0.01);
     ("fused-noelide",
      fun g n -> Sim.Driver.create ~engine:Sim.Driver.Fused ~elide:false g ~ncells:n ~dt:0.01);
+    ("batched",
+     fun g n -> Sim.Driver.create ~engine:Sim.Driver.Batched g ~ncells:n ~dt:0.01);
   ]
 
 let wall_configs =
@@ -396,13 +399,26 @@ let wall_configs =
 let wall_reps =
   [ "MitchellSchaeffer"; "LuoRudy91"; "TenTusscher"; "GrandiPanditVoigt" ]
 
-let median (xs : float list) : float =
-  let a = Array.of_list xs in
-  Array.sort compare a;
+(* Linear-interpolated quantile over a sorted array. *)
+let quantile (a : float array) (p : float) : float =
   let n = Array.length a in
   if n = 0 then Float.nan
-  else if n mod 2 = 1 then a.(n / 2)
-  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+  else
+    let x = p *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor x) in
+    let j = min (n - 1) (i + 1) in
+    let f = x -. float_of_int i in
+    (a.(i) *. (1.0 -. f)) +. (a.(j) *. f)
+
+(* median and interquartile range *)
+let med_iqr (xs : float list) : float * float =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  (quantile a 0.5, quantile a 0.75 -. quantile a 0.25)
+
+(* Rows with fewer bechamel samples than this carry too much variance to
+   contribute to a geomean headline; they are dropped with a log line. *)
+let min_geo_samples = 10
 
 let wall_write_json (path : string) (rows : wall_row list)
     (summary : (string * float) list) : unit =
@@ -417,15 +433,21 @@ let wall_write_json (path : string) (rows : wall_row list)
       Buffer.add_string b
         (Printf.sprintf
            "    {\"model\": %S, \"class\": %S, \"config\": %S, \"engine\": \
-            %S, \"median_ns\": %.1f, \"samples\": %d}%s\n"
-           r.wr_model r.wr_cls r.wr_cfg r.wr_engine r.wr_median_ns r.wr_samples
+            %S, \"median_ns\": %.1f, \"iqr_ns\": %.1f, \"samples\": %d}%s\n"
+           r.wr_model r.wr_cls r.wr_cfg r.wr_engine r.wr_median_ns r.wr_iqr_ns
+           r.wr_samples
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ],\n  \"summary\": {\n";
   List.iteri
     (fun i (k, v) ->
+      (* NaN (e.g. every contributing row dropped for too few samples)
+         is not valid JSON; record null so consumers see "not measured" *)
+      let sv =
+        if Float.is_nan v then "null" else Printf.sprintf "%.4f" v
+      in
       Buffer.add_string b
-        (Printf.sprintf "    %S: %.4f%s\n" k v
+        (Printf.sprintf "    %S: %s%s\n" k sv
            (if i = List.length summary - 1 then "" else ",")))
     summary;
   Buffer.add_string b "  }\n}\n";
@@ -437,8 +459,9 @@ let wall_write_json (path : string) (rows : wall_row list)
 let wallclock () =
   hr ();
   Fmt.pr "Wall-clock microbenchmarks (bechamel): real execution of the@.";
-  Fmt.pr "generated kernels on this host, {interp, closure, fused} engines@.";
-  Fmt.pr "x {scalar, vector} configs; per-kernel median ns per invocation.@.";
+  Fmt.pr "generated kernels on this host, {interp, closure, fused, batched}@.";
+  Fmt.pr "engines x {scalar, vector} configs; per-kernel median ns per@.";
+  Fmt.pr "invocation with the interquartile range recorded per row.@.";
   hr ();
   let tests =
     List.concat_map
@@ -467,7 +490,7 @@ let wallclock () =
   let cfg = Benchmark.cfg ~limit:!wall_limit ~quota:(Time.second quota) () in
   let raw = Benchmark.all cfg [ instance ] test in
   let clock = Measure.label instance in
-  let median_of label : (float * int) option =
+  let median_of label : (float * float * int) option =
     match Hashtbl.find_opt raw ("kernels " ^ label) with
     | None -> None
     | Some (b : Benchmark.t) ->
@@ -479,7 +502,9 @@ let wallclock () =
                  else Some (Measurement_raw.get ~label:clock m /. runs))
         in
         if per_run = [] then None
-        else Some (median per_run, List.length per_run)
+        else
+          let med, iqr = med_iqr per_run in
+          Some (med, iqr, List.length per_run)
   in
   let rows = ref [] in
   List.iter
@@ -492,7 +517,7 @@ let wallclock () =
               (fun (ename, _) ->
                 match median_of (Printf.sprintf "%s/%s/%s" name cname ename) with
                 | None -> None
-                | Some (ns, samples) ->
+                | Some (ns, iqr, samples) ->
                     rows :=
                       {
                         wr_model = name;
@@ -500,6 +525,7 @@ let wallclock () =
                         wr_cfg = cname;
                         wr_engine = ename;
                         wr_median_ns = ns;
+                        wr_iqr_ns = iqr;
                         wr_samples = samples;
                       }
                       :: !rows;
@@ -507,56 +533,94 @@ let wallclock () =
               wall_engines
           in
           let ns ename = List.assoc_opt ename by_engine in
-          match (ns "interp", ns "closure", ns "fused", ns "fused-noelide") with
-          | Some ti, Some tc, Some tf, Some tn ->
+          match
+            ( ns "interp", ns "closure", ns "fused", ns "fused-noelide",
+              ns "batched" )
+          with
+          | Some ti, Some tc, Some tf, Some tn, Some tb ->
               Fmt.pr
                 "%-24s %-6s interp %11.1f us  closure %9.1f us  fused %9.1f \
-                 us  (closure/fused %.2fx, elision %.2fx)@."
-                name cname (ti /. 1e3) (tc /. 1e3) (tf /. 1e3) (tc /. tf)
-                (tn /. tf)
+                 us  batched %9.1f us  (closure/fused %.2fx, fused/batched \
+                 %.2fx, elision %.2fx)@."
+                name cname (ti /. 1e3) (tc /. 1e3) (tf /. 1e3) (tb /. 1e3)
+                (tc /. tf) (tf /. tb) (tn /. tf)
           | _ -> Fmt.pr "%-24s %-6s (no estimate)@." name cname)
         wall_configs)
     wall_reps;
   let rows = List.rev !rows in
-  (* headline: fused vs the seed closure engine on the large-model class *)
-  let speedups ~cfg_filter =
+  (* Per-(model, config) median ratio of engine [num] over engine [den].
+     Rows measured with too few samples are refused a geomean
+     contribution and logged, so a short smoke run cannot fabricate a
+     headline from noise. *)
+  let ratios ~(num : string) ~(den : string) ~cls_filter ~cfg_filter =
     List.filter_map
       (fun r ->
-        if r.wr_cls <> "large" || r.wr_engine <> "closure" then None
-        else if cfg_filter r.wr_cfg then
-          List.find_opt
-            (fun f ->
-              f.wr_model = r.wr_model && f.wr_cfg = r.wr_cfg
-              && f.wr_engine = "fused")
-            rows
-          |> Option.map (fun f -> r.wr_median_ns /. f.wr_median_ns)
-        else None)
+        if r.wr_engine <> num || not (cls_filter r.wr_cls && cfg_filter r.wr_cfg)
+        then None
+        else
+          match
+            List.find_opt
+              (fun f ->
+                f.wr_model = r.wr_model && f.wr_cfg = r.wr_cfg
+                && f.wr_engine = den)
+              rows
+          with
+          | None -> None
+          | Some f when
+              r.wr_samples < min_geo_samples
+              || f.wr_samples < min_geo_samples ->
+              Fmt.pr
+                "dropped: %s/%s %s/%s ratio from geomean (%d and %d samples, \
+                 need %d)@."
+                r.wr_model r.wr_cfg num den r.wr_samples f.wr_samples
+                min_geo_samples;
+              None
+          | Some f -> Some (r.wr_median_ns /. f.wr_median_ns))
       rows
   in
   let geo_or_nan = function [] -> Float.nan | xs -> geo xs in
-  let sc = geo_or_nan (speedups ~cfg_filter:(fun c -> c = "scalar")) in
-  let ve = geo_or_nan (speedups ~cfg_filter:(fun c -> c = "vector")) in
-  let all = geo_or_nan (speedups ~cfg_filter:(fun _ -> true)) in
+  let any _ = true in
+  let large c = c = "large" in
+  (* headline: fused vs the seed closure engine on the large-model class *)
+  let sc =
+    geo_or_nan (ratios ~num:"closure" ~den:"fused" ~cls_filter:large
+                  ~cfg_filter:(fun c -> c = "scalar"))
+  in
+  let ve =
+    geo_or_nan (ratios ~num:"closure" ~den:"fused" ~cls_filter:large
+                  ~cfg_filter:(fun c -> c = "vector"))
+  in
+  let all =
+    geo_or_nan
+      (ratios ~num:"closure" ~den:"fused" ~cls_filter:large ~cfg_filter:any)
+  in
   Fmt.pr "@.large-class fused-vs-closure median speedup: scalar %.2fx, \
           vector %.2fx, geomean %.2fx@."
     sc ve all;
+  (* headline: tile-batched vs fused on the large-model class *)
+  let bsc =
+    geo_or_nan (ratios ~num:"fused" ~den:"batched" ~cls_filter:large
+                  ~cfg_filter:(fun c -> c = "scalar"))
+  in
+  let bve =
+    geo_or_nan (ratios ~num:"fused" ~den:"batched" ~cls_filter:large
+                  ~cfg_filter:(fun c -> c = "vector"))
+  in
+  let ball =
+    geo_or_nan
+      (ratios ~num:"fused" ~den:"batched" ~cls_filter:large ~cfg_filter:any)
+  in
+  Fmt.pr "large-class batched-vs-fused median speedup: scalar %.2fx, \
+          vector %.2fx, geomean %.2fx@."
+    bsc bve ball;
   (* bounds-elision delta: fused with every runtime check vs fused with
      proved checks dropped, all models and configs (>= 1 means elision
      did not regress) *)
-  let elision =
-    List.filter_map
-      (fun r ->
-        if r.wr_engine <> "fused-noelide" then None
-        else
-          List.find_opt
-            (fun f ->
-              f.wr_model = r.wr_model && f.wr_cfg = r.wr_cfg
-              && f.wr_engine = "fused")
-            rows
-          |> Option.map (fun f -> r.wr_median_ns /. f.wr_median_ns))
-      rows
+  let el =
+    geo_or_nan
+      (ratios ~num:"fused-noelide" ~den:"fused" ~cls_filter:any
+         ~cfg_filter:any)
   in
-  let el = geo_or_nan elision in
   Fmt.pr "bounds-check elision speedup (fused-noelide/fused geomean): %.2fx@."
     el;
   Fmt.pr "(%d cells per kernel invocation)@." !wall_cells;
@@ -568,6 +632,9 @@ let wallclock () =
           ("large_fused_vs_closure_scalar", sc);
           ("large_fused_vs_closure_vector", ve);
           ("large_fused_vs_closure_geomean", all);
+          ("large_batched_vs_fused_scalar", bsc);
+          ("large_batched_vs_fused_vector", bve);
+          ("large_batched_vs_fused_geomean", ball);
           ("fused_elision_speedup_geomean", el);
         ]
 

@@ -237,12 +237,31 @@ let run_cmd =
            ~doc:"Print the trace every N steps (0 = summary only).")
   in
   let threads = Arg.(value & opt int 1 & info [ "threads" ] ~docv:"T") in
+  let engine =
+    Arg.(value
+         & opt
+             (enum
+                [ ("fused", Sim.Driver.Fused); ("batched", Sim.Driver.Batched);
+                  ("closure", Sim.Driver.Compiled);
+                  ("interp", Sim.Driver.Reference) ])
+             Sim.Driver.Fused
+         & info [ "engine" ] ~docv:"E"
+             ~doc:"Execution engine: $(b,fused) (threaded code with \
+                   superinstructions, default), $(b,batched) (tile-batched \
+                   loop inversion), $(b,closure), or $(b,interp) (slow \
+                   reference).  All engines are bitwise identical.")
+  in
+  let tile =
+    Arg.(value & opt int 0 & info [ "tile" ] ~docv:"N"
+           ~doc:"Batched-engine tile size in vector blocks \
+                 (0 = auto-size for L1; ignored by the other engines).")
+  in
   let run name width layout no_lut autovec spline cells steps dt every threads
-      =
+      engine tile =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
     let g = Codegen.Cache.generate cfg m in
-    let d = Sim.Driver.create g ~ncells:cells ~dt in
+    let d = Sim.Driver.create ~engine ~tile g ~ncells:cells ~dt in
     let stim = Sim.Stim.default in
     Fmt.pr "# model=%s config=%s cells=%d steps=%d dt=%gms@." m.name
       (Codegen.Config.describe cfg) cells steps dt;
@@ -262,7 +281,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
-          $ autovec_arg $ spline_arg $ cells $ steps $ dt $ every $ threads)
+          $ autovec_arg $ spline_arg $ cells $ steps $ dt $ every $ threads
+          $ engine $ tile)
 
 (* -- passes --------------------------------------------------------- *)
 

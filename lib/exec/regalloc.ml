@@ -1,0 +1,149 @@
+(** Linear-scan slot coalescing over a flat instruction stream.
+
+    The batched engine gives every SSA value of a tiled loop body its own
+    scratch *row* (a [tile × width] array).  One row per value keeps
+    compilation trivial but makes the per-tile register file proportional
+    to the body length — ionic kernels have hundreds of SSA values, so the
+    working set blows past L1 and the tile loops stall on cache misses.
+
+    This module shrinks the register file with the classic linear-scan
+    discipline: every virtual register's live range over the flat stream
+    is the interval from its defining instruction to its last use, and a
+    physical row freed by an expired range is reused for the next
+    definition of the same register class.  Straight-line SSA makes the
+    liveness proof trivial — each value has exactly one definition and its
+    last textual use really is its last dynamic use (no back edges inside
+    the stream; the loop over tiles re-executes the whole stream, and every
+    range is closed by then).
+
+    A freed row is only handed out starting with the *next* instruction:
+    a definition never aliases an operand dying at the same instruction,
+    so the allocation is valid for any instruction semantics (including
+    multi-phase ops like the LUT macro-op that interleave reads and
+    writes per element).  {!verify} re-derives the ranges and checks the
+    disjointness invariant; the batched engine's tests run it on every
+    allocation. *)
+
+type vreg = {
+  vclass : int;
+      (** opaque register class; rows are only reused within a class
+          (the batched engine encodes element kind and width here) *)
+  vid : int;  (** SSA value id — unique per class *)
+}
+
+(** One instruction = the virtual registers it reads and writes. *)
+type program = { uses : vreg list array; defs : vreg list array }
+
+type assignment = {
+  slot_of : (vreg, int) Hashtbl.t;  (** virtual → physical row *)
+  counts : (int * int) list;  (** per class: physical rows allocated *)
+  n_virtual : int;  (** distinct virtual registers (for diagnostics) *)
+}
+
+let n_instrs (p : program) : int = Array.length p.uses
+
+(* Live range endpoints: def = first defining instruction, expiry = last
+   instruction that touches the register (>= def). *)
+let ranges (p : program) : (vreg, int * int) Hashtbl.t =
+  let n = n_instrs p in
+  let r : (vreg, int * int) Hashtbl.t = Hashtbl.create 64 in
+  for t = 0 to n - 1 do
+    List.iter
+      (fun v -> if not (Hashtbl.mem r v) then Hashtbl.replace r v (t, t))
+      p.defs.(t);
+    List.iter
+      (fun v ->
+        match Hashtbl.find_opt r v with
+        | Some (d, _) -> Hashtbl.replace r v (d, t)
+        | None ->
+            (* used before any def: treat as live from the start (the
+               batched engine never produces this; stay total anyway) *)
+            Hashtbl.replace r v (0, t))
+      p.uses.(t)
+  done;
+  r
+
+let allocate (p : program) : assignment =
+  let n = n_instrs p in
+  let r = ranges p in
+  (* registers expiring at instruction t, so their rows free up at t+1 *)
+  let expiring : (int, vreg list) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun v (_, e) ->
+      Hashtbl.replace expiring e
+        (v :: Option.value ~default:[] (Hashtbl.find_opt expiring e)))
+    r;
+  let free : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  let next : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let slot_of : (vreg, int) Hashtbl.t = Hashtbl.create 64 in
+  let take cls =
+    match Hashtbl.find_opt free cls with
+    | Some (s :: rest) ->
+        Hashtbl.replace free cls rest;
+        s
+    | Some [] | None ->
+        let s = Option.value ~default:0 (Hashtbl.find_opt next cls) in
+        Hashtbl.replace next cls (s + 1);
+        s
+  in
+  for t = 0 to n - 1 do
+    (* allocate definitions first: rows expiring at [t] are not yet free,
+       so a def never shares a row with a same-instruction operand *)
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem slot_of v) then
+          Hashtbl.replace slot_of v (take v.vclass))
+      p.defs.(t);
+    List.iter
+      (fun v ->
+        match Hashtbl.find_opt slot_of v with
+        | None -> () (* use-before-def artifact; nothing to free *)
+        | Some s ->
+            Hashtbl.replace free v.vclass
+              (s :: Option.value ~default:[] (Hashtbl.find_opt free v.vclass)))
+      (Option.value ~default:[] (Hashtbl.find_opt expiring t))
+  done;
+  let counts = Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) next [] in
+  { slot_of; counts; n_virtual = Hashtbl.length r }
+
+(** Independent check of an allocation: every register mapped, classes
+    consistent with the row pools, and no two live ranges of the same
+    class overlapping on one physical row. *)
+let verify (p : program) (a : assignment) : (unit, string) result =
+  let r = ranges p in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let by_row : (int * int, (vreg * int * int) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let unmapped = ref None in
+  Hashtbl.iter
+    (fun v (d, e) ->
+      match Hashtbl.find_opt a.slot_of v with
+      | None -> if !unmapped = None then unmapped := Some v
+      | Some s ->
+          let key = (v.vclass, s) in
+          Hashtbl.replace by_row key
+            ((v, d, e) :: Option.value ~default:[] (Hashtbl.find_opt by_row key)))
+    r;
+  match !unmapped with
+  | Some v -> err "virtual register %d.%d has no row" v.vclass v.vid
+  | None -> (
+      let conflict = ref None in
+      Hashtbl.iter
+        (fun (_cls, _s) occupants ->
+          let sorted =
+            List.sort (fun (_, d1, _) (_, d2, _) -> compare d1 d2) occupants
+          in
+          let rec scan = function
+            | (v1, _, e1) :: ((v2, d2, _) :: _ as rest) ->
+                if d2 <= e1 && !conflict = None then conflict := Some (v1, v2);
+                scan rest
+            | _ -> ()
+          in
+          scan sorted)
+        by_row;
+      match !conflict with
+      | Some (v1, v2) ->
+          err "rows overlap: %d.%d and %d.%d share a row while both live"
+            v1.vclass v1.vid v2.vclass v2.vid
+      | None -> Ok ())

@@ -1,0 +1,32 @@
+(** Linear-scan slot coalescing over a flat instruction stream (used by
+    {!Batched} to shrink its per-tile register file).
+
+    Virtual registers are SSA values tagged with an opaque class; rows are
+    only reused within a class.  Live ranges are computed over the stream
+    (def → last use) and a row freed by an expired range serves the next
+    definition of the same class.  A row becomes reusable only at the
+    instruction *after* its register's last use, so a definition never
+    aliases a same-instruction operand — sound for any instruction
+    semantics, including macro-ops that interleave reads and writes. *)
+
+type vreg = {
+  vclass : int;  (** opaque register class; rows never cross classes *)
+  vid : int;  (** SSA value id — unique within a class *)
+}
+
+type program = { uses : vreg list array; defs : vreg list array }
+(** One entry per instruction, in execution order. *)
+
+type assignment = {
+  slot_of : (vreg, int) Hashtbl.t;  (** virtual → physical row *)
+  counts : (int * int) list;  (** per class: physical rows allocated *)
+  n_virtual : int;  (** distinct virtual registers seen *)
+}
+
+val allocate : program -> assignment
+(** Linear-scan allocation; O(instrs + registers). *)
+
+val verify : program -> assignment -> (unit, string) result
+(** Independent soundness check: every register mapped, and no two
+    same-class registers share a row while both live.  [Error] carries a
+    human-readable description of the first violation. *)

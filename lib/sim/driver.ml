@@ -14,7 +14,7 @@ exception Driver_error of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Driver_error s)) fmt
 
-type engine = Fused | Compiled | Reference
+type engine = Fused | Batched | Compiled | Reference
 
 type t = {
   gen : Codegen.Kernel.t;
@@ -26,6 +26,9 @@ type t = {
   params_buf : floatarray option;
   tables : floatarray list;  (** one per lookup plan, row-major *)
   engine : engine;
+  tile : int;
+      (** resolved batched-engine tile size in vector blocks (1 for the
+          other engines); Domain-parallel chunk boundaries align to it *)
   registry : Rt.registry;
   proved : (int, unit) Hashtbl.t;
       (** access ops of the compute kernel proved in-bounds under this
@@ -46,10 +49,15 @@ let make_registry () : Rt.registry =
   r
 
 let make_runner (d_engine : engine) (registry : Rt.registry) ~proved
-    (modl : Ir.Func.modl) : Rt.v array -> Rt.v array =
+    ~(tile : int) (modl : Ir.Func.modl) : Rt.v array -> Rt.v array =
   match d_engine with
   | Fused ->
       let lookup = Fused.compile_module ~externs:registry ~proved modl in
+      lookup Codegen.Kernel.compute_name
+  | Batched ->
+      let lookup =
+        Batched.compile_module ~externs:registry ~proved ~tile modl
+      in
       lookup Codegen.Kernel.compute_name
   | Compiled ->
       let lookup = Engine.compile_module ~externs:registry ~proved modl in
@@ -107,6 +115,9 @@ let reset (d : t) : unit =
     | Fused ->
         Fused.compile_module ~externs:d.registry ~proved:d.proved
           d.gen.Codegen.Kernel.modl
+    | Batched ->
+        Batched.compile_module ~externs:d.registry ~proved:d.proved
+          ~tile:d.tile d.gen.Codegen.Kernel.modl
     | Compiled ->
         Engine.compile_module ~externs:d.registry ~proved:d.proved
           d.gen.Codegen.Kernel.modl
@@ -127,11 +138,15 @@ let reset (d : t) : unit =
     seeded with this driver's buffer sizes, and every access it
     certifies compiles without its runtime bounds check — results are
     bitwise identical either way (only failure branches are dropped);
-    [~elide:false] keeps every check, for differentials and ablation. *)
-let create ?(engine = Fused) ?(elide = true) (gen : Codegen.Kernel.t)
-    ~(ncells : int) ~(dt : float) : t =
+    [~elide:false] keeps every check, for differentials and ablation.
+    [tile] overrides the batched engine's tile size in vector blocks
+    (default: the config's [tile] knob, 0 = auto-size for L1); results
+    are bitwise identical for every tile size. *)
+let create ?(engine = Fused) ?(elide = true) ?(tile = 0)
+    (gen : Codegen.Kernel.t) ~(ncells : int) ~(dt : float) : t =
   if ncells <= 0 then fail "ncells must be positive";
   if dt <= 0.0 then fail "dt must be positive";
+  if tile < 0 then fail "tile must be non-negative";
   let cfg = gen.Codegen.Kernel.cfg in
   let w = cfg.Codegen.Config.width in
   (* pad the cell count so every vector chunk is full (openCARP pads its
@@ -164,6 +179,16 @@ let create ?(engine = Fused) ?(elide = true) (gen : Codegen.Kernel.t)
     if elide then Kernel_facts.prove_bounds gen ~ncells_pad
     else Hashtbl.create 1
   in
+  (* resolve the tile size once (planning is deterministic, so this is
+     exactly what compilation will pick); parallel chunking aligns to it *)
+  let tile =
+    match engine with
+    | Batched ->
+        let requested = if tile <> 0 then tile else cfg.Codegen.Config.tile in
+        Exec.Batched.plan_tile ~tile:requested gen.Codegen.Kernel.modl
+          ~name:Codegen.Kernel.compute_name
+    | Fused | Compiled | Reference -> 1
+  in
   let d =
     {
       gen;
@@ -175,6 +200,7 @@ let create ?(engine = Fused) ?(elide = true) (gen : Codegen.Kernel.t)
       params_buf;
       tables;
       engine;
+      tile;
       registry;
       proved;
       runners = [||];
@@ -190,10 +216,10 @@ let create ?(engine = Fused) ?(elide = true) (gen : Codegen.Kernel.t)
     kernel for [model] under [cfg] via {!Codegen.Cache}, then build the
     driver.  Repeated drivers for the same model × config skip codegen
     entirely. *)
-let create_cached ?engine ?elide ?optimize (cfg : Codegen.Config.t)
+let create_cached ?engine ?elide ?tile ?optimize (cfg : Codegen.Config.t)
     (model : M.t) ~(ncells : int) ~(dt : float) : t =
-  create ?engine ?elide (Codegen.Cache.generate ?optimize cfg model) ~ncells
-    ~dt
+  create ?engine ?elide ?tile (Codegen.Cache.generate ?optimize cfg model)
+    ~ncells ~dt
 
 (* Make sure we have per-thread kernel instances and row buffers. *)
 let ensure_threads (d : t) (nthreads : int) : unit =
@@ -201,7 +227,7 @@ let ensure_threads (d : t) (nthreads : int) : unit =
   if cur < nthreads then begin
     let extra_runners =
       Array.init (nthreads - cur) (fun _ ->
-          make_runner d.engine d.registry ~proved:d.proved
+          make_runner d.engine d.registry ~proved:d.proved ~tile:d.tile
             d.gen.Codegen.Kernel.modl)
     in
     let extra_rows =
@@ -236,16 +262,20 @@ let compute_stage ?(nthreads = 1) (d : t) : unit =
     ignore (d.runners.(0) args)
   else
     (* chunk boundaries must be aligned to the vector width, so the
-       parallel-for runs over AoSoA blocks rather than cells; each domain
+       parallel-for runs over AoSoA blocks rather than cells; for the
+       batched engine they additionally align to whole tiles, so no
+       domain processes a partial tile in its interior.  Each domain
        uses its own kernel instance and LUT scratch rows (register files
-       are not reentrant) *)
-    let nblocks = d.ncells_pad / w in
-    Runtime.Parallel.parallel_for_chunks ~nthreads ~lo:0 ~hi:nblocks
-      (fun k blo bhi ->
-        let args =
-          kernel_args d ~start:(blo * w) ~stop:(bhi * w) ~rows:d.rows.(k)
-        in
-        ignore (d.runners.(k) args))
+       and tile scratch are not reentrant). *)
+    let unit_blocks = match d.engine with Batched -> d.tile | _ -> 1 in
+    let uw = unit_blocks * w in
+    let nunits = (d.ncells_pad + uw - 1) / uw in
+    Runtime.Parallel.parallel_for_chunks ~nthreads ~lo:0 ~hi:nunits
+      (fun k ulo uhi ->
+        let start = ulo * uw and stop = min (uhi * uw) d.ncells_pad in
+        if stop > start then
+          let args = kernel_args d ~start ~stop ~rows:d.rows.(k) in
+          ignore (d.runners.(k) args))
 
 let find_ext_buf (d : t) (name : string) : floatarray =
   match List.assoc_opt name d.exts with

@@ -10,6 +10,9 @@ exception Driver_error of string
 
 type engine =
   | Fused  (** threaded-code engine with superinstructions (default) *)
+  | Batched
+      (** tile-batched engine: loop-inverted dispatch over coalesced
+          scratch rows, fused LUT macro-op (bitwise-identical results) *)
   | Compiled  (** closure engine (one instance per thread) *)
   | Reference  (** tree-walking interpreter (slow; differential tests) *)
 
@@ -23,6 +26,10 @@ type t = {
   params_buf : floatarray option;
   tables : floatarray list;
   engine : engine;
+  tile : int;
+      (** resolved batched-engine tile size in vector blocks (1 for the
+          other engines); parallel chunk boundaries align to
+          [tile × width] cells *)
   registry : Exec.Rt.registry;
   proved : (int, unit) Hashtbl.t;
       (** compute-kernel access ops proved in-bounds by
@@ -37,6 +44,7 @@ type t = {
 val create :
   ?engine:engine ->
   ?elide:bool ->
+  ?tile:int ->
   Codegen.Kernel.t ->
   ncells:int ->
   dt:float ->
@@ -46,12 +54,17 @@ val create :
     [engine] defaults to {!Fused}.  [elide] (default true) runs the
     bounds prover and drops runtime bounds checks on proved accesses —
     bitwise-identical results, fewer branches; [~elide:false] keeps
-    every check.
-    @raise Driver_error on non-positive [ncells]/[dt]. *)
+    every check.  [tile] sets the batched engine's tile size in vector
+    blocks (default: the config's [tile] knob; 0 = auto-size for L1);
+    ignored by the other engines, and results are bitwise identical for
+    every value.
+    @raise Driver_error on non-positive [ncells]/[dt] or negative
+    [tile]. *)
 
 val create_cached :
   ?engine:engine ->
   ?elide:bool ->
+  ?tile:int ->
   ?optimize:bool ->
   Codegen.Config.t ->
   Easyml.Model.t ->

@@ -134,6 +134,23 @@ let check (gen : K.t) ~(ncells : int) ~(nthreads : int) :
   in
   check_partition gen ~ncells_pad chunks
 
+(** Check the partition the {e batched} engine's compute stage uses for
+    [nthreads] domains: chunk boundaries fall on whole tiles of
+    [tile × width] cells (the last tile may be clamped to
+    [ncells_pad]).  [tile = 1] degenerates to {!check}. *)
+let check_tiles (gen : K.t) ~(ncells : int) ~(nthreads : int) ~(tile : int)
+    : (int, conflict list) result =
+  let w = gen.K.cfg.Codegen.Config.width in
+  let ncells_pad = (ncells + w - 1) / w * w in
+  let t = max 1 tile in
+  let uw = t * w in
+  let nunits = (ncells_pad + uw - 1) / uw in
+  let chunks =
+    Runtime.Parallel.chunks ~nthreads ~lo:0 ~hi:nunits
+    |> List.map (fun (ulo, uhi) -> (ulo * uw, min (uhi * uw) ncells_pad))
+  in
+  check_partition gen ~ncells_pad chunks
+
 let errors_to_string (cs : conflict list) : string =
   Fmt.str "@[<v>%a@]" (Fmt.list pp_conflict) cs
 

@@ -1,0 +1,326 @@
+(* Tile-batched engine tests: bitwise differential against the fused
+   engine on the full model catalogue across tile sizes, qcheck
+   properties for the slot coalescer (standalone and end-to-end on random
+   straight-line loops), tile-partition race checking, and the tile knob
+   in the compile-cache key. *)
+
+open Exec
+module C = Codegen.Config
+module B = Ir.Builder
+module R = Sim.Racecheck
+module RA = Regalloc
+
+let stim = Sim.Stim.make ~amplitude:40.0 ~start:0.5 ~duration:1.0 ()
+
+let configs = [ ("scalar", C.baseline); ("vector", C.mlir ~width:4) ]
+
+(* 13 cells: pads to 16 under width 4, so tile 3 does not divide the
+   4 blocks, tile 4 divides exactly, 1024 exceeds the whole range. *)
+let ncells = 13
+let tiles = [ 1; 3; 4; 1024 ]
+
+let gen_of name cfg =
+  let e = Models.Registry.find_exn name in
+  Codegen.Cache.generate_named cfg ~name:e.Models.Model_def.name (fun () ->
+      Models.Registry.model e)
+
+let check_snapshots ~ctx a b =
+  List.iter2
+    (fun (n, x) (_, y) ->
+      if not (Float.is_finite x) then Alcotest.failf "%s: %s not finite" ctx n;
+      if not (Helpers.same_float x y) then
+        Alcotest.failf "%s: mismatch on %s: %.17g vs %.17g" ctx n x y)
+    a b
+
+(* batched == fused, bitwise, on all 43 models, for every tested tile
+   size, and independently of bounds-check elision. *)
+let test_all_models_batched_bitwise () =
+  List.iter
+    (fun (e : Models.Model_def.entry) ->
+      List.iter
+        (fun (cname, cfg) ->
+          let g =
+            Codegen.Cache.generate_named cfg ~name:e.name (fun () ->
+                Models.Registry.model e)
+          in
+          let run d =
+            for _ = 1 to 50 do
+              Sim.Driver.step ~stim d
+            done;
+            List.map (fun cell -> (cell, Sim.Driver.snapshot d cell)) [ 0; 6; 12 ]
+          in
+          let reference = run (Sim.Driver.create g ~ncells ~dt:0.01) in
+          let check ~ctx snaps =
+            List.iter2
+              (fun (cell, a) (_, b) ->
+                check_snapshots ~ctx:(Printf.sprintf "%s cell %d" ctx cell) a b)
+              reference snaps
+          in
+          List.iter
+            (fun tile ->
+              check
+                ~ctx:(Printf.sprintf "%s/%s tile=%d" e.name cname tile)
+                (run
+                   (Sim.Driver.create ~engine:Sim.Driver.Batched ~tile g
+                      ~ncells ~dt:0.01)))
+            tiles;
+          check
+            ~ctx:(Printf.sprintf "%s/%s unelided" e.name cname)
+            (run
+               (Sim.Driver.create ~engine:Sim.Driver.Batched ~elide:false
+                  ~tile:4 g ~ncells ~dt:0.01)))
+        configs)
+    Models.Registry.all
+
+(* The cubic-spline LUT path exercises the Catmull-Rom macro-op arm. *)
+let test_cubic_lut_macro_op_bitwise () =
+  List.iter
+    (fun name ->
+      let cfg = { (C.mlir ~width:4) with C.lut_spline = true } in
+      let g = gen_of name cfg in
+      let run engine =
+        let d = Sim.Driver.create ~engine g ~ncells ~dt:0.01 in
+        for _ = 1 to 50 do
+          Sim.Driver.step ~stim d
+        done;
+        Sim.Driver.snapshot d 6
+      in
+      check_snapshots
+        ~ctx:(name ^ " cubic batched/fused")
+        (run Sim.Driver.Batched) (run Sim.Driver.Fused))
+    [ "MitchellSchaeffer"; "LuoRudy91"; "TenTusscher" ]
+
+(* Domain-parallel batched stepping: tile-aligned chunks are proved
+   race-free and the run is bitwise identical to sequential. *)
+let test_parallel_tiles_identical () =
+  List.iter
+    (fun name ->
+      let g = gen_of name (C.mlir ~width:4) in
+      let mk () =
+        Sim.Driver.create ~engine:Sim.Driver.Batched ~tile:2 g ~ncells:17
+          ~dt:0.01
+      in
+      (match R.check_tiles g ~ncells:17 ~nthreads:4 ~tile:2 with
+      | Ok _ -> ()
+      | Error cs -> Alcotest.failf "%s: %s" name (R.errors_to_string cs));
+      let ds = mk () and dp = mk () in
+      for _ = 1 to 50 do
+        Sim.Driver.step ~stim ds;
+        Sim.Driver.step ~nthreads:4 ~stim dp
+      done;
+      for cell = 0 to 16 do
+        check_snapshots
+          ~ctx:(Printf.sprintf "%s parallel tile cell %d" name cell)
+          (Sim.Driver.snapshot ds cell)
+          (Sim.Driver.snapshot dp cell)
+      done)
+    [ "MitchellSchaeffer"; "LuoRudy91" ]
+
+(* Tile-aligned partitions pass the race checker for every shape; a
+   partition that splits a vector block is still rejected. *)
+let test_tile_partitions_checked () =
+  let g = gen_of "LuoRudy91" (C.mlir ~width:4) in
+  List.iter
+    (fun (tile, nthreads) ->
+      match R.check_tiles g ~ncells:33 ~nthreads ~tile with
+      | Ok _ -> ()
+      | Error cs ->
+          Alcotest.failf "tile=%d nthreads=%d: %s" tile nthreads
+            (R.errors_to_string cs))
+    [ (1, 2); (2, 4); (5, 3); (64, 2) ];
+  match R.check_partition g ~ncells_pad:16 [ (0, 6); (6, 16) ] with
+  | Ok _ -> Alcotest.fail "block-splitting partition was not rejected"
+  | Error cs ->
+      Alcotest.(check bool) "conflicts reported" true (List.length cs > 0)
+
+(* -- tile knob in the compile-cache key --------------------------------- *)
+
+let test_tile_in_cache_key () =
+  let cfg = C.mlir ~width:4 in
+  let cfgt = { cfg with C.tile = 8 } in
+  Alcotest.(check bool)
+    "describe distinguishes tile sizes" true
+    (C.describe cfg <> C.describe cfgt);
+  Alcotest.(check bool)
+    "+tile8 in label" true
+    (Helpers.contains (C.describe cfgt) "+tile8");
+  let e = Models.Registry.find_exn "MitchellSchaeffer" in
+  let gen c =
+    Codegen.Cache.generate_named c ~name:e.Models.Model_def.name (fun () ->
+        Models.Registry.model e)
+  in
+  let g1 = gen cfg in
+  let g2 = gen cfgt in
+  let g1' = gen cfg in
+  Alcotest.(check bool) "same config hits the cache" true (g1 == g1');
+  Alcotest.(check bool) "different tile misses" true (g1 != g2)
+
+let test_driver_tile_resolution () =
+  let g = gen_of "MitchellSchaeffer" (C.mlir ~width:4) in
+  let d7 =
+    Sim.Driver.create ~engine:Sim.Driver.Batched ~tile:7 g ~ncells:8 ~dt:0.01
+  in
+  Alcotest.(check int) "explicit tile wins" 7 d7.Sim.Driver.tile;
+  let da = Sim.Driver.create ~engine:Sim.Driver.Batched g ~ncells:8 ~dt:0.01 in
+  Alcotest.(check bool)
+    "auto tile within the L1 sizing clamp" true
+    (da.Sim.Driver.tile >= 4 && da.Sim.Driver.tile <= 64);
+  let df = Sim.Driver.create g ~ncells:8 ~dt:0.01 in
+  Alcotest.(check int) "non-batched drivers use unit tiles" 1 df.Sim.Driver.tile
+
+(* -- slot coalescer: standalone property -------------------------------- *)
+
+(* Random straight-line programs: instruction t defines vreg t (random
+   class); uses draw from earlier definitions. *)
+let prog_gen : RA.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 1 40 in
+  let* classes = flatten_l (List.init n (fun _ -> int_range 0 2)) in
+  let cls = Array.of_list classes in
+  let vreg j = { RA.vclass = cls.(j); vid = j } in
+  let* uses =
+    flatten_l
+      (List.init n (fun t ->
+           if t = 0 then return []
+           else
+             let* k = int_range 0 3 in
+             let* js = flatten_l (List.init k (fun _ -> int_range 0 (t - 1))) in
+             return (List.map vreg js)))
+  in
+  return
+    {
+      RA.uses = Array.of_list uses;
+      defs = Array.init n (fun t -> [ vreg t ]);
+    }
+
+let print_prog (p : RA.program) : string =
+  String.concat "; "
+    (Array.to_list
+       (Array.mapi
+          (fun t us ->
+            Printf.sprintf "%d: def %d.%d use [%s]" t
+              (List.hd p.RA.defs.(t)).RA.vclass t
+              (String.concat ","
+                 (List.map
+                    (fun (v : RA.vreg) ->
+                      Printf.sprintf "%d.%d" v.RA.vclass v.RA.vid)
+                    us)))
+          p.RA.uses))
+
+let coalescer_sound =
+  Helpers.qtest ~count:500 "linear-scan allocation verifies on random programs"
+    (QCheck.make ~print:print_prog prog_gen)
+    (fun p ->
+      let a = RA.allocate p in
+      (match RA.verify p a with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "verify: %s" msg);
+      (* rows never exceed the virtual-register count, per class *)
+      List.for_all
+        (fun (cls, rows) ->
+          let virtuals =
+            Array.fold_left
+              (fun acc ds ->
+                acc
+                + List.length (List.filter (fun v -> v.RA.vclass = cls) ds))
+              0 p.RA.defs
+          in
+          rows <= max 1 virtuals)
+        a.RA.counts)
+
+(* -- slot coalescing preserves execution on random loop bodies ---------- *)
+
+(* Lower a random expression into a parallel loop body (two loads, the
+   expression, one store) and require the batched engine — imports,
+   pairing, coalesced rows and all — to match the closure engine
+   bitwise, for several tile sizes. *)
+let lower_loop ~(w : int) (e : Easyml.Ast.expr) : Ir.Func.modl =
+  let m = Ir.Func.create_module "bat_loop" in
+  let c = B.create_ctx () in
+  Ir.Func.add_func m
+    (B.func c ~name:"f"
+       ~params:[ Ir.Ty.Memref; Ir.Ty.Memref; Ir.Ty.Memref; Ir.Ty.I64 ]
+       ~results:[]
+       (fun b args ->
+         let in1 = List.nth args 0
+         and in2 = List.nth args 1
+         and out = List.nth args 2
+         and n = List.nth args 3 in
+         ignore
+           (B.for_ b ~parallel:true ~lb:(B.consti b 0) ~ub:n
+              ~step:(B.consti b w) ~inits:[]
+              (fun ~iv ~iters:_ ->
+                let x, y =
+                  if w = 1 then
+                    ( B.load b ~mem:in1 ~idx:iv,
+                      B.load b ~mem:in2 ~idx:iv )
+                  else
+                    ( B.vec_load b ~width:w ~mem:in1 ~idx:iv,
+                      B.vec_load b ~width:w ~mem:in2 ~idx:iv )
+                in
+                let env =
+                  Codegen.Lower.make_env ~b ~width:w [ ("x", x); ("y", y) ]
+                in
+                let r = Codegen.Lower.lower_num env e in
+                if w = 1 then B.store b r ~mem:out ~idx:iv
+                else B.vec_store b ~vec:r ~mem:out ~idx:iv;
+                []));
+         B.ret b []));
+  m
+
+let run_loop ~(engine : [ `Batched of int | `Closure ]) (m : Ir.Func.modl)
+    ~(n : int) (in1 : floatarray) (in2 : floatarray) : floatarray =
+  let out = Float.Array.make n 0.0 in
+  let args = [| Rt.M in1; Rt.M in2; Rt.M out; Rt.I n |] in
+  (match engine with
+  | `Batched tile -> ignore (Batched.run ~tile m "f" args)
+  | `Closure -> ignore (Engine.run m "f" args));
+  out
+
+let batched_matches_closure_on_loops ~(w : int) name =
+  Helpers.qtest ~count:120 name
+    (Helpers.arbitrary_expr [ "x"; "y" ])
+    (fun e ->
+      let m = lower_loop ~w e in
+      Ir.Verifier.verify_module_exn m;
+      (* the loop must actually tile (auto tiles are >= 4 blocks) *)
+      if Batched.plan_tile m ~name:"f" < 4 then
+        QCheck.Test.fail_reportf "loop did not tile";
+      let n = 12 in
+      let in1 = Float.Array.init n (fun i -> Float.sin (float_of_int (i + 1)))
+      and in2 = Float.Array.init n (fun i -> Float.cos (float_of_int i)) in
+      let want = run_loop ~engine:`Closure m ~n in1 in2 in
+      List.for_all
+        (fun tile ->
+          let got = run_loop ~engine:(`Batched tile) m ~n in1 in2 in
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            if
+              not
+                (Helpers.same_float (Float.Array.get got i)
+                   (Float.Array.get want i))
+            then ok := false
+          done;
+          !ok)
+        [ 0; 1; 5; 1024 ])
+
+let suite =
+  [
+    Alcotest.test_case "all 43: batched == fused bitwise across tiles" `Slow
+      test_all_models_batched_bitwise;
+    Alcotest.test_case "cubic LUT macro-op bitwise" `Quick
+      test_cubic_lut_macro_op_bitwise;
+    Alcotest.test_case "parallel tile chunks bitwise + race-free" `Quick
+      test_parallel_tiles_identical;
+    Alcotest.test_case "tile partitions accepted, block splits rejected"
+      `Quick test_tile_partitions_checked;
+    Alcotest.test_case "tile size participates in the cache key" `Quick
+      test_tile_in_cache_key;
+    Alcotest.test_case "driver tile resolution" `Quick
+      test_driver_tile_resolution;
+    coalescer_sound;
+    batched_matches_closure_on_loops ~w:1
+      "batched == closure on random scalar loops (all tiles)";
+    batched_matches_closure_on_loops ~w:4
+      "batched == closure on random vector loops (all tiles)";
+  ]

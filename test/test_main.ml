@@ -9,6 +9,7 @@ let () =
       ("ir", Test_ir.suite);
       ("engine", Test_engine.suite);
     ("fused", Test_fused.suite);
+      ("batched", Test_batched.suite);
       ("passes", Test_passes.suite);
       ("integrators", Test_integrators.suite);
       ("runtime", Test_runtime.suite);
