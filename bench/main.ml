@@ -377,6 +377,9 @@ type wall_row = {
   wr_median_ns : float;
   wr_iqr_ns : float;  (** interquartile range of the per-run samples *)
   wr_samples : int;
+  wr_phases : (string * float) list;
+      (** span name -> total µs over a short traced re-run (tracing is
+          off during the bechamel measurement itself) *)
 }
 
 (* Each engine variant knows how to build its driver; "fused-noelide"
@@ -399,22 +402,22 @@ let wall_configs =
 let wall_reps =
   [ "MitchellSchaeffer"; "LuoRudy91"; "TenTusscher"; "GrandiPanditVoigt" ]
 
-(* Linear-interpolated quantile over a sorted array. *)
-let quantile (a : float array) (p : float) : float =
-  let n = Array.length a in
-  if n = 0 then Float.nan
-  else
-    let x = p *. float_of_int (n - 1) in
-    let i = int_of_float (Float.floor x) in
-    let j = min (n - 1) (i + 1) in
-    let f = x -. float_of_int i in
-    (a.(i) *. (1.0 -. f)) +. (a.(j) *. f)
-
-(* median and interquartile range *)
-let med_iqr (xs : float list) : float * float =
-  let a = Array.of_list xs in
-  Array.sort compare a;
-  (quantile a 0.5, quantile a 0.75 -. quantile a 0.25)
+(* Short traced re-run: a handful of compute stages under the tracer,
+   so every BENCH_wall.json row carries a phase breakdown next to its
+   median.  Runs strictly after the bechamel measurement — tracing is
+   disabled while samples are taken. *)
+let phase_breakdown (d : Sim.Driver.t) : (string * float) list =
+  Obs.Tracer.reset ();
+  Obs.Tracer.enable ();
+  for _ = 1 to 3 do
+    Sim.Driver.compute_stage d
+  done;
+  Obs.Tracer.disable ();
+  let snap = Obs.Tracer.snapshot () in
+  List.map
+    (fun (s : Obs.Export.span_stat) ->
+      (s.Obs.Export.ss_name, s.Obs.Export.ss_total_us))
+    (Obs.Export.summarize snap)
 
 (* Rows with fewer bechamel samples than this carry too much variance to
    contribute to a geomean headline; they are dropped with a log line. *)
@@ -430,12 +433,19 @@ let wall_write_json (path : string) (rows : wall_row list)
   Buffer.add_string b "  \"results\": [\n";
   List.iteri
     (fun i r ->
+      let phases =
+        String.concat ", "
+          (List.map
+             (fun (n, us) -> Printf.sprintf "%S: %.1f" n us)
+             r.wr_phases)
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    {\"model\": %S, \"class\": %S, \"config\": %S, \"engine\": \
-            %S, \"median_ns\": %.1f, \"iqr_ns\": %.1f, \"samples\": %d}%s\n"
+            %S, \"median_ns\": %.1f, \"iqr_ns\": %.1f, \"samples\": %d, \
+            \"phases\": {%s}}%s\n"
            r.wr_model r.wr_cls r.wr_cfg r.wr_engine r.wr_median_ns r.wr_iqr_ns
-           r.wr_samples
+           r.wr_samples phases
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ],\n  \"summary\": {\n";
@@ -463,6 +473,9 @@ let wallclock () =
   Fmt.pr "engines x {scalar, vector} configs; per-kernel median ns per@.";
   Fmt.pr "invocation with the interquartile range recorded per row.@.";
   hr ();
+  (* keep each label's driver so the phase breakdown below re-runs the
+     exact kernel instance bechamel measured *)
+  let drivers : (string, Sim.Driver.t) Hashtbl.t = Hashtbl.create 64 in
   let tests =
     List.concat_map
       (fun name ->
@@ -473,8 +486,9 @@ let wallclock () =
             List.map
               (fun (ename, mk) ->
                 let d = mk g !wall_cells in
-                Bechamel.Test.make
-                  ~name:(Printf.sprintf "%s/%s/%s" name cname ename)
+                let label = Printf.sprintf "%s/%s/%s" name cname ename in
+                Hashtbl.replace drivers label d;
+                Bechamel.Test.make ~name:label
                   (Bechamel.Staged.stage (fun () -> Sim.Driver.compute_stage d)))
               wall_engines)
           wall_configs)
@@ -503,8 +517,10 @@ let wallclock () =
         in
         if per_run = [] then None
         else
-          let med, iqr = med_iqr per_run in
-          Some (med, iqr, List.length per_run)
+          Some
+            ( Perf.Stats.median per_run,
+              Perf.Stats.iqr per_run,
+              List.length per_run )
   in
   let rows = ref [] in
   List.iter
@@ -515,9 +531,15 @@ let wallclock () =
           let by_engine =
             List.filter_map
               (fun (ename, _) ->
-                match median_of (Printf.sprintf "%s/%s/%s" name cname ename) with
+                let label = Printf.sprintf "%s/%s/%s" name cname ename in
+                match median_of label with
                 | None -> None
                 | Some (ns, iqr, samples) ->
+                    let phases =
+                      match Hashtbl.find_opt drivers label with
+                      | Some d -> phase_breakdown d
+                      | None -> []
+                    in
                     rows :=
                       {
                         wr_model = name;
@@ -527,6 +549,7 @@ let wallclock () =
                         wr_median_ns = ns;
                         wr_iqr_ns = iqr;
                         wr_samples = samples;
+                        wr_phases = phases;
                       }
                       :: !rows;
                     Some (ename, ns))

@@ -7,6 +7,7 @@
                             on errors; --deep-verify runs the IR prover)
      emit MODEL             generated IR (scalar baseline or vector kernel)
      run MODEL              simulate and print an action-potential trace
+     profile MODEL          trace a run; Chrome-trace / summary / Prometheus
      passes MODEL           before/after op counts for each optimization pass
 
    Models are resolved against the bundled registry first; a path to an
@@ -67,6 +68,32 @@ let spline_arg =
   Arg.(value & flag & info [ "spline" ]
          ~doc:"Cubic (Catmull-Rom) lookup-table interpolation instead of \
                linear (the paper's section 7 future-work item).")
+
+let engine_arg =
+  Arg.(value
+       & opt
+           (enum
+              [ ("fused", Sim.Driver.Fused); ("batched", Sim.Driver.Batched);
+                ("closure", Sim.Driver.Compiled);
+                ("interp", Sim.Driver.Reference) ])
+           Sim.Driver.Fused
+       & info [ "engine" ] ~docv:"E"
+           ~doc:"Execution engine: $(b,fused) (threaded code with \
+                 superinstructions, default), $(b,batched) (tile-batched \
+                 loop inversion), $(b,closure), or $(b,interp) (slow \
+                 reference).  All engines are bitwise identical.")
+
+let tile_arg =
+  Arg.(value & opt int 0 & info [ "tile" ] ~docv:"N"
+         ~doc:"Batched-engine tile size in vector blocks \
+               (0 = auto-size for L1; ignored by the other engines).")
+
+let write_text (path : string) (text : string) : unit =
+  let oc = open_out path in
+  output_string oc text;
+  if text = "" || text.[String.length text - 1] <> '\n' then
+    output_char oc '\n';
+  close_out oc
 
 (* -- list ----------------------------------------------------------- *)
 
@@ -237,29 +264,20 @@ let run_cmd =
            ~doc:"Print the trace every N steps (0 = summary only).")
   in
   let threads = Arg.(value & opt int 1 & info [ "threads" ] ~docv:"T") in
-  let engine =
-    Arg.(value
-         & opt
-             (enum
-                [ ("fused", Sim.Driver.Fused); ("batched", Sim.Driver.Batched);
-                  ("closure", Sim.Driver.Compiled);
-                  ("interp", Sim.Driver.Reference) ])
-             Sim.Driver.Fused
-         & info [ "engine" ] ~docv:"E"
-             ~doc:"Execution engine: $(b,fused) (threaded code with \
-                   superinstructions, default), $(b,batched) (tile-batched \
-                   loop inversion), $(b,closure), or $(b,interp) (slow \
-                   reference).  All engines are bitwise identical.")
-  in
-  let tile =
-    Arg.(value & opt int 0 & info [ "tile" ] ~docv:"N"
-           ~doc:"Batched-engine tile size in vector blocks \
-                 (0 = auto-size for L1; ignored by the other engines).")
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a Chrome trace of the whole run (compile + every \
+                 step) and write it to $(docv); load it in Perfetto or \
+                 chrome://tracing.  Tracing never changes results.")
   in
   let run name width layout no_lut autovec spline cells steps dt every threads
-      engine tile =
+      engine tile trace =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
+    if trace <> None then begin
+      Obs.Tracer.reset ();
+      Obs.Tracer.enable ()
+    end;
     let g = Codegen.Cache.generate cfg m in
     let d = Sim.Driver.create ~engine ~tile g ~ncells:cells ~dt in
     let stim = Sim.Stim.default in
@@ -275,6 +293,14 @@ let run_cmd =
           (Sim.Driver.ext d "Iion" 0)
     done;
     Fmt.pr "# compute stage: %.3f s wall clock@." !compute_time;
+    (match trace with
+    | None -> ()
+    | Some path ->
+        Obs.Tracer.disable ();
+        let snap = Obs.Tracer.snapshot () in
+        write_text path (Obs.Export.chrome snap);
+        Fmt.pr "# trace: %d events -> %s@."
+          (List.length snap.Obs.Tracer.events) path);
     let r = Machine.Perfmodel.run_kernel g ~ncells:cells ~steps ~nthreads:threads in
     Fmt.pr "# machine model prediction on the paper's platform: %.3f s@."
       r.Machine.Perfmodel.seconds
@@ -282,7 +308,82 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
           $ autovec_arg $ spline_arg $ cells $ steps $ dt $ every $ threads
-          $ engine $ tile)
+          $ engine_arg $ tile_arg $ trace)
+
+(* -- profile -------------------------------------------------------- *)
+
+let profile_cmd =
+  let doc =
+    "Profile a model run: trace compile and simulation phases (pass \
+     pipeline, kernel cache, per-step compute/update stages, per-Domain \
+     chunks) and export the result."
+  in
+  let cells =
+    Arg.(value & opt int 256 & info [ "cells" ] ~docv:"N" ~doc:"Number of cells.")
+  in
+  let steps =
+    Arg.(value & opt int 1000 & info [ "steps" ] ~docv:"N"
+           ~doc:"Number of time steps to profile.")
+  in
+  let dt = Arg.(value & opt float 0.01 & info [ "dt" ] ~docv:"MS") in
+  let threads = Arg.(value & opt int 1 & info [ "threads" ] ~docv:"T") in
+  let format =
+    Arg.(value
+         & opt
+             (enum
+                [ ("summary", `Summary); ("chrome", `Chrome);
+                  ("prometheus", `Prometheus) ])
+             `Summary
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,summary) (per-span table, default), \
+                   $(b,chrome) (trace-event JSON for Perfetto / \
+                   chrome://tracing), or $(b,prometheus) (metrics text \
+                   exposition).")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the export to a file instead of stdout.")
+  in
+  let run name width layout no_lut autovec spline engine tile cells steps dt
+      threads format output =
+    let m = load_model name in
+    let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
+    (* Clear the kernel cache so the compile half (passes, codegen,
+       verification) shows up in the profile rather than being served
+       from a warm cache. *)
+    Codegen.Cache.clear ();
+    Obs.Tracer.reset ();
+    Obs.Tracer.enable ();
+    let g = Codegen.Cache.generate cfg m in
+    let d = Sim.Driver.create ~engine ~tile g ~ncells:cells ~dt in
+    let stim = Sim.Stim.default in
+    for _ = 1 to steps do
+      Sim.Driver.step ~nthreads:threads ~stim d
+    done;
+    Obs.Tracer.disable ();
+    let snap = Obs.Tracer.snapshot () in
+    let text =
+      match format with
+      | `Summary -> Obs.Export.summary snap
+      | `Chrome -> Obs.Export.chrome snap
+      | `Prometheus -> Obs.Export.prometheus snap
+    in
+    (match output with
+    | None -> print_string text
+    | Some path ->
+        write_text path text;
+        Fmt.pr "wrote %s (%d events, %d counters%s)@." path
+          (List.length snap.Obs.Tracer.events)
+          (List.length snap.Obs.Tracer.counters)
+          (if snap.Obs.Tracer.dropped > 0 then
+             Printf.sprintf ", %d dropped" snap.Obs.Tracer.dropped
+           else ""));
+    ignore g
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
+          $ autovec_arg $ spline_arg $ engine_arg $ tile_arg $ cells $ steps
+          $ dt $ threads $ format $ output)
 
 (* -- passes --------------------------------------------------------- *)
 
@@ -411,7 +512,7 @@ let main =
   Cmd.group (Cmd.info "limpetmlir" ~doc)
     [
       list_cmd; inspect_cmd; check_cmd; emit_cmd; parse_cmd; run_cmd;
-      passes_cmd; cost_cmd; import_mmt_cmd;
+      profile_cmd; passes_cmd; cost_cmd; import_mmt_cmd;
     ]
 
 let () = exit (Cmd.eval main)

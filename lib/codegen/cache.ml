@@ -24,6 +24,7 @@ module M = Easyml.Model
 type stats = {
   hits : int;
   misses : int;
+  evictions : int;
   compile_ms : float;  (** total milliseconds spent on cache misses *)
 }
 
@@ -36,7 +37,44 @@ let lock = Mutex.create ()
 let table : (string, Kernel.t) Hashtbl.t = Hashtbl.create 64
 let hits = ref 0
 let misses = ref 0
+let evictions = ref 0
 let compile_ms = ref 0.0
+
+(* Optional LRU bound.  [last_use] stamps every lookup with a logical
+   tick; when a capacity is set, inserts over it evict the
+   least-recently-used entry (regeneration on a later miss is always
+   safe — kernels are deterministic for a given key). *)
+let cap : int option ref = ref None
+let tick = ref 0
+let last_use : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let touch (k : string) : unit =
+  incr tick;
+  Hashtbl.replace last_use k !tick
+
+(* Call with [lock] held. *)
+let evict_to_capacity () : unit =
+  match !cap with
+  | None -> ()
+  | Some c ->
+      while Hashtbl.length table > max 1 c do
+        let victim =
+          Hashtbl.fold
+            (fun k _ acc ->
+              let t = Option.value ~default:0 (Hashtbl.find_opt last_use k) in
+              match acc with
+              | Some (_, t') when t' <= t -> acc
+              | _ -> Some (k, t))
+            table None
+        in
+        match victim with
+        | None -> ()
+        | Some (k, _) ->
+            Hashtbl.remove table k;
+            Hashtbl.remove last_use k;
+            incr evictions;
+            Obs.Tracer.count "cache.evict" 1.0
+      done
 
 let locked f =
   Mutex.lock lock;
@@ -53,15 +91,26 @@ let key ~(optimize : bool) (cfg : Config.t) (name : string) : string =
 let generate_named ?(optimize = true) (cfg : Config.t) ~(name : string)
     (parse : unit -> M.t) : Kernel.t =
   let k = key ~optimize cfg name in
-  match locked (fun () -> Hashtbl.find_opt table k) with
+  match
+    locked (fun () ->
+        let r = Hashtbl.find_opt table k in
+        if r <> None then touch k;
+        r)
+  with
   | Some g ->
       locked (fun () -> incr hits);
+      Obs.Tracer.count "cache.hit" 1.0;
       g
   | None ->
+      Obs.Tracer.count "cache.miss" 1.0;
       let t0 = Unix.gettimeofday () in
-      let model = parse () in
-      let g = Kernel.generate ~optimize cfg model in
-      Ir.Verifier.verify_module_exn g.Kernel.modl;
+      let g =
+        Obs.Tracer.with_span ("cache.compile:" ^ name) (fun () ->
+            let model = parse () in
+            let g = Kernel.generate ~optimize cfg model in
+            Ir.Verifier.verify_module_exn g.Kernel.modl;
+            g)
+      in
       let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
       locked (fun () ->
           (* another domain may have raced us to the same key; keep the
@@ -69,11 +118,14 @@ let generate_named ?(optimize = true) (cfg : Config.t) ~(name : string)
           match Hashtbl.find_opt table k with
           | Some g' ->
               incr hits;
+              touch k;
               g'
           | None ->
               incr misses;
               compile_ms := !compile_ms +. ms;
               Hashtbl.replace table k g;
+              touch k;
+              evict_to_capacity ();
               g)
 
 (** Like {!generate_named} for an already-analyzed model (keyed on
@@ -81,25 +133,45 @@ let generate_named ?(optimize = true) (cfg : Config.t) ~(name : string)
 let generate ?optimize (cfg : Config.t) (model : M.t) : Kernel.t =
   generate_named ?optimize cfg ~name:model.M.name (fun () -> model)
 
+(** Bound the number of resident kernels.  [Some n] evicts down to [n]
+    entries LRU-first (and keeps future inserts within [n]); [None]
+    removes the bound.  Safe at any point: evicted kernels regenerate on
+    their next miss. *)
+let set_capacity (c : int option) : unit =
+  locked (fun () ->
+      (match c with
+      | Some n when n < 1 -> invalid_arg "Cache.set_capacity: capacity < 1"
+      | _ -> ());
+      cap := c;
+      evict_to_capacity ())
+
 let stats () : stats =
   locked (fun () ->
-      { hits = !hits; misses = !misses; compile_ms = !compile_ms })
+      {
+        hits = !hits;
+        misses = !misses;
+        evictions = !evictions;
+        compile_ms = !compile_ms;
+      })
 
 let reset_stats () : unit =
   locked (fun () ->
       hits := 0;
       misses := 0;
+      evictions := 0;
       compile_ms := 0.0)
 
 (** Drop every entry (tests use this to force fresh compiles). *)
 let clear () : unit =
   locked (fun () ->
       Hashtbl.reset table;
+      Hashtbl.reset last_use;
       hits := 0;
       misses := 0;
+      evictions := 0;
       compile_ms := 0.0)
 
 let describe_stats () : string =
   let s = stats () in
-  Printf.sprintf "cache: %d hits / %d misses / %.1f ms compiling" s.hits
-    s.misses s.compile_ms
+  Printf.sprintf "cache: %d hits / %d misses / %d evictions / %.1f ms compiling"
+    s.hits s.misses s.evictions s.compile_ms

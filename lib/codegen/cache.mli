@@ -8,6 +8,7 @@
 type stats = {
   hits : int;
   misses : int;
+  evictions : int;
   compile_ms : float;  (** total milliseconds spent on cache misses *)
 }
 
@@ -24,6 +25,13 @@ val generate_named :
 val generate : ?optimize:bool -> Config.t -> Easyml.Model.t -> Kernel.t
 (** {!generate_named} for an already-analyzed model, keyed on its name. *)
 
+val set_capacity : int option -> unit
+(** Bound the number of resident kernels.  [Some n] evicts down to [n]
+    entries least-recently-used-first and keeps future inserts within
+    [n]; [None] (the default) removes the bound.  Evicted kernels simply
+    regenerate on their next miss.
+    @raise Invalid_argument on [Some n] with [n < 1]. *)
+
 val stats : unit -> stats
 val reset_stats : unit -> unit
 
@@ -31,4 +39,5 @@ val clear : unit -> unit
 (** Drop all entries and zero the statistics. *)
 
 val describe_stats : unit -> string
-(** One-line [cache: H hits / M misses / C ms compiling] summary. *)
+(** One-line [cache: H hits / M misses / E evictions / C ms compiling]
+    summary. *)

@@ -625,6 +625,7 @@ let exec_tile (code : tinstr array) (st : tstate) (e : E.env) : unit -> unit =
           done
       | KLut { k_buf; k_mm; k_x; k_w = w; k_lo = lo; k_step = step;
                k_rows = rows; k_cols = cols; k_cubic } ->
+          Obs.Tracer.count "batched.lut_fire" 1.0;
           let tbl = Array.unsafe_get m k_mm
           and xs = Array.unsafe_get fr k_x
           and dst = Array.unsafe_get lb k_buf in
@@ -1423,12 +1424,14 @@ let compile_tiled (c : E.fctx) ~(tile : int) ~(uc : (int, int) Hashtbl.t)
               st.n <- nb;
               st.base <- lo + (!donec * stp);
               run ();
+              Obs.Tracer.count "batched.tiles" 1.0;
               donec := !donec + nb
             done
           end)
 
 let compile_func ?(tile = 0) ?proved ~(get : string -> E.compiled)
     (fn : Func.func) : E.compiled =
+  Obs.Tracer.with_span ("batched.compile:" ^ fn.Func.f_name) @@ fun () ->
   let c = E.make_fctx ?proved fn ~get in
   let uc = use_counts fn in
   let tiled = ref false in
@@ -1440,7 +1443,10 @@ let compile_func ?(tile = 0) ?proved ~(get : string -> E.compiled)
           | Op.Yield -> on_yield o
           | Op.For { parallel = true } -> (
               let fallback = lazy (E.compile_op c ~compile_region:region o) in
-              match compile_tiled c ~tile ~uc fn ~fallback o with
+              match
+                Obs.Tracer.with_span "batched.plan" (fun () ->
+                    compile_tiled c ~tile ~uc fn ~fallback o)
+              with
               | Some th ->
                   tiled := true;
                   th

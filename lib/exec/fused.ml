@@ -961,6 +961,7 @@ let compile_call (c : E.fctx) (o : Op.op) (name : string) : unit -> unit =
 
 let compile_func ?proved ~(get : string -> E.compiled) (fn : Func.func) :
     E.compiled =
+  Obs.Tracer.with_span ("fused.compile:" ^ fn.Func.f_name) @@ fun () ->
   let c = E.make_fctx ?proved fn ~get in
   let uc = use_counts fn in
   (* value id -> defining op, for the load/store alias oracle *)

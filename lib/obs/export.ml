@@ -1,0 +1,280 @@
+(** Trace exporters: Chrome trace-event JSON (Perfetto /
+    chrome://tracing), a human-readable summary table, and
+    Prometheus-style text.  All three render a {!Tracer.snapshot}, so
+    the recording side never knows which format (if any) will consume
+    it. *)
+
+(* -- per-span aggregation --------------------------------------------- *)
+
+type span_stat = {
+  ss_name : string;
+  ss_count : int;
+  ss_total_us : float;
+  ss_min_us : float;
+  ss_max_us : float;
+}
+
+(** Aggregate matched Begin/End pairs into per-name duration stats.
+    Snapshots are balanced per domain, so a simple per-domain stack walk
+    pairs every End with its innermost open Begin. *)
+let summarize (s : Tracer.snapshot) : span_stat list =
+  let stats : (string, span_stat ref) Hashtbl.t = Hashtbl.create 32 in
+  let stacks : (int, (string * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks dom s;
+        s
+  in
+  List.iter
+    (fun (e : Tracer.event) ->
+      let st = stack e.Tracer.ev_dom in
+      match e.Tracer.ev_kind with
+      | Tracer.Begin -> st := (e.Tracer.ev_name, e.Tracer.ev_ts) :: !st
+      | Tracer.End -> (
+          match !st with
+          | [] -> ()
+          | (name, t_begin) :: rest ->
+              st := rest;
+              let dur = e.Tracer.ev_ts -. t_begin in
+              (match Hashtbl.find_opt stats name with
+              | Some r ->
+                  r :=
+                    {
+                      !r with
+                      ss_count = !r.ss_count + 1;
+                      ss_total_us = !r.ss_total_us +. dur;
+                      ss_min_us = Float.min !r.ss_min_us dur;
+                      ss_max_us = Float.max !r.ss_max_us dur;
+                    }
+              | None ->
+                  Hashtbl.add stats name
+                    (ref
+                       {
+                         ss_name = name;
+                         ss_count = 1;
+                         ss_total_us = dur;
+                         ss_min_us = dur;
+                         ss_max_us = dur;
+                       }))))
+    s.Tracer.events;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) stats []
+  |> List.sort (fun a b -> compare b.ss_total_us a.ss_total_us)
+
+(* -- Chrome trace-event JSON ------------------------------------------ *)
+
+(** Chrome trace-event format (the JSON Array Format wrapped in an
+    object, as Perfetto and chrome://tracing load it): one ["B"]/["E"]
+    pair per span with [tid] = Domain id (per-Domain tracks), one ["C"]
+    event per counter, and ["M"] metadata events naming the tracks. *)
+let chrome (s : Tracer.snapshot) : string =
+  let open Json in
+  let doms =
+    List.sort_uniq compare
+      (List.map (fun (e : Tracer.event) -> e.Tracer.ev_dom) s.Tracer.events)
+  in
+  let meta =
+    Obj
+      [
+        ("name", Str "process_name"); ("ph", Str "M"); ("pid", Num 1.0);
+        ("tid", Num 0.0);
+        ("args", Obj [ ("name", Str "limpetmlir") ]);
+      ]
+    :: List.map
+         (fun d ->
+           Obj
+             [
+               ("name", Str "thread_name"); ("ph", Str "M"); ("pid", Num 1.0);
+               ("tid", Num (float_of_int d));
+               ("args", Obj [ ("name", Str (Printf.sprintf "domain-%d" d)) ]);
+             ])
+         doms
+  in
+  let spans =
+    List.map
+      (fun (e : Tracer.event) ->
+        Obj
+          [
+            ("name", Str e.Tracer.ev_name);
+            ( "ph",
+              Str (match e.Tracer.ev_kind with Tracer.Begin -> "B" | Tracer.End -> "E") );
+            ("ts", Num e.Tracer.ev_ts);
+            ("pid", Num 1.0);
+            ("tid", Num (float_of_int e.Tracer.ev_dom));
+          ])
+      s.Tracer.events
+  in
+  let last_ts =
+    List.fold_left
+      (fun acc (e : Tracer.event) -> Float.max acc e.Tracer.ev_ts)
+      0.0 s.Tracer.events
+  in
+  let counters =
+    List.map
+      (fun (name, v) ->
+        Obj
+          [
+            ("name", Str name); ("ph", Str "C"); ("ts", Num last_ts);
+            ("pid", Num 1.0); ("tid", Num 0.0);
+            ("args", Obj [ ("value", Num v) ]);
+          ])
+      (s.Tracer.counters
+      @ List.map (fun (n, v) -> ("gauge:" ^ n, v)) s.Tracer.gauges)
+  in
+  to_string
+    (Obj
+       [
+         ("traceEvents", Arr (meta @ spans @ counters));
+         ("displayTimeUnit", Str "ms");
+         ("otherData", Obj [ ("dropped", Num (float_of_int s.Tracer.dropped)) ]);
+       ])
+
+(** Validate a Chrome trace produced by {!chrome} (also used by the
+    round-trip tests and the CI smoke): parses as JSON, every span event
+    carries name/ph/ts/pid/tid, B/E nest properly per tid, and per-tid
+    timestamps are monotonic.  Returns the number of B/E events. *)
+let validate_chrome (text : string) : (int, string) result =
+  let open Json in
+  let ( let* ) r f = Result.bind r f in
+  let* v = parse text in
+  let* evs =
+    match member "traceEvents" v |> Option.map to_list with
+    | Some (Some evs) -> Ok evs
+    | _ -> Error "no traceEvents array"
+  in
+  let depth : (float, int) Hashtbl.t = Hashtbl.create 8 in
+  let last : (float, float) Hashtbl.t = Hashtbl.create 8 in
+  let nspan = ref 0 in
+  let rec go = function
+    | [] ->
+        let unbalanced = Hashtbl.fold (fun _ d acc -> acc + d) depth 0 in
+        if unbalanced <> 0 then
+          Error (Printf.sprintf "%d unbalanced span(s)" unbalanced)
+        else Ok !nspan
+    | e :: rest -> (
+        match member "ph" e |> Option.map to_str with
+        | Some (Some ("M" | "C")) -> go rest
+        | Some (Some (("B" | "E") as ph)) -> (
+            match
+              ( member "name" e |> Option.map to_str,
+                member "ts" e |> Option.map to_float,
+                member "tid" e |> Option.map to_float )
+            with
+            | Some (Some _), Some (Some ts), Some (Some tid) ->
+                incr nspan;
+                let prev =
+                  Option.value ~default:Float.neg_infinity
+                    (Hashtbl.find_opt last tid)
+                in
+                if ts < prev then
+                  Error (Printf.sprintf "non-monotonic ts on tid %g" tid)
+                else begin
+                  Hashtbl.replace last tid ts;
+                  let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+                  let d' = if ph = "B" then d + 1 else d - 1 in
+                  if d' < 0 then
+                    Error (Printf.sprintf "E without B on tid %g" tid)
+                  else begin
+                    Hashtbl.replace depth tid d';
+                    go rest
+                  end
+                end
+            | _ -> Error "span event missing name/ts/tid")
+        | _ -> Error "event missing ph")
+  in
+  go evs
+
+(* -- human-readable summary ------------------------------------------- *)
+
+let summary (s : Tracer.snapshot) : string =
+  let b = Buffer.create 1024 in
+  let spans = summarize s in
+  if spans <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "%-32s %8s %12s %12s %12s %12s\n" "span" "count"
+         "total ms" "mean us" "min us" "max us");
+    List.iter
+      (fun ss ->
+        Buffer.add_string b
+          (Printf.sprintf "%-32s %8d %12.3f %12.1f %12.1f %12.1f\n" ss.ss_name
+             ss.ss_count (ss.ss_total_us /. 1e3)
+             (ss.ss_total_us /. float_of_int ss.ss_count)
+             ss.ss_min_us ss.ss_max_us))
+      spans
+  end;
+  if s.Tracer.counters <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "\n%-32s %16s\n" "counter" "value");
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string b (Printf.sprintf "%-32s %16.0f\n" name v))
+      s.Tracer.counters
+  end;
+  if s.Tracer.gauges <> [] then begin
+    Buffer.add_string b (Printf.sprintf "\n%-32s %16s\n" "gauge" "value");
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string b (Printf.sprintf "%-32s %16g\n" name v))
+      s.Tracer.gauges
+  end;
+  if s.Tracer.dropped > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "\n(%d event(s) dropped to ring overwrite)\n"
+         s.Tracer.dropped);
+  Buffer.contents b
+
+(* -- Prometheus text exposition --------------------------------------- *)
+
+let prom_label (s : string) : string =
+  (* label values: escape backslash, quote and newline per the text
+     exposition format *)
+  let b = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prometheus (s : Tracer.snapshot) : string =
+  let b = Buffer.create 1024 in
+  let spans = summarize s in
+  Buffer.add_string b
+    "# HELP limpetmlir_span_us_total Total time in span, microseconds.\n";
+  Buffer.add_string b "# TYPE limpetmlir_span_us_total counter\n";
+  List.iter
+    (fun ss ->
+      Buffer.add_string b
+        (Printf.sprintf "limpetmlir_span_us_total{span=\"%s\"} %.3f\n"
+           (prom_label ss.ss_name) ss.ss_total_us))
+    spans;
+  Buffer.add_string b "# HELP limpetmlir_span_count Completed span count.\n";
+  Buffer.add_string b "# TYPE limpetmlir_span_count counter\n";
+  List.iter
+    (fun ss ->
+      Buffer.add_string b
+        (Printf.sprintf "limpetmlir_span_count{span=\"%s\"} %d\n"
+           (prom_label ss.ss_name) ss.ss_count))
+    spans;
+  Buffer.add_string b "# HELP limpetmlir_counter Event counters.\n";
+  Buffer.add_string b "# TYPE limpetmlir_counter counter\n";
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "limpetmlir_counter{name=\"%s\"} %g\n"
+           (prom_label name) v))
+    s.Tracer.counters;
+  Buffer.add_string b "# HELP limpetmlir_gauge Point-in-time gauges.\n";
+  Buffer.add_string b "# TYPE limpetmlir_gauge gauge\n";
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "limpetmlir_gauge{name=\"%s\"} %g\n" (prom_label name)
+           v))
+    s.Tracer.gauges;
+  Buffer.contents b

@@ -1,0 +1,33 @@
+(** Trace exporters over a {!Tracer.snapshot}: Chrome trace-event JSON
+    (Perfetto / chrome://tracing), a human-readable summary table, and
+    Prometheus-style text. *)
+
+type span_stat = {
+  ss_name : string;
+  ss_count : int;
+  ss_total_us : float;
+  ss_min_us : float;
+  ss_max_us : float;
+}
+
+val summarize : Tracer.snapshot -> span_stat list
+(** Per-name duration statistics over matched Begin/End pairs, sorted by
+    total time descending. *)
+
+val chrome : Tracer.snapshot -> string
+(** Chrome trace-event JSON: ["B"]/["E"] span pairs with [tid] = Domain
+    id (one track per Domain), ["C"] counter events, ["M"] metadata
+    naming the tracks. *)
+
+val validate_chrome : string -> (int, string) result
+(** Check a Chrome trace: valid JSON, span events complete, B/E balanced
+    per tid, per-tid timestamps monotonic.  [Ok n] returns the number of
+    span events. *)
+
+val summary : Tracer.snapshot -> string
+(** Human-readable table: spans (count/total/mean/min/max), counters,
+    gauges, dropped-event note. *)
+
+val prometheus : Tracer.snapshot -> string
+(** Prometheus text exposition: span totals and counts, counters,
+    gauges. *)

@@ -1,0 +1,274 @@
+(** Minimal JSON: a value type, a recursive-descent parser and a
+    printer.  Just enough for the trace exporters and their round-trip
+    tests — no dependency on an external JSON package. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* -- printing --------------------------------------------------------- *)
+
+let escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let number_to_string (x : float) : string =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let rec write (b : Buffer.t) (v : t) : unit =
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Num x ->
+      if Float.is_nan x || Float.is_integer (x /. 0.0) then
+        (* NaN/inf are not JSON; record null like the bench harness does *)
+        Buffer.add_string b "null"
+      else Buffer.add_string b (number_to_string x)
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | Arr xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          write b x)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string (v : t) : string =
+  let b = Buffer.create 1024 in
+  write b v;
+  Buffer.contents b
+
+(* -- parsing ---------------------------------------------------------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let perr (c : cursor) fmt =
+  Fmt.kstr (fun m -> raise (Parse_error (Printf.sprintf "at %d: %s" c.pos m))) fmt
+
+let peek (c : cursor) : char option =
+  if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance (c : cursor) : unit = c.pos <- c.pos + 1
+
+let rec skip_ws (c : cursor) : unit =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect (c : cursor) (ch : char) : unit =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> perr c "expected %c, got %c" ch x
+  | None -> perr c "expected %c, got end of input" ch
+
+let parse_string_body (c : cursor) : string =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> perr c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> perr c "unterminated escape"
+        | Some e ->
+            advance c;
+            (match e with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'u' ->
+                if c.pos + 4 > String.length c.s then
+                  perr c "truncated \\u escape";
+                let hex = String.sub c.s c.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> perr c "bad \\u escape %s" hex
+                in
+                c.pos <- c.pos + 4;
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else
+                  (* non-ASCII escapes: UTF-8 encode (2/3 bytes suffice
+                     for the BMP; surrogates are kept verbatim) *)
+                  if code < 0x800 then begin
+                    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                  end
+                  else begin
+                    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                    Buffer.add_char b
+                      (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                  end
+            | e -> perr c "bad escape \\%c" e);
+            go ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char b ch;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number (c : cursor) : float =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let sub = String.sub c.s start (c.pos - start) in
+  match float_of_string_opt sub with
+  | Some x -> x
+  | None -> perr c "bad number %S" sub
+
+let literal (c : cursor) (word : string) (v : t) : t =
+  if
+    c.pos + String.length word <= String.length c.s
+    && String.sub c.s c.pos (String.length word) = word
+  then begin
+    c.pos <- c.pos + String.length word;
+    v
+  end
+  else perr c "bad literal (expected %s)" word
+
+let rec parse_value (c : cursor) : t =
+  skip_ws c;
+  match peek c with
+  | None -> perr c "unexpected end of input"
+  | Some '"' ->
+      advance c;
+      Str (parse_string_body c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let kvs = ref [] in
+        let rec members () =
+          skip_ws c;
+          expect c '"';
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          kvs := (k, v) :: !kvs;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ()
+          | Some '}' -> advance c
+          | _ -> perr c "expected , or } in object"
+        in
+        members ();
+        Obj (List.rev !kvs)
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        Arr []
+      end
+      else begin
+        let xs = ref [] in
+        let rec elements () =
+          let v = parse_value c in
+          xs := v :: !xs;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elements ()
+          | Some ']' -> advance c
+          | _ -> perr c "expected , or ] in array"
+        in
+        elements ();
+        Arr (List.rev !xs)
+      end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> Num (parse_number c)
+
+let parse (s : string) : (t, string) result =
+  let c = { s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos < String.length s then
+        Error (Printf.sprintf "trailing garbage at %d" c.pos)
+      else Ok v
+  | exception Parse_error m -> Error m
+
+let parse_exn (s : string) : t =
+  match parse s with Ok v -> v | Error m -> raise (Parse_error m)
+
+(* -- accessors -------------------------------------------------------- *)
+
+let member (k : string) (v : t) : t option =
+  match v with Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let to_list (v : t) : t list option =
+  match v with Arr xs -> Some xs | _ -> None
+
+let to_float (v : t) : float option =
+  match v with Num x -> Some x | _ -> None
+
+let to_str (v : t) : string option =
+  match v with Str s -> Some s | _ -> None

@@ -1,0 +1,31 @@
+(** Minimal JSON value type, parser and printer — enough for the trace
+    exporters and their round-trip tests, no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact JSON.  NaN and infinities print as [null] (they are not
+    representable in JSON). *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val parse : string -> (t, string) result
+
+val parse_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** Object field lookup ([None] on non-objects and missing keys). *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

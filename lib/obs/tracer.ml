@@ -1,0 +1,245 @@
+(** Low-overhead runtime tracing: spans, counters and gauges.
+
+    The NMODL/Caliper-style telemetry core of the observability
+    subsystem.  Design constraints, in order:
+
+    - {b near-zero cost when disabled}: every recording entry point is a
+      single atomic flag load and a conditional branch — no allocation,
+      no clock read, no table lookup on the disabled path, so
+      instrumentation can live inside the simulation hot loop;
+    - {b contention-free when enabled}: each Domain records into its own
+      ring buffer (reached through domain-local storage), so the
+      parallel compute stage never takes a lock or bounces a cache line
+      to trace; buffers merge only at {!snapshot} time;
+    - {b bounded memory}: rings overwrite their oldest events once full
+      and count what they dropped; counters and gauges are per-Domain
+      accumulator cells (one float bump per hit, never an event), so
+      hot counters cannot flood the ring.
+
+    Timestamps are microseconds relative to the {!enable} call and are
+    clamped per ring to be non-decreasing, so every per-Domain track is
+    monotonic by construction.  Recording never touches simulation
+    state: traced runs are bitwise identical to untraced runs (a
+    differential test over the whole model catalogue enforces this). *)
+
+type kind = Begin | End
+
+type event = {
+  ev_ts : float;  (** microseconds since {!enable} *)
+  ev_dom : int;  (** Domain id — the trace track ("tid") *)
+  ev_kind : kind;
+  ev_name : string;
+}
+
+type ring = {
+  r_dom : int;
+  r_cap : int;
+  r_ev : event option array;
+  mutable r_n : int;  (** total events ever written (ring index = n mod cap) *)
+  mutable r_last : float;  (** last raw timestamp issued on this ring *)
+  r_counters : (string, float ref) Hashtbl.t;
+  r_gauges : (string, float * float) Hashtbl.t;  (** name -> (ts, value) *)
+}
+
+(* -- global state ----------------------------------------------------- *)
+
+let on = Atomic.make false
+let default_capacity = 1 lsl 16
+let capacity = ref default_capacity
+
+(* Registration of rings is rare (once per domain); a mutex there is
+   fine.  Recording touches only the caller's own ring. *)
+let reg_lock = Mutex.create ()
+let rings : ring list ref = ref []
+
+(* Epoch of the current tracing session; timestamps are relative to it. *)
+let t0 = Atomic.make 0.0
+
+let now_abs_us () = Unix.gettimeofday () *. 1e6
+
+let make_ring () : ring =
+  let r =
+    {
+      r_dom = (Domain.self () :> int);
+      r_cap = !capacity;
+      r_ev = Array.make !capacity None;
+      r_n = 0;
+      r_last = 0.0;
+      r_counters = Hashtbl.create 16;
+      r_gauges = Hashtbl.create 8;
+    }
+  in
+  Mutex.lock reg_lock;
+  rings := r :: !rings;
+  Mutex.unlock reg_lock;
+  r
+
+let ring_key : ring Domain.DLS.key = Domain.DLS.new_key make_ring
+let my_ring () : ring = Domain.DLS.get ring_key
+
+let clear_ring (r : ring) : unit =
+  Array.fill r.r_ev 0 r.r_cap None;
+  r.r_n <- 0;
+  r.r_last <- 0.0;
+  Hashtbl.reset r.r_counters;
+  Hashtbl.reset r.r_gauges
+
+(* -- control ---------------------------------------------------------- *)
+
+let enabled () = Atomic.get on
+
+(* Rings persist across sessions (worker domains cache theirs in
+   domain-local storage), so reset clears contents rather than dropping
+   rings.  Only call while no other domain is recording. *)
+let reset () =
+  Mutex.lock reg_lock;
+  let rs = !rings in
+  Mutex.unlock reg_lock;
+  List.iter clear_ring rs
+
+let enable () =
+  reset ();
+  Atomic.set t0 (now_abs_us ());
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let set_capacity (n : int) : unit =
+  if n < 16 then invalid_arg "Tracer.set_capacity: too small";
+  if !rings <> [] then
+    invalid_arg "Tracer.set_capacity: rings already exist (set it first)";
+  capacity := n
+
+(* -- recording -------------------------------------------------------- *)
+
+(* Per-ring monotonic clock: gettimeofday can step backwards; clamping to
+   the last issued value keeps every per-Domain track non-decreasing. *)
+let ring_now (r : ring) : float =
+  let t = now_abs_us () -. Atomic.get t0 in
+  let t = if t < r.r_last then r.r_last else t in
+  r.r_last <- t;
+  t
+
+let emit (k : kind) (name : string) : unit =
+  let r = my_ring () in
+  let ts = ring_now r in
+  r.r_ev.(r.r_n mod r.r_cap) <-
+    Some { ev_ts = ts; ev_dom = r.r_dom; ev_kind = k; ev_name = name };
+  r.r_n <- r.r_n + 1
+
+let span_begin (name : string) : unit =
+  if Atomic.get on then emit Begin name
+
+let span_end (name : string) : unit =
+  if Atomic.get on then emit End name
+
+let with_span (name : string) (f : unit -> 'a) : 'a =
+  if not (Atomic.get on) then f ()
+  else begin
+    emit Begin name;
+    Fun.protect ~finally:(fun () -> if Atomic.get on then emit End name) f
+  end
+
+let count (name : string) (v : float) : unit =
+  if Atomic.get on then begin
+    let r = my_ring () in
+    match Hashtbl.find_opt r.r_counters name with
+    | Some cell -> cell := !cell +. v
+    | None -> Hashtbl.add r.r_counters name (ref v)
+  end
+
+let gauge (name : string) (v : float) : unit =
+  if Atomic.get on then begin
+    let r = my_ring () in
+    Hashtbl.replace r.r_gauges name (ring_now r, v)
+  end
+
+(* -- snapshot --------------------------------------------------------- *)
+
+type snapshot = {
+  events : event list;
+      (** balanced and globally sorted by timestamp (per-Domain order
+          preserved for equal stamps) *)
+  counters : (string * float) list;  (** summed across domains, sorted *)
+  gauges : (string * float) list;  (** latest write wins, sorted *)
+  dropped : int;  (** events lost to ring overwrite, all domains *)
+}
+
+(* Events of one ring, oldest first (ring order). *)
+let ring_events (r : ring) : event list =
+  let n = r.r_n and cap = r.r_cap in
+  let first = if n > cap then n - cap else 0 in
+  let out = ref [] in
+  for k = n - 1 downto first do
+    match r.r_ev.(k mod cap) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+(* Balance one domain's event stream: drop End events with no open span
+   (their Begin was overwritten, or tracing enabled mid-span) and close
+   spans still open at snapshot time with a synthetic End at the last
+   timestamp seen.  Exporters can then assume well-nested B/E pairs. *)
+let balance (evs : event list) : event list =
+  let last_ts = List.fold_left (fun acc e -> Float.max acc e.ev_ts) 0.0 evs in
+  let rec go evs stack acc =
+    match evs with
+    | [] ->
+        List.fold_left
+          (fun acc (b : event) ->
+            { b with ev_ts = last_ts; ev_kind = End } :: acc)
+          acc stack
+    | e :: rest -> (
+        match e.ev_kind with
+        | Begin -> go rest (e :: stack) (e :: acc)
+        | End -> (
+            match stack with
+            | [] -> go rest stack acc  (* orphan End: drop *)
+            | _ :: stack' -> go rest stack' (e :: acc)))
+  in
+  List.rev (go evs [] [])
+
+let snapshot () : snapshot =
+  Mutex.lock reg_lock;
+  let rs = !rings in
+  Mutex.unlock reg_lock;
+  let per_dom = List.map (fun r -> balance (ring_events r)) rs in
+  (* stable merge: sort by timestamp, keeping each domain's order (sort
+     keys extended with the per-domain sequence number) *)
+  let seqd =
+    List.concat_map
+      (fun evs -> List.mapi (fun i e -> (e.ev_ts, e.ev_dom, i, e)) evs)
+      per_dom
+  in
+  let events =
+    List.sort compare seqd |> List.map (fun (_, _, _, e) -> e)
+  in
+  let ctr : (string, float ref) Hashtbl.t = Hashtbl.create 32 in
+  let gau : (string, float * float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      Hashtbl.iter
+        (fun name cell ->
+          match Hashtbl.find_opt ctr name with
+          | Some c -> c := !c +. !cell
+          | None -> Hashtbl.add ctr name (ref !cell))
+        r.r_counters;
+      Hashtbl.iter
+        (fun name (ts, v) ->
+          match Hashtbl.find_opt gau name with
+          | Some (ts', _) when ts' >= ts -> ()
+          | _ -> Hashtbl.replace gau name (ts, v))
+        r.r_gauges)
+    rs;
+  let sorted_bindings h f =
+    Hashtbl.fold (fun k v acc -> (k, f v) :: acc) h []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    events;
+    counters = sorted_bindings ctr (fun c -> !c);
+    gauges = sorted_bindings gau snd;
+    dropped =
+      List.fold_left (fun acc r -> acc + max 0 (r.r_n - r.r_cap)) 0 rs;
+  }

@@ -37,13 +37,19 @@ let run_pipeline ?(options = default_options)
   in
   List.iter
     (fun p ->
-      List.iter
-        (fun f -> if p.run f then Analyses.invalidate analyses f)
-        m.Ir.Func.m_funcs;
+      Obs.Tracer.with_span ("pass:" ^ p.name) (fun () ->
+          List.iter
+            (fun f ->
+              if p.run f then begin
+                Obs.Tracer.count ("pass." ^ p.name ^ ".rewrites") 1.0;
+                Analyses.invalidate analyses f
+              end)
+            m.Ir.Func.m_funcs);
       if options.verify_each then
-        match verify () with
-        | [] -> ()
-        | errs -> raise (Verification_failed (p.name, errs)))
+        Obs.Tracer.with_span "pass:verify" (fun () ->
+            match verify () with
+            | [] -> ()
+            | errs -> raise (Verification_failed (p.name, errs))))
     passes
 
 (** Run a pass list to fixpoint (bounded, the bound only guards against a

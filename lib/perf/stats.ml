@@ -11,16 +11,38 @@ let geomean (xs : float list) : float =
       let n = float_of_int (List.length xs) in
       Float.exp (List.fold_left (fun acc x -> acc +. Float.log x) 0.0 xs /. n)
 
-(** Drop min and max, average the rest (the paper's 5-run protocol). *)
+(** Drop min and max, average the rest (the paper's 5-run protocol).
+    Fewer than 3 samples leave nothing between the extrema; that is a
+    protocol violation, not a degenerate average, so it raises. *)
 let trimmed_mean (xs : float list) : float =
   match List.sort compare xs with
-  | [] -> invalid_arg "Stats.trimmed_mean: empty"
-  | [ x ] -> x
-  | [ a; b ] -> (a +. b) /. 2.0
+  | [] | [ _ ] | [ _; _ ] ->
+      invalid_arg
+        (Printf.sprintf
+           "Stats.trimmed_mean: needs at least 3 samples, got %d"
+           (List.length xs))
   | sorted ->
       let n = List.length sorted in
       let inner = List.filteri (fun i _ -> i > 0 && i < n - 1) sorted in
       List.fold_left ( +. ) 0.0 inner /. float_of_int (List.length inner)
+
+(** Linear-interpolated quantile, [p] in [0, 1]. *)
+let quantile (xs : float list) (p : float) : float =
+  if xs = [] then invalid_arg "Stats.quantile: empty";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.quantile: p outside [0, 1]";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let x = p *. float_of_int (n - 1) in
+  let i = int_of_float (Float.floor x) in
+  let j = min (n - 1) (i + 1) in
+  let f = x -. float_of_int i in
+  (a.(i) *. (1.0 -. f)) +. (a.(j) *. f)
+
+let median (xs : float list) : float = quantile xs 0.5
+
+(** Interquartile range (Q3 - Q1, linear-interpolated). *)
+let iqr (xs : float list) : float = quantile xs 0.75 -. quantile xs 0.25
 
 let mean (xs : float list) : float =
   match xs with

@@ -5,7 +5,21 @@ val geomean : float list -> float
 
 val trimmed_mean : float list -> float
 (** Drop the minimum and maximum, average the rest — the paper's
-    run-5-drop-extrema-average-3 protocol. *)
+    run-5-drop-extrema-average-3 protocol.
+    @raise Invalid_argument on fewer than 3 samples (nothing would
+    remain between the extrema). *)
+
+val quantile : float list -> float -> float
+(** [quantile xs p] is the linear-interpolated [p]-quantile, [p] in
+    [0, 1].  @raise Invalid_argument on the empty list or [p] outside
+    [0, 1]. *)
+
+val median : float list -> float
+(** [quantile xs 0.5]. *)
+
+val iqr : float list -> float
+(** Interquartile range, [quantile 0.75 - quantile 0.25] — the per-row
+    dispersion the bench harness records next to each median. *)
 
 val mean : float list -> float
 val min_max : float list -> float * float

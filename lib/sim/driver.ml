@@ -125,11 +125,20 @@ let reset (d : t) : unit =
         fun name args ->
           Interp.run ~externs:d.registry d.gen.Codegen.Kernel.modl name args
   in
-  List.iter2
-    (fun (plan : Easyml.Lut_cones.t) table ->
-      let init = lookup (Codegen.Kernel.lut_init_name plan.Easyml.Lut_cones.spec) in
-      ignore (init [| Rt.M table; Rt.F d.dt |]))
-    d.gen.Codegen.Kernel.lut_plans d.tables;
+  Obs.Tracer.with_span "driver.lut_init" (fun () ->
+      List.iter2
+        (fun (plan : Easyml.Lut_cones.t) table ->
+          let init =
+            lookup (Codegen.Kernel.lut_init_name plan.Easyml.Lut_cones.spec)
+          in
+          ignore (init [| Rt.M table; Rt.F d.dt |]))
+        d.gen.Codegen.Kernel.lut_plans d.tables);
+  (* drop the lazily-compiled per-thread kernel instances too: a reset
+     driver must re-run exactly like a fresh one — same results AND the
+     same trace (compile spans included), so consecutive traced runs are
+     comparable event for event *)
+  d.runners <- [||];
+  d.rows <- [||];
   d.t_now <- 0.0;
   d.steps_done <- 0
 
@@ -257,25 +266,32 @@ let kernel_args (d : t) ~(start : int) ~(stop : int) ~(rows : floatarray list)
 let compute_stage ?(nthreads = 1) (d : t) : unit =
   ensure_threads d nthreads;
   let w = width d in
-  if nthreads = 1 then
-    let args = kernel_args d ~start:0 ~stop:d.ncells_pad ~rows:d.rows.(0) in
-    ignore (d.runners.(0) args)
-  else
-    (* chunk boundaries must be aligned to the vector width, so the
-       parallel-for runs over AoSoA blocks rather than cells; for the
-       batched engine they additionally align to whole tiles, so no
-       domain processes a partial tile in its interior.  Each domain
-       uses its own kernel instance and LUT scratch rows (register files
-       and tile scratch are not reentrant). *)
-    let unit_blocks = match d.engine with Batched -> d.tile | _ -> 1 in
-    let uw = unit_blocks * w in
-    let nunits = (d.ncells_pad + uw - 1) / uw in
-    Runtime.Parallel.parallel_for_chunks ~nthreads ~lo:0 ~hi:nunits
-      (fun k ulo uhi ->
-        let start = ulo * uw and stop = min (uhi * uw) d.ncells_pad in
-        if stop > start then
-          let args = kernel_args d ~start ~stop ~rows:d.rows.(k) in
-          ignore (d.runners.(k) args))
+  Obs.Tracer.with_span "driver.compute" (fun () ->
+      if nthreads = 1 then
+        let args =
+          kernel_args d ~start:0 ~stop:d.ncells_pad ~rows:d.rows.(0)
+        in
+        ignore (d.runners.(0) args)
+      else
+        (* chunk boundaries must be aligned to the vector width, so the
+           parallel-for runs over AoSoA blocks rather than cells; for the
+           batched engine they additionally align to whole tiles, so no
+           domain processes a partial tile in its interior.  Each domain
+           uses its own kernel instance and LUT scratch rows (register
+           files and tile scratch are not reentrant). *)
+        let unit_blocks = match d.engine with Batched -> d.tile | _ -> 1 in
+        let uw = unit_blocks * w in
+        let nunits = (d.ncells_pad + uw - 1) / uw in
+        Runtime.Parallel.parallel_for_chunks ~nthreads ~lo:0 ~hi:nunits
+          (fun k ulo uhi ->
+            (* runs on the worker domain, so the span lands on that
+               domain's track in the trace *)
+            Obs.Tracer.with_span "driver.chunk" (fun () ->
+                let start = ulo * uw
+                and stop = min (uhi * uw) d.ncells_pad in
+                if stop > start then
+                  let args = kernel_args d ~start ~stop ~rows:d.rows.(k) in
+                  ignore (d.runners.(k) args))))
 
 let find_ext_buf (d : t) (name : string) : floatarray =
   match List.assoc_opt name d.exts with
@@ -288,16 +304,18 @@ let find_ext_buf (d : t) (name : string) : floatarray =
 let membrane_update ?(stim = Stim.none) (d : t) : unit =
   match (List.assoc_opt "Vm" d.exts, List.assoc_opt "Iion" d.exts) with
   | Some vm, Some iion ->
-      let s = Stim.at stim d.t_now in
-      for c = 0 to d.ncells - 1 do
-        Float.Array.set vm c
-          (Float.Array.get vm c
-          +. (d.dt *. (s -. Float.Array.get iion c)))
-      done;
-      (* padded lanes mirror the last real cell so vector math stays finite *)
-      for c = d.ncells to d.ncells_pad - 1 do
-        Float.Array.set vm c (Float.Array.get vm (d.ncells - 1))
-      done
+      Obs.Tracer.with_span "driver.update" (fun () ->
+          let s = Stim.at stim d.t_now in
+          for c = 0 to d.ncells - 1 do
+            Float.Array.set vm c
+              (Float.Array.get vm c
+              +. (d.dt *. (s -. Float.Array.get iion c)))
+          done;
+          (* padded lanes mirror the last real cell so vector math stays
+             finite *)
+          for c = d.ncells to d.ncells_pad - 1 do
+            Float.Array.set vm c (Float.Array.get vm (d.ncells - 1))
+          done)
   | _ -> ()
 
 (** One full time step: compute stage + membrane update. *)

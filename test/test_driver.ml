@@ -53,6 +53,41 @@ let test_reset_reproducible () =
         Alcotest.failf "reset not reproducible on %s" n)
     snap1 (Sim.Driver.snapshot d 2)
 
+let test_rerun_identical_trace () =
+  (* re-run hygiene: reset + identical stepping must reproduce both the
+     results and the exact trace event sequence — no counter or state
+     leaks between consecutive runs of one driver *)
+  let d = Sim.Driver.create (Lazy.force gen8) ~ncells:4 ~dt:0.01 in
+  let stim = Sim.Stim.make ~amplitude:40.0 ~start:0.5 ~duration:1.0 () in
+  let run () =
+    Obs.Tracer.reset ();
+    Obs.Tracer.enable ();
+    Sim.Driver.reset d;
+    for _ = 1 to 30 do
+      Sim.Driver.step ~stim d
+    done;
+    Obs.Tracer.disable ();
+    let s = Obs.Tracer.snapshot () in
+    let seq =
+      List.map
+        (fun (e : Obs.Tracer.event) -> (e.Obs.Tracer.ev_kind, e.Obs.Tracer.ev_name))
+        s.Obs.Tracer.events
+    in
+    ((seq, s.Obs.Tracer.counters), Sim.Driver.snapshot d 2)
+  in
+  let (seq1, ctr1), snap1 = run () in
+  let (seq2, ctr2), snap2 = run () in
+  Alcotest.(check int) "same event count" (List.length seq1) (List.length seq2);
+  if seq1 <> seq2 then Alcotest.fail "trace event sequences differ across runs";
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "same counters" ctr1 ctr2;
+  List.iter2
+    (fun (n, a) (_, b) ->
+      if not (Helpers.same_float a b) then
+        Alcotest.failf "re-run changed %s: %.17g vs %.17g" n a b)
+    snap1 snap2;
+  Obs.Tracer.reset ()
+
 let test_cells_independent () =
   (* perturb one cell; the others must be unaffected (no cross-cell leaks
      through the vector lanes) *)
@@ -124,6 +159,8 @@ let suite =
     Alcotest.test_case "initial state" `Quick test_initial_state;
     Alcotest.test_case "vector padding" `Quick test_padding;
     Alcotest.test_case "reset reproducible" `Quick test_reset_reproducible;
+    Alcotest.test_case "re-run trace identical" `Quick
+      test_rerun_identical_trace;
     Alcotest.test_case "cells independent across lanes" `Quick
       test_cells_independent;
     Alcotest.test_case "step_timed" `Quick test_step_timed;

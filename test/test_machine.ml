@@ -127,6 +127,37 @@ let test_stats () =
   Helpers.fcheck "min" (-1.0) mn;
   Helpers.fcheck "max" 3.0 mx
 
+let test_stats_quantiles () =
+  Helpers.fcheck "median odd" 2.0 (Perf.Stats.median [ 3.0; 1.0; 2.0 ]);
+  Helpers.fcheck "median even" 2.5 (Perf.Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  Helpers.fcheck "median singleton" 7.0 (Perf.Stats.median [ 7.0 ]);
+  Helpers.fcheck "iqr" 1.5 (Perf.Stats.iqr [ 1.0; 2.0; 3.0; 4.0 ]);
+  Helpers.fcheck "iqr constant" 0.0 (Perf.Stats.iqr [ 5.0; 5.0; 5.0 ]);
+  Helpers.fcheck "quantile 0 is min" 1.0
+    (Perf.Stats.quantile [ 3.0; 1.0; 2.0 ] 0.0);
+  Helpers.fcheck "quantile 1 is max" 3.0
+    (Perf.Stats.quantile [ 3.0; 1.0; 2.0 ] 1.0);
+  (match Perf.Stats.quantile [] 0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "quantile of empty must raise");
+  (match Perf.Stats.quantile [ 1.0 ] 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "quantile outside [0,1] must raise");
+  match Perf.Stats.trimmed_mean [ 1.0; 2.0 ] with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "raise names the sample count" true
+        (Helpers.contains msg "2")
+  | _ -> Alcotest.fail "trimmed_mean must raise on < 3 samples"
+
+let quantiles_bounded =
+  Helpers.qtest ~count:200 "median and iqr stay within range"
+    QCheck.(
+      list_of_size (Gen.int_range 1 20) (QCheck.float_range (-100.0) 100.0))
+    (fun xs ->
+      let mn, mx = Perf.Stats.min_max xs in
+      let med = Perf.Stats.median xs and iqr = Perf.Stats.iqr xs in
+      med >= mn && med <= mx && iqr >= 0.0 && iqr <= mx -. mn)
+
 let geomean_scale_invariant =
   Helpers.qtest ~count:200 "geomean is multiplicative"
     QCheck.(
@@ -151,5 +182,7 @@ let suite =
     Alcotest.test_case "ert sweep plateaus" `Quick test_ert_sweep_plateaus;
     Alcotest.test_case "roofline helpers" `Quick test_roofline_helpers;
     Alcotest.test_case "statistics" `Quick test_stats;
+    Alcotest.test_case "quantiles" `Quick test_stats_quantiles;
     geomean_scale_invariant;
+    quantiles_bounded;
   ]

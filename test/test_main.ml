@@ -18,4 +18,5 @@ let () =
       ("driver", Test_driver.suite);
       ("models", Test_models.suite);
       ("machine", Test_machine.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,280 @@
+(* Observability tests: tracer semantics (disabled no-op, balancing,
+   counters), the minimal JSON parser, Chrome-trace export round-trips,
+   the traced-vs-untraced bitwise differential over the whole model
+   catalogue, and the disabled-path overhead guard. *)
+
+module T = Obs.Tracer
+module E = Obs.Export
+module J = Obs.Json
+module C = Codegen.Config
+
+(* Every test starts from a clean, disabled tracer; other suites in this
+   binary never enable it, so cross-test interference is impossible. *)
+let fresh () =
+  T.disable ();
+  T.reset ()
+
+(* -- tracer ---------------------------------------------------------- *)
+
+let test_disabled_records_nothing () =
+  fresh ();
+  Alcotest.(check bool) "disabled by default" false (T.enabled ());
+  T.span_begin "a";
+  T.with_span "b" (fun () -> T.count "c" 1.0);
+  T.gauge "g" 2.0;
+  T.span_end "a";
+  let s = T.snapshot () in
+  Alcotest.(check int) "no events" 0 (List.length s.T.events);
+  Alcotest.(check int) "no counters" 0 (List.length s.T.counters);
+  Alcotest.(check int) "no gauges" 0 (List.length s.T.gauges)
+
+let test_spans_and_counters () =
+  fresh ();
+  T.enable ();
+  T.with_span "outer" (fun () ->
+      T.with_span "inner" (fun () -> T.count "n" 2.0);
+      T.count "n" 3.0);
+  T.gauge "depth" 1.0;
+  T.gauge "depth" 4.0;
+  T.disable ();
+  let s = T.snapshot () in
+  Alcotest.(check int) "two B/E pairs" 4 (List.length s.T.events);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "counter summed"
+    [ ("n", 5.0) ]
+    s.T.counters;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauge keeps the last write"
+    [ ("depth", 4.0) ]
+    s.T.gauges;
+  (* with_span is exception-safe: the End is recorded on raise *)
+  T.enable ();
+  (match T.with_span "raises" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  T.disable ();
+  let stats = E.summarize (T.snapshot ()) in
+  Alcotest.(check bool) "raised span still closed" true
+    (List.exists (fun ss -> ss.E.ss_name = "raises") stats)
+
+let test_snapshot_balances () =
+  fresh ();
+  T.enable ();
+  T.span_end "orphan end";
+  T.span_begin "left open";
+  T.with_span "complete" (fun () -> ());
+  T.disable ();
+  let s = T.snapshot () in
+  (* the orphan End is dropped, the open Begin gets a synthetic End *)
+  let begins =
+    List.length (List.filter (fun e -> e.T.ev_kind = T.Begin) s.T.events)
+  and ends =
+    List.length (List.filter (fun e -> e.T.ev_kind = T.End) s.T.events)
+  in
+  Alcotest.(check int) "balanced" begins ends;
+  Alcotest.(check int) "two spans" 2 begins;
+  match E.validate_chrome (E.chrome s) with
+  | Ok n -> Alcotest.(check int) "chrome validates" 4 n
+  | Error e -> Alcotest.failf "chrome invalid: %s" e
+
+let test_monotonic_timestamps () =
+  fresh ();
+  T.enable ();
+  for _ = 1 to 500 do
+    T.with_span "tick" (fun () -> ())
+  done;
+  T.disable ();
+  let s = T.snapshot () in
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+        if a.T.ev_ts > b.T.ev_ts then
+          Alcotest.failf "timestamps went backwards: %g then %g" a.T.ev_ts
+            b.T.ev_ts
+        else mono rest
+    | _ -> ()
+  in
+  mono s.T.events
+
+let test_ring_overwrite_counts_dropped () =
+  (* force a tiny logical load on the default ring: the ring only
+     overwrites once more events than the capacity arrive, so spin well
+     past it and check the drop accounting plus a still-valid export *)
+  fresh ();
+  T.enable ();
+  for _ = 1 to 40_000 do
+    T.with_span "spin" (fun () -> ())
+  done;
+  T.disable ();
+  let s = T.snapshot () in
+  Alcotest.(check bool) "snapshot nonempty" true (s.T.events <> []);
+  Alcotest.(check bool) "overwritten events accounted as dropped" true
+    (s.T.dropped > 0);
+  match E.validate_chrome (E.chrome s) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "chrome invalid after heavy load: %s" e
+
+(* -- JSON ------------------------------------------------------------ *)
+
+let test_json_parse () =
+  let ok text =
+    match J.parse text with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "parse %S: %s" text e
+  in
+  (match ok {|{"a": [1, -2.5e2, true, null, "x\n\"yA"]}|} with
+  | J.Obj [ ("a", J.Arr [ J.Num a; J.Num b; J.Bool true; J.Null; J.Str s ]) ]
+    when a = 1.0 && b = -250.0 ->
+      Alcotest.(check string) "string escapes" "x\n\"yA" s
+  | _ -> Alcotest.fail "unexpected parse shape");
+  List.iter
+    (fun bad ->
+      match J.parse bad with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\" 1}"; "\"unterminated"; "01x"; "{} trailing" ]
+
+let json_roundtrip =
+  (* printer -> parser round-trip over random JSON trees *)
+  let leaf =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.return J.Null;
+        QCheck.Gen.map (fun b -> J.Bool b) QCheck.Gen.bool;
+        QCheck.Gen.map (fun f -> J.Num f) (QCheck.Gen.float_range (-1e6) 1e6);
+        QCheck.Gen.map (fun s -> J.Str s)
+          (QCheck.Gen.string_size ~gen:QCheck.Gen.printable
+             (QCheck.Gen.int_range 0 8));
+      ]
+  in
+  let tree =
+    QCheck.Gen.fix
+      (fun self depth ->
+        if depth = 0 then leaf
+        else
+          QCheck.Gen.frequency
+            [
+              (3, leaf);
+              ( 1,
+                QCheck.Gen.map (fun xs -> J.Arr xs)
+                  (QCheck.Gen.list_size (QCheck.Gen.int_range 0 4)
+                     (self (depth - 1))) );
+              ( 1,
+                QCheck.Gen.map (fun kvs -> J.Obj kvs)
+                  (QCheck.Gen.list_size (QCheck.Gen.int_range 0 4)
+                     (QCheck.Gen.pair
+                        (QCheck.Gen.string_size ~gen:QCheck.Gen.printable
+                           (QCheck.Gen.int_range 0 6))
+                        (self (depth - 1)))) );
+            ])
+      2
+  in
+  Helpers.qtest ~count:300 "json print/parse round-trip"
+    (QCheck.make tree) (fun v ->
+      match J.parse (J.to_string v) with
+      | Error e -> QCheck.Test.fail_reportf "re-parse failed: %s" e
+      | Ok v' -> v = v')
+
+let chrome_roundtrip =
+  (* arbitrary span/counter names (quotes, backslashes, control chars)
+     recorded through the tracer must export to a parseable, balanced
+     Chrome trace *)
+  let arb =
+    QCheck.(
+      list_of_size (Gen.int_range 0 25)
+        (pair printable_string (float_range 0.0 10.0)))
+  in
+  Helpers.qtest ~count:100 "chrome trace round-trip" arb (fun pairs ->
+      fresh ();
+      T.enable ();
+      List.iter
+        (fun (name, x) ->
+          T.with_span ("s:" ^ name) (fun () -> T.count ("c:" ^ name) x))
+        pairs;
+      T.disable ();
+      let text = E.chrome (T.snapshot ()) in
+      match (J.parse text, E.validate_chrome text) with
+      | Error e, _ -> QCheck.Test.fail_reportf "not JSON: %s" e
+      | _, Error e -> QCheck.Test.fail_reportf "invalid trace: %s" e
+      | Ok _, Ok n -> n = 2 * List.length pairs)
+
+(* -- traced runs are bitwise identical ------------------------------- *)
+
+let test_traced_bitwise_identical () =
+  (* the paper-repro guarantee extended to observability: tracing a run
+     never changes a single bit of its results, on any model, for both
+     optimized engines *)
+  List.iter
+    (fun (e : Models.Model_def.entry) ->
+      let m = Models.Registry.model e in
+      let g = Codegen.Cache.generate (C.mlir ~width:4) m in
+      List.iter
+        (fun (ename, engine) ->
+          let d = Sim.Driver.create ~engine g ~ncells:4 ~dt:0.01 in
+          let stim = Sim.Stim.make ~amplitude:40.0 ~start:0.05 ~duration:0.1 () in
+          let steps = 20 in
+          fresh ();
+          for _ = 1 to steps do
+            Sim.Driver.step ~stim d
+          done;
+          let plain = Sim.Driver.snapshot d 1 in
+          Sim.Driver.reset d;
+          T.reset ();
+          T.enable ();
+          for _ = 1 to steps do
+            Sim.Driver.step ~stim d
+          done;
+          T.disable ();
+          let traced = Sim.Driver.snapshot d 1 in
+          let s = T.snapshot () in
+          if s.T.events = [] then
+            Alcotest.failf "%s/%s: traced run recorded no events" e.name ename;
+          (match E.validate_chrome (E.chrome s) with
+          | Ok _ -> ()
+          | Error err ->
+              Alcotest.failf "%s/%s: invalid chrome trace: %s" e.name ename err);
+          List.iter2
+            (fun (n, a) (_, b) ->
+              if not (Helpers.same_float a b) then
+                Alcotest.failf "%s/%s: tracing changed %s: %.17g vs %.17g"
+                  e.name ename n a b)
+            plain traced)
+        [ ("fused", Sim.Driver.Fused); ("batched", Sim.Driver.Batched) ])
+    Models.Registry.all;
+  fresh ()
+
+(* -- disabled-path overhead ------------------------------------------ *)
+
+let test_disabled_overhead () =
+  (* a disabled tracer must cost one flag load per call: a million
+     span+counter calls complete far inside any human-visible budget and
+     record nothing.  (The CI batched-vs-fused geomean gate guards the
+     real hot path end to end.) *)
+  fresh ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 1_000_000 do
+    T.with_span "hot" (fun () -> T.count "hot" 1.0)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let s = T.snapshot () in
+  Alcotest.(check int) "nothing recorded" 0 (List.length s.T.events);
+  Alcotest.(check int) "no counters" 0 (List.length s.T.counters);
+  if dt > 2.0 then
+    Alcotest.failf "1M disabled calls took %.2f s (expected well under 2 s)" dt
+
+let suite =
+  [
+    Alcotest.test_case "disabled records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "spans, counters, gauges" `Quick test_spans_and_counters;
+    Alcotest.test_case "snapshot balances open spans" `Quick
+      test_snapshot_balances;
+    Alcotest.test_case "timestamps monotonic" `Quick test_monotonic_timestamps;
+    Alcotest.test_case "ring overwrite stays valid" `Quick
+      test_ring_overwrite_counts_dropped;
+    Alcotest.test_case "json parser" `Quick test_json_parse;
+    json_roundtrip;
+    chrome_roundtrip;
+    Alcotest.test_case "traced runs bitwise identical (43 models)" `Quick
+      test_traced_bitwise_identical;
+    Alcotest.test_case "disabled tracing overhead" `Quick test_disabled_overhead;
+  ]
