@@ -380,6 +380,9 @@ type wall_row = {
   wr_phases : (string * float) list;
       (** span name -> total µs over a short traced re-run (tracing is
           off during the bechamel measurement itself) *)
+  wr_health : int * int * int;
+      (** (NaN, Inf, clamp-violation) totals over a short monitored
+          re-run of the same driver — nonzero NaN fails the CI smoke *)
 }
 
 (* Each engine variant knows how to build its driver; "fused-noelide"
@@ -419,11 +422,58 @@ let phase_breakdown (d : Sim.Driver.t) : (string * float) list =
       (s.Obs.Export.ss_name, s.Obs.Export.ss_total_us))
     (Obs.Export.summarize snap)
 
+(* Short monitored re-run on the retained driver (strictly after the
+   bechamel measurement, like the phase breakdown): every-step health
+   sampling over a couple of compute stages, so each row records whether
+   the kernel it timed was producing finite state. *)
+let health_of (d : Sim.Driver.t) : int * int * int =
+  Sim.Driver.enable_health
+    ~cfg:{ Obs.Health.default_config with Obs.Health.stride = 1 }
+    ~warn:(fun _ -> ())
+    d;
+  for _ = 1 to 2 do
+    Sim.Driver.compute_stage d
+  done;
+  let totals =
+    match Sim.Driver.health_snapshot d with
+    | Some hs -> Obs.Health.totals hs
+    | None -> (0, 0, 0)
+  in
+  Sim.Driver.disable_health d;
+  totals
+
+(* Every-model health sweep: short stimulated runs of all bundled models
+   under every-step monitoring, on the fused vector config.  Recorded in
+   BENCH_wall.json as "health_sweep"; the CI gate fails on any nonzero
+   NaN count. *)
+let health_sweep () : (string * (int * int * int)) list =
+  let stim = Sim.Stim.make ~amplitude:40.0 ~start:0.05 ~duration:0.1 () in
+  List.map
+    (fun (e : Models.Model_def.entry) ->
+      let g = gen (Codegen.Config.mlir ~width:8) e in
+      let d = Sim.Driver.create g ~ncells:32 ~dt:0.01 in
+      Sim.Driver.enable_health
+        ~cfg:{ Obs.Health.default_config with Obs.Health.stride = 1 }
+        ~warn:(fun _ -> ())
+        d;
+      for _ = 1 to 20 do
+        Sim.Driver.step ~stim d
+      done;
+      let totals =
+        match Sim.Driver.health_snapshot d with
+        | Some hs -> Obs.Health.totals hs
+        | None -> (0, 0, 0)
+      in
+      Sim.Driver.disable_health d;
+      (e.Models.Model_def.name, totals))
+    Models.Registry.all
+
 (* Rows with fewer bechamel samples than this carry too much variance to
    contribute to a geomean headline; they are dropped with a log line. *)
 let min_geo_samples = 10
 
 let wall_write_json (path : string) (rows : wall_row list)
+    (sweep : (string * (int * int * int)) list)
     (summary : (string * float) list) : unit =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
@@ -439,15 +489,26 @@ let wall_write_json (path : string) (rows : wall_row list)
              (fun (n, us) -> Printf.sprintf "%S: %.1f" n us)
              r.wr_phases)
       in
+      let h_nan, h_inf, h_clamp = r.wr_health in
       Buffer.add_string b
         (Printf.sprintf
            "    {\"model\": %S, \"class\": %S, \"config\": %S, \"engine\": \
             %S, \"median_ns\": %.1f, \"iqr_ns\": %.1f, \"samples\": %d, \
-            \"phases\": {%s}}%s\n"
+            \"phases\": {%s}, \"health\": {\"nan\": %d, \"inf\": %d, \
+            \"clamp\": %d}}%s\n"
            r.wr_model r.wr_cls r.wr_cfg r.wr_engine r.wr_median_ns r.wr_iqr_ns
-           r.wr_samples phases
+           r.wr_samples phases h_nan h_inf h_clamp
            (if i = List.length rows - 1 then "" else ",")))
     rows;
+  Buffer.add_string b "  ],\n  \"health_sweep\": [\n";
+  List.iteri
+    (fun i (name, (nan, inf, clamp)) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"model\": %S, \"nan\": %d, \"inf\": %d, \"clamp\": %d}%s\n"
+           name nan inf clamp
+           (if i = List.length sweep - 1 then "" else ",")))
+    sweep;
   Buffer.add_string b "  ],\n  \"summary\": {\n";
   List.iteri
     (fun i (k, v) ->
@@ -535,10 +596,10 @@ let wallclock () =
                 match median_of label with
                 | None -> None
                 | Some (ns, iqr, samples) ->
-                    let phases =
+                    let phases, health =
                       match Hashtbl.find_opt drivers label with
-                      | Some d -> phase_breakdown d
-                      | None -> []
+                      | Some d -> (phase_breakdown d, health_of d)
+                      | None -> ([], (0, 0, 0))
                     in
                     rows :=
                       {
@@ -550,6 +611,7 @@ let wallclock () =
                         wr_iqr_ns = iqr;
                         wr_samples = samples;
                         wr_phases = phases;
+                        wr_health = health;
                       }
                       :: !rows;
                     Some (ename, ns))
@@ -650,7 +712,18 @@ let wallclock () =
   match !wall_json with
   | None -> ()
   | Some path ->
-      wall_write_json path rows
+      let sweep = health_sweep () in
+      let nan_total =
+        List.fold_left (fun acc (_, (nan, _, _)) -> acc + nan) 0 sweep
+      in
+      (let row_nan =
+         List.fold_left
+           (fun acc r -> let n, _, _ = r.wr_health in acc + n)
+           0 rows
+       in
+       Fmt.pr "health sweep over %d model(s): %d NaN (rows: %d NaN)@."
+         (List.length sweep) nan_total row_nan);
+      wall_write_json path rows sweep
         [
           ("large_fused_vs_closure_scalar", sc);
           ("large_fused_vs_closure_vector", ve);
@@ -659,6 +732,7 @@ let wallclock () =
           ("large_batched_vs_fused_vector", bve);
           ("large_batched_vs_fused_geomean", ball);
           ("fused_elision_speedup_geomean", el);
+          ("health_nan_total", float_of_int nan_total);
         ]
 
 (* ------------------------------------------------------------------ *)

@@ -7,7 +7,10 @@
                             on errors; --deep-verify runs the IR prover)
      emit MODEL             generated IR (scalar baseline or vector kernel)
      run MODEL              simulate and print an action-potential trace
+                            (--health adds NaN/divergence watchdogs)
+     serve MODEL            simulate with live /metrics + /healthz endpoints
      profile MODEL          trace a run; Chrome-trace / summary / Prometheus
+     validate-metrics FILE  check a Prometheus exposition for format errors
      passes MODEL           before/after op counts for each optimization pass
 
    Models are resolved against the bundled registry first; a path to an
@@ -270,8 +273,21 @@ let run_cmd =
                  step) and write it to $(docv); load it in Perfetto or \
                  chrome://tracing.  Tracing never changes results.")
   in
+  let health =
+    Arg.(value & flag & info [ "health" ]
+           ~doc:"Monitor numerical health while running: per-variable \
+                 NaN/Inf counts, gate clamp violations and a \
+                 membrane-potential watchdog.  A hard trip (NaN, Inf, Vm \
+                 out of range) aborts the run with exit code 3 and a \
+                 report naming the variable, cell and step.  Monitoring \
+                 never changes results.")
+  in
+  let health_stride =
+    Arg.(value & opt int 16 & info [ "health-stride" ] ~docv:"N"
+           ~doc:"Sample health every N steps (with --health).")
+  in
   let run name width layout no_lut autovec spline cells steps dt every threads
-      engine tile trace =
+      engine tile trace health health_stride =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
     if trace <> None then begin
@@ -280,19 +296,41 @@ let run_cmd =
     end;
     let g = Codegen.Cache.generate cfg m in
     let d = Sim.Driver.create ~engine ~tile g ~ncells:cells ~dt in
+    if health then
+      Sim.Driver.enable_health
+        ~cfg:
+          {
+            Obs.Health.default_config with
+            Obs.Health.stride = health_stride;
+            policy = Obs.Health.Abort;
+          }
+        d;
     let stim = Sim.Stim.default in
     Fmt.pr "# model=%s config=%s cells=%d steps=%d dt=%gms@." m.name
       (Codegen.Config.describe cfg) cells steps dt;
     if every > 0 then Fmt.pr "# t_ms Vm Iion@.";
     let compute_time = ref 0.0 in
-    for s = 1 to steps do
-      compute_time :=
-        !compute_time +. Sim.Driver.step_timed ~nthreads:threads ~stim d;
-      if every > 0 && s mod every = 0 then
-        Fmt.pr "%8.2f %10.4f %10.4f@." (Sim.Driver.time d) (Sim.Driver.vm d 0)
-          (Sim.Driver.ext d "Iion" 0)
-    done;
+    (try
+       for s = 1 to steps do
+         compute_time :=
+           !compute_time +. Sim.Driver.step_timed ~nthreads:threads ~stim d;
+         if every > 0 && s mod every = 0 then
+           Fmt.pr "%8.2f %10.4f %10.4f@." (Sim.Driver.time d)
+             (Sim.Driver.vm d 0)
+             (Sim.Driver.ext d "Iion" 0)
+       done
+     with Obs.Health.Tripped msg ->
+       Fmt.epr "%s@." msg;
+       exit 3);
     Fmt.pr "# compute stage: %.3f s wall clock@." !compute_time;
+    (match Sim.Driver.health_snapshot d with
+    | None -> ()
+    | Some hs ->
+        let nan, inf, range = Obs.Health.totals hs in
+        Fmt.pr "# health: %s — %d step(s) sampled, %d NaN, %d Inf, %d range \
+                violation(s)@."
+          (if hs.Obs.Health.hs_unhealthy then "UNHEALTHY" else "ok")
+          hs.Obs.Health.hs_steps_sampled nan inf range);
     (match trace with
     | None -> ()
     | Some path ->
@@ -308,7 +346,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
           $ autovec_arg $ spline_arg $ cells $ steps $ dt $ every $ threads
-          $ engine_arg $ tile_arg $ trace)
+          $ engine_arg $ tile_arg $ trace $ health $ health_stride)
 
 (* -- profile -------------------------------------------------------- *)
 
@@ -356,17 +394,21 @@ let profile_cmd =
     Obs.Tracer.enable ();
     let g = Codegen.Cache.generate cfg m in
     let d = Sim.Driver.create ~engine ~tile g ~ncells:cells ~dt in
+    (* health section rides along in the profile (Warn policy: a sick
+       model should still produce its profile) *)
+    Sim.Driver.enable_health d;
     let stim = Sim.Stim.default in
     for _ = 1 to steps do
       Sim.Driver.step ~nthreads:threads ~stim d
     done;
     Obs.Tracer.disable ();
     let snap = Obs.Tracer.snapshot () in
+    let health = Sim.Driver.health_snapshot d in
     let text =
       match format with
-      | `Summary -> Obs.Export.summary snap
+      | `Summary -> Obs.Export.summary ?health snap
       | `Chrome -> Obs.Export.chrome snap
-      | `Prometheus -> Obs.Export.prometheus snap
+      | `Prometheus -> Obs.Export.prometheus ?health snap
     in
     (match output with
     | None -> print_string text
@@ -384,6 +426,157 @@ let profile_cmd =
     Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
           $ autovec_arg $ spline_arg $ engine_arg $ tile_arg $ cells $ steps
           $ dt $ threads $ format $ output)
+
+(* -- serve ----------------------------------------------------------- *)
+
+let serve_cmd =
+  let doc =
+    "Run a simulation with live observability endpoints: GET /metrics \
+     serves a Prometheus text exposition of the tracer and health \
+     monitor, GET /healthz answers 200 while the simulation is \
+     numerically healthy and 503 after a hard watchdog trip (NaN, Inf, \
+     Vm out of range).  Stops cleanly on SIGINT/SIGTERM."
+  in
+  let port =
+    Arg.(value & opt int 9464 & info [ "port" ] ~docv:"P"
+           ~doc:"Listen port on 127.0.0.1 (0 picks an ephemeral port, \
+                 printed at startup).")
+  in
+  let cells =
+    Arg.(value & opt int 256 & info [ "cells" ] ~docv:"N" ~doc:"Number of cells.")
+  in
+  let steps =
+    Arg.(value & opt int 0 & info [ "steps" ] ~docv:"N"
+           ~doc:"Stop stepping after N steps but keep serving until a \
+                 signal arrives (0 = step until a signal arrives).")
+  in
+  let dt = Arg.(value & opt float 0.01 & info [ "dt" ] ~docv:"MS") in
+  let threads = Arg.(value & opt int 1 & info [ "threads" ] ~docv:"T") in
+  let health_stride =
+    Arg.(value & opt int 16 & info [ "health-stride" ] ~docv:"N"
+           ~doc:"Sample health every N steps.")
+  in
+  let refresh =
+    Arg.(value & opt int 200 & info [ "refresh" ] ~docv:"N"
+           ~doc:"Re-publish /metrics every N steps.")
+  in
+  let pace =
+    Arg.(value & opt float 0.0 & info [ "pace" ] ~docv:"SECONDS"
+           ~doc:"Sleep between steps (throttle a demo run; 0 = flat out).")
+  in
+  let run name width layout no_lut autovec spline engine tile port cells steps
+      dt threads health_stride refresh pace =
+    let m = load_model name in
+    let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
+    Obs.Tracer.reset ();
+    Obs.Tracer.enable ();
+    let g = Codegen.Cache.generate cfg m in
+    let d = Sim.Driver.create ~engine ~tile g ~ncells:cells ~dt in
+    Sim.Driver.enable_health
+      ~cfg:
+        { Obs.Health.default_config with Obs.Health.stride = health_stride }
+      d;
+    let h = Option.get (Sim.Driver.health d) in
+    let stim = Sim.Stim.default in
+    (* The sim loop publishes the exposition between steps; the HTTP
+       thread only ever reads these atomics, so it never races the
+       tracer's or the monitor's internals. *)
+    let metrics = Atomic.make "" in
+    let publish () =
+      let snap = Obs.Tracer.snapshot () in
+      let health = Sim.Driver.health_snapshot d in
+      Atomic.set metrics (Obs.Export.prometheus ?health snap)
+    in
+    publish ();
+    let stop = Atomic.make false in
+    let request_stop _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    let strip_query path =
+      match String.index_opt path '?' with
+      | Some i -> String.sub path 0 i
+      | None -> path
+    in
+    let server =
+      Obs.Httpd.start ~port (fun path ->
+          match strip_query path with
+          | "/metrics" ->
+              Some
+                {
+                  Obs.Httpd.status = 200;
+                  content_type = "text/plain; version=0.0.4";
+                  body = Atomic.get metrics;
+                }
+          | "/healthz" ->
+              if Obs.Health.unhealthy h then
+                Some
+                  {
+                    Obs.Httpd.status = 503;
+                    content_type = "text/plain";
+                    body = "unhealthy\n";
+                  }
+              else
+                Some
+                  {
+                    Obs.Httpd.status = 200;
+                    content_type = "text/plain";
+                    body = "ok\n";
+                  }
+          | _ -> None)
+    in
+    Fmt.pr "# serving model=%s on http://127.0.0.1:%d (/metrics, /healthz); \
+            cells=%d dt=%gms health-stride=%d@."
+      m.name (Obs.Httpd.port server) cells dt health_stride;
+    (try
+       let n = ref 0 in
+       while
+         (not (Atomic.get stop)) && (steps = 0 || !n < steps)
+       do
+         Sim.Driver.step ~nthreads:threads ~stim d;
+         incr n;
+         if !n mod refresh = 0 then publish ();
+         if pace > 0.0 then Unix.sleepf pace
+       done;
+       publish ();
+       if steps > 0 && !n >= steps then
+         Fmt.pr "# %d step(s) done; still serving (SIGINT/SIGTERM to stop)@."
+           !n;
+       while not (Atomic.get stop) do
+         Unix.sleepf 0.05
+       done
+     with Obs.Health.Tripped msg ->
+       (* Warn policy never raises; belt and braces for custom configs *)
+       Fmt.epr "%s@." msg);
+    Obs.Httpd.stop server;
+    Obs.Tracer.disable ();
+    Fmt.pr "# stopped cleanly@."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
+          $ autovec_arg $ spline_arg $ engine_arg $ tile_arg $ port $ cells
+          $ steps $ dt $ threads $ health_stride $ refresh $ pace)
+
+(* -- validate-metrics ------------------------------------------------ *)
+
+let validate_metrics_cmd =
+  let doc =
+    "Validate a Prometheus text exposition (as served at /metrics or \
+     written by profile --format=prometheus): HELP/TYPE pairing, name \
+     charsets, label escaping, sample values.  Exits 1 on the first \
+     violation."
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let ic = open_in_bin file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Obs.Export.validate_prometheus text with
+    | Ok n -> Fmt.pr "%s: %d sample(s), exposition OK@." file n
+    | Error e ->
+        Fmt.epr "%s: %s@." file e;
+        exit 1
+  in
+  Cmd.v (Cmd.info "validate-metrics" ~doc) Term.(const run $ file)
 
 (* -- passes --------------------------------------------------------- *)
 
@@ -512,7 +705,8 @@ let main =
   Cmd.group (Cmd.info "limpetmlir" ~doc)
     [
       list_cmd; inspect_cmd; check_cmd; emit_cmd; parse_cmd; run_cmd;
-      profile_cmd; passes_cmd; cost_cmd; import_mmt_cmd;
+      serve_cmd; profile_cmd; validate_metrics_cmd; passes_cmd; cost_cmd;
+      import_mmt_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -188,7 +188,7 @@ let validate_chrome (text : string) : (int, string) result =
 
 (* -- human-readable summary ------------------------------------------- *)
 
-let summary (s : Tracer.snapshot) : string =
+let summary ?(health : Health.snapshot option) (s : Tracer.snapshot) : string =
   let b = Buffer.create 1024 in
   let spans = summarize s in
   if spans <> [] then begin
@@ -223,6 +223,41 @@ let summary (s : Tracer.snapshot) : string =
     Buffer.add_string b
       (Printf.sprintf "\n(%d event(s) dropped to ring overwrite)\n"
          s.Tracer.dropped);
+  Option.iter
+    (fun (h : Health.snapshot) ->
+      let nan, inf, range = Health.totals h in
+      Buffer.add_string b
+        (Printf.sprintf
+           "\nhealth (%s): %s — %d step(s) sampled, %d NaN, %d Inf, %d range \
+            violation(s)\n"
+           h.Health.hs_model
+           (if h.Health.hs_unhealthy then "UNHEALTHY"
+            else if h.Health.hs_tripped then "degraded"
+            else "ok")
+           h.Health.hs_steps_sampled nan inf range);
+      Buffer.add_string b
+        (Printf.sprintf "%-24s %10s %12s %12s %12s %6s %6s %6s\n" "variable"
+           "samples" "min" "mean" "max" "nan" "inf" "range");
+      List.iter
+        (fun (vs : Health.var_stat) ->
+          Buffer.add_string b
+            (Printf.sprintf "%-24s %10d %12g %12g %12g %6d %6d %6d\n"
+               (vs.Health.vs_name ^ if vs.Health.vs_gate then " (gate)" else "")
+               vs.Health.vs_samples vs.Health.vs_min vs.Health.vs_mean
+               vs.Health.vs_max vs.Health.vs_nan vs.Health.vs_inf
+               vs.Health.vs_range))
+        h.Health.hs_vars;
+      List.iter
+        (fun tr ->
+          Buffer.add_string b
+            (Printf.sprintf "trip: %s\n"
+               (Printf.sprintf
+                  "variable=%s reason=%s cell=%d step=%d value=%g"
+                  tr.Health.t_var
+                  (Health.reason_name tr.Health.t_reason)
+                  tr.Health.t_cell tr.Health.t_step tr.Health.t_value)))
+        h.Health.hs_trips)
+    health;
   Buffer.contents b
 
 (* -- Prometheus text exposition --------------------------------------- *)
@@ -241,7 +276,85 @@ let prom_label (s : string) : string =
     s;
   Buffer.contents b
 
-let prometheus (s : Tracer.snapshot) : string =
+(* Sample values: canonical nonfinite spellings.  [%g] would print
+   [nan]/[inf]/[-inf], which Prometheus' Go parser happens to accept but
+   OpenMetrics parsers reject; [NaN]/[+Inf]/[-Inf] are the exposition
+   format's documented spellings ({!validate_prometheus} enforces them,
+   and health gauges legitimately carry NaN when nothing was sampled). *)
+let prom_value (v : float) : string =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%g" v
+
+let prom_health (b : Buffer.t) (h : Health.snapshot) : unit =
+  let model = prom_label h.Health.hs_model in
+  let family ~name ~help ~typ emit =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
+    emit name
+  in
+  family ~name:"limpetmlir_health_steps_sampled"
+    ~help:"Simulation steps sampled by the health monitor."
+    ~typ:"counter" (fun name ->
+      Buffer.add_string b
+        (Printf.sprintf "%s{model=\"%s\"} %d\n" name model
+           h.Health.hs_steps_sampled));
+  let per_var ~name ~help ~typ (f : Health.var_stat -> string) =
+    family ~name ~help ~typ (fun name ->
+        List.iter
+          (fun (vs : Health.var_stat) ->
+            Buffer.add_string b
+              (Printf.sprintf "%s{model=\"%s\",var=\"%s\"} %s\n" name model
+                 (prom_label vs.Health.vs_name) (f vs)))
+          h.Health.hs_vars)
+  in
+  per_var ~name:"limpetmlir_health_samples"
+    ~help:"Finite cell-samples per monitored variable." ~typ:"counter"
+    (fun vs -> string_of_int vs.Health.vs_samples);
+  per_var ~name:"limpetmlir_health_nan_total"
+    ~help:"NaN observations per monitored variable." ~typ:"counter" (fun vs ->
+      string_of_int vs.Health.vs_nan);
+  per_var ~name:"limpetmlir_health_inf_total"
+    ~help:"Infinity observations per monitored variable." ~typ:"counter"
+    (fun vs -> string_of_int vs.Health.vs_inf);
+  per_var ~name:"limpetmlir_health_range_total"
+    ~help:"Range violations (gate outside [0,1], Vm outside the watchdog \
+           window) per monitored variable."
+    ~typ:"counter" (fun vs -> string_of_int vs.Health.vs_range);
+  family ~name:"limpetmlir_health_state"
+    ~help:"Streaming per-variable statistics over finite samples."
+    ~typ:"gauge" (fun name ->
+      List.iter
+        (fun (vs : Health.var_stat) ->
+          List.iter
+            (fun (stat, v) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s{model=\"%s\",var=\"%s\",stat=\"%s\"} %s\n"
+                   name model
+                   (prom_label vs.Health.vs_name)
+                   stat (prom_value v)))
+            [
+              ("min", vs.Health.vs_min); ("mean", vs.Health.vs_mean);
+              ("max", vs.Health.vs_max);
+            ])
+        h.Health.hs_vars);
+  family ~name:"limpetmlir_health_tripped"
+    ~help:"1 when any health watchdog tripped (including gate-range warnings)."
+    ~typ:"gauge" (fun name ->
+      Buffer.add_string b
+        (Printf.sprintf "%s{model=\"%s\"} %d\n" name model
+           (if h.Health.hs_tripped then 1 else 0)));
+  family ~name:"limpetmlir_health_unhealthy"
+    ~help:"1 when a hard watchdog tripped (NaN / Inf / Vm range) — the \
+           /healthz state."
+    ~typ:"gauge" (fun name ->
+      Buffer.add_string b
+        (Printf.sprintf "%s{model=\"%s\"} %d\n" name model
+           (if h.Health.hs_unhealthy then 1 else 0)))
+
+let prometheus ?(health : Health.snapshot option) (s : Tracer.snapshot) :
+    string =
   let b = Buffer.create 1024 in
   let spans = summarize s in
   Buffer.add_string b
@@ -266,15 +379,208 @@ let prometheus (s : Tracer.snapshot) : string =
   List.iter
     (fun (name, v) ->
       Buffer.add_string b
-        (Printf.sprintf "limpetmlir_counter{name=\"%s\"} %g\n"
-           (prom_label name) v))
+        (Printf.sprintf "limpetmlir_counter{name=\"%s\"} %s\n"
+           (prom_label name) (prom_value v)))
     s.Tracer.counters;
   Buffer.add_string b "# HELP limpetmlir_gauge Point-in-time gauges.\n";
   Buffer.add_string b "# TYPE limpetmlir_gauge gauge\n";
   List.iter
     (fun (name, v) ->
       Buffer.add_string b
-        (Printf.sprintf "limpetmlir_gauge{name=\"%s\"} %g\n" (prom_label name)
-           v))
+        (Printf.sprintf "limpetmlir_gauge{name=\"%s\"} %s\n" (prom_label name)
+           (prom_value v)))
     s.Tracer.gauges;
+  Option.iter (prom_health b) health;
   Buffer.contents b
+
+(* -- Prometheus exposition validator ---------------------------------- *)
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_metric_name (s : string) : bool =
+  s <> ""
+  && (is_name_start s.[0] || s.[0] = ':')
+  && String.for_all (fun c -> is_name_char c || c = ':') s
+
+let valid_label_name (s : string) : bool =
+  s <> "" && is_name_start s.[0] && String.for_all is_name_char s
+
+(* Sample value token: canonical nonfinite (NaN / +Inf / -Inf) or a
+   plain decimal float.  Rejects the lowercase [nan]/[inf] that [%g]
+   prints — the regression {!prom_value} guards against. *)
+let valid_value (s : string) : bool =
+  match s with
+  | "NaN" | "+Inf" | "-Inf" | "Inf" -> true
+  | "" -> false
+  | _ ->
+      String.for_all
+        (fun c ->
+          (c >= '0' && c <= '9')
+          || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E')
+        s
+      && (match float_of_string_opt s with Some _ -> true | None -> false)
+
+(* Parse [{label="value",...}]; returns the index after the closing
+   brace or an error. *)
+let parse_labels (line : string) (start : int) : (int, string) result =
+  let n = String.length line in
+  let rec labels i =
+    (* label name *)
+    let j = ref i in
+    while !j < n && is_name_char line.[!j] do incr j done;
+    if not (valid_label_name (String.sub line i (!j - i))) then
+      Error "bad label name"
+    else if !j >= n || line.[!j] <> '=' then Error "expected '=' after label"
+    else if !j + 1 >= n || line.[!j + 1] <> '"' then
+      Error "label value must be quoted"
+    else value (!j + 2)
+  and value i =
+    (* inside quotes: backslash may only escape a backslash, a double
+       quote or [n] *)
+    if i >= n then Error "unterminated label value"
+    else
+      match line.[i] with
+      | '"' -> after_value (i + 1)
+      | '\\' ->
+          if i + 1 < n && (line.[i + 1] = '\\' || line.[i + 1] = '"'
+                          || line.[i + 1] = 'n')
+          then value (i + 2)
+          else Error "bad escape in label value"
+      | '\n' -> Error "raw newline in label value"
+      | _ -> value (i + 1)
+  and after_value i =
+    if i >= n then Error "unterminated label set"
+    else
+      match line.[i] with
+      | ',' -> labels (i + 1)
+      | '}' -> Ok (i + 1)
+      | _ -> Error "expected ',' or '}' after label value"
+  in
+  if start < n && line.[start] = '}' then Ok (start + 1) else labels start
+
+(** Validate a Prometheus text exposition as produced by {!prometheus}
+    (mirrors {!validate_chrome}; used by the round-trip tests and the CI
+    serve smoke).  Checks, line by line: [# HELP]/[# TYPE] come in order
+    and at most once per family, metric names match
+    [[a-zA-Z_:][a-zA-Z0-9_:]*], label names match
+    [[a-zA-Z_][a-zA-Z0-9_]*], label values only use the three legal
+    escapes, sample values are decimal floats or canonical
+    [NaN]/[+Inf]/[-Inf], an optional integer timestamp, and samples of a
+    family are not interleaved with other families.  [Ok n] returns the
+    number of sample lines. *)
+let validate_prometheus (text : string) : (int, string) result =
+  let ( let* ) r f = Result.bind r f in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let* lines =
+    if text = "" then Ok []
+    else if text.[String.length text - 1] <> '\n' then
+      Error "missing trailing newline"
+    else Ok (String.split_on_char '\n' (String.sub text 0 (String.length text - 1)))
+  in
+  (* family state: name of the family currently open for samples, plus
+     the set of families already closed (to reject interleaving). *)
+  let closed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let helped : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let current = ref None in
+  let nsamples = ref 0 in
+  let close () =
+    match !current with
+    | Some f ->
+        Hashtbl.replace closed f ();
+        current := None
+    | None -> ()
+  in
+  let open_family lineno f =
+    match !current with
+    | Some g when g = f -> Ok ()
+    | _ ->
+        if Hashtbl.mem closed f then
+          err lineno (Printf.sprintf "family %s interleaved" f)
+        else begin
+          close ();
+          current := Some f;
+          Ok ()
+        end
+  in
+  let meta_line lineno seen kind rest =
+    (* ["# HELP name text"] / ["# TYPE name kind"] *)
+    match String.index_opt rest ' ' with
+    | None -> err lineno (Printf.sprintf "# %s missing metric name" kind)
+    | Some sp ->
+        let name = String.sub rest 0 sp in
+        if not (valid_metric_name name) then
+          err lineno (Printf.sprintf "bad metric name %S" name)
+        else if Hashtbl.mem seen name then
+          err lineno (Printf.sprintf "duplicate # %s for %s" kind name)
+        else begin
+          Hashtbl.replace seen name ();
+          let* () =
+            if kind = "TYPE" then
+              if not (Hashtbl.mem helped name) then
+                err lineno (Printf.sprintf "# TYPE %s without # HELP" name)
+              else
+                match String.sub rest (sp + 1) (String.length rest - sp - 1) with
+                | "counter" | "gauge" | "histogram" | "summary" | "untyped" ->
+                    Ok ()
+                | t -> err lineno (Printf.sprintf "bad metric type %S" t)
+            else Ok ()
+          in
+          open_family lineno name
+        end
+  in
+  let sample_line lineno line =
+    let n = String.length line in
+    let j = ref 0 in
+    while !j < n && (is_name_char line.[!j] || line.[!j] = ':') do incr j done;
+    let name = String.sub line 0 !j in
+    if not (valid_metric_name name) then
+      err lineno (Printf.sprintf "bad metric name %S" name)
+    else
+      let* () =
+        if Hashtbl.mem typed name && not (Hashtbl.mem helped name) then
+          err lineno (Printf.sprintf "sample for %s before its # HELP" name)
+        else Ok ()
+      in
+      let* after_labels =
+        if !j < n && line.[!j] = '{' then
+          match parse_labels line (!j + 1) with
+          | Ok k -> Ok k
+          | Error m -> err lineno m
+        else Ok !j
+      in
+      let rest =
+        String.trim (String.sub line after_labels (n - after_labels))
+      in
+      let* () =
+        match String.split_on_char ' ' rest with
+        | [ v ] when valid_value v -> Ok ()
+        | [ v; ts ] when valid_value v -> (
+            match int_of_string_opt ts with
+            | Some _ -> Ok ()
+            | None -> err lineno (Printf.sprintf "bad timestamp %S" ts))
+        | _ -> err lineno (Printf.sprintf "bad sample value %S" rest)
+      in
+      let* () = open_family lineno name in
+      incr nsamples;
+      Ok ()
+  in
+  let rec go lineno = function
+    | [] -> Ok !nsamples
+    | line :: rest ->
+        let* () =
+          if line = "" then Ok ()
+          else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then
+            meta_line lineno helped "HELP"
+              (String.sub line 7 (String.length line - 7))
+          else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then
+            meta_line lineno typed "TYPE"
+              (String.sub line 7 (String.length line - 7))
+          else if String.length line >= 1 && line.[0] = '#' then Ok ()
+            (* plain comment *)
+          else sample_line lineno line
+        in
+        go (lineno + 1) rest
+  in
+  go 1 lines

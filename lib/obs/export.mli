@@ -24,10 +24,27 @@ val validate_chrome : string -> (int, string) result
     per tid, per-tid timestamps monotonic.  [Ok n] returns the number of
     span events. *)
 
-val summary : Tracer.snapshot -> string
+val summary : ?health:Health.snapshot -> Tracer.snapshot -> string
 (** Human-readable table: spans (count/total/mean/min/max), counters,
-    gauges, dropped-event note. *)
+    gauges, dropped-event note, plus a per-variable health section when
+    [?health] is given. *)
 
-val prometheus : Tracer.snapshot -> string
+val prom_value : float -> string
+(** Render a sample value for the text exposition format: canonical
+    [NaN] / [+Inf] / [-Inf] for nonfinite values (never the lowercase
+    spellings [%g] would print), [%g] otherwise. *)
+
+val prometheus : ?health:Health.snapshot -> Tracer.snapshot -> string
 (** Prometheus text exposition: span totals and counts, counters,
-    gauges. *)
+    gauges, and — when [?health] is given — the
+    [limpetmlir_health_*] metric families (steps sampled, per-variable
+    sample/NaN/Inf/range counters, min/mean/max state gauges, tripped
+    and unhealthy flags). *)
+
+val validate_prometheus : string -> (int, string) result
+(** Check a Prometheus text exposition: [# HELP]/[# TYPE] pairing and
+    uniqueness, metric-name and label-name charsets, label-value
+    escaping (only backslash, double quote and [n]), decimal or
+    canonical-nonfinite
+    sample values, optional integer timestamps, no family interleaving,
+    trailing newline.  [Ok n] returns the number of sample lines. *)

@@ -1,0 +1,146 @@
+(** Minimal stdlib-only HTTP/1.1 server for the live observability
+    endpoints ([/metrics], [/healthz]).
+
+    One dedicated system thread runs a non-blocking accept loop and
+    handles connections sequentially — a metrics scrape is a handful of
+    small requests per minute, so a connection pool would be pure
+    weight.  The handler runs on the server thread: it must only read
+    data published for it (atomics / immutable snapshots), never poke
+    simulation state.  No third-party dependency: sockets come from
+    [Unix], the thread from [Thread]. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type t = {
+  sock : Unix.file_descr;
+  s_port : int;
+  stop : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let write_all (fd : Unix.file_descr) (s : string) : unit =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+let respond (fd : Unix.file_descr) (r : response) : unit =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+        Connection: close\r\n\r\n%s"
+       r.status (status_text r.status) r.content_type
+       (String.length r.body) r.body)
+
+(* Read the request head (first line is all we route on); bounded so a
+   hostile client cannot grow the buffer. *)
+let read_request_line (fd : Unix.file_descr) : string option =
+  let buf = Bytes.create 1024 in
+  let acc = Buffer.create 256 in
+  let rec go () =
+    if Buffer.length acc > 8192 then None
+    else
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 | (exception Unix.Unix_error (_, _, _)) ->
+          if Buffer.length acc > 0 then Some (Buffer.contents acc) else None
+      | n ->
+          Buffer.add_subbytes acc buf 0 n;
+          let s = Buffer.contents acc in
+          (* stop as soon as the request line is complete *)
+          if String.index_opt s '\n' <> None then Some s else go ()
+  in
+  match go () with
+  | None -> None
+  | Some s -> (
+      match String.index_opt s '\n' with
+      | None -> Some s
+      | Some i -> Some (String.trim (String.sub s 0 i)))
+
+let handle_conn (handler : string -> response option) (fd : Unix.file_descr) :
+    unit =
+  (* a stuck client must not wedge the server thread *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0 with _ -> ());
+  match read_request_line fd with
+  | None -> ()
+  | Some line -> (
+      match String.split_on_char ' ' line with
+      | meth :: path :: _ ->
+          let resp =
+            if meth <> "GET" then
+              { status = 405; content_type = "text/plain";
+                body = "method not allowed\n" }
+            else begin
+              match handler path with
+              | Some r -> r
+              | None ->
+                  { status = 404; content_type = "text/plain";
+                    body = "not found\n" }
+              | exception _ ->
+                  { status = 500; content_type = "text/plain";
+                    body = "internal error\n" }
+            end
+          in
+          (try respond fd resp with _ -> ())
+      | _ -> (
+          try
+            respond fd
+              { status = 400; content_type = "text/plain";
+                body = "bad request\n" }
+          with _ -> ()))
+
+let accept_loop (t : t) (handler : string -> response option) () : unit =
+  while not (Atomic.get t.stop) do
+    match Unix.accept t.sock with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        Thread.delay 0.02
+    | exception Unix.Unix_error (_, _, _) ->
+        if not (Atomic.get t.stop) then Thread.delay 0.05
+    | fd, _ ->
+        (try Unix.clear_nonblock fd with _ -> ());
+        (try handle_conn handler fd with _ -> ());
+        (try Unix.close fd with _ -> ())
+  done
+
+(** [start ~port handler] binds [addr:port] (port 0 picks an ephemeral
+    port — read it back with {!port}) and serves [GET] requests:
+    [handler path] returns the response, [None] becomes a 404.  Raises
+    [Unix.Unix_error] when the address cannot be bound. *)
+let start ?(addr = "127.0.0.1") ~(port : int)
+    (handler : string -> response option) : t =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen sock 16;
+     Unix.set_nonblock sock
+   with e ->
+     (try Unix.close sock with _ -> ());
+     raise e);
+  let s_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t = { sock; s_port; stop = Atomic.make false; thread = None } in
+  t.thread <- Some (Thread.create (accept_loop t handler) ());
+  t
+
+let port (t : t) : int = t.s_port
+
+(** Stop accepting, join the server thread and close the socket.
+    Idempotent. *)
+let stop (t : t) : unit =
+  if not (Atomic.exchange t.stop true) then begin
+    (match t.thread with None -> () | Some th -> Thread.join th);
+    try Unix.close t.sock with _ -> ()
+  end

@@ -1,0 +1,23 @@
+(** Minimal stdlib-only HTTP/1.1 server (one dedicated thread,
+    sequential request handling) for the live observability endpoints.
+    The handler runs on the server thread: it must only read data
+    published for it (atomics / immutable snapshots). *)
+
+type response = { status : int; content_type : string; body : string }
+
+type t
+
+val start : ?addr:string -> port:int -> (string -> response option) -> t
+(** [start ~port handler] binds [addr:port] (default [127.0.0.1]; port 0
+    picks an ephemeral port — read it back with {!port}) and serves
+    [GET] requests on a dedicated thread: [handler path] returns the
+    response, [None] becomes a 404, a raising handler a 500, a non-GET
+    method a 405.  @raise Unix.Unix_error when the address cannot be
+    bound. *)
+
+val port : t -> int
+(** The bound port (useful with [~port:0]). *)
+
+val stop : t -> unit
+(** Stop accepting, join the server thread, close the socket.
+    Idempotent. *)

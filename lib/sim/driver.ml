@@ -39,6 +39,9 @@ type t = {
   mutable rows : floatarray list array;  (** per-thread LUT row buffers *)
   mutable t_now : float;
   mutable steps_done : int;
+  mutable health : Obs.Health.t option;
+      (** numerical-health monitor; sampled inside the compute stage's
+          chunks when due, enforced after the parallel region returns *)
 }
 
 let width (d : t) = d.gen.Codegen.Kernel.cfg.Codegen.Config.width
@@ -216,6 +219,7 @@ let create ?(engine = Fused) ?(elide = true) ?(tile = 0)
       rows = [||];
       t_now = 0.0;
       steps_done = 0;
+      health = None;
     }
   in
   reset d;
@@ -229,6 +233,64 @@ let create_cached ?engine ?elide ?tile ?optimize (cfg : Codegen.Config.t)
     (model : M.t) ~(ncells : int) ~(dt : float) : t =
   create ?engine ?elide ?tile (Codegen.Cache.generate ?optimize cfg model)
     ~ncells ~dt
+
+(* ------------------------------------------------------------------ *)
+(* Numerical-health monitoring                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Attach a health monitor: streaming min/max/mean, NaN/Inf counts and
+    clamp-violation counters per state variable plus a membrane-potential
+    watchdog, sampled inside the compute stage's chunks on the sampling
+    Domain.  Gates (Rush-Larsen / Sundnes / markov_be states — occupancy
+    semantics, must stay in [0,1]) get range checking; the default
+    [warn] sink prints each trip once through {!Easyml.Diag}. *)
+let enable_health ?(cfg = Obs.Health.default_config) ?warn (d : t) : unit =
+  let model = d.gen.Codegen.Kernel.model in
+  let layout =
+    match d.gen.Codegen.Kernel.cfg.Codegen.Config.layout with
+    | Runtime.Layout.AoS -> Obs.Health.Cell_major
+    | Runtime.Layout.SoA -> Obs.Health.Var_major
+    | Runtime.Layout.AoSoA w -> Obs.Health.Blocked w
+  in
+  let is_gate = function
+    | M.RushLarsen | M.Sundnes | M.MarkovBE -> true
+    | M.FE | M.RK2 | M.RK4 -> false
+  in
+  let vars =
+    List.map
+      (fun (name, k) ->
+        let gate =
+          match M.find_state model name with
+          | Some sv -> is_gate sv.M.sv_method
+          | None -> false
+        in
+        { Obs.Health.v_name = name; v_slot = k; v_gate = gate })
+      d.gen.Codegen.Kernel.state_index
+  in
+  let warn =
+    match warn with
+    | Some w -> w
+    | None ->
+        fun msg ->
+          let diag = Easyml.Diag.make ~code:"health" msg in
+          prerr_endline (Easyml.Diag.to_string ~file:model.M.name diag)
+  in
+  let h =
+    Obs.Health.create ~cfg ~model:model.M.name ~layout
+      ~nvars:(max 1 d.gen.Codegen.Kernel.nvars) ~ncells_pad:d.ncells_pad ~vars
+      ~warn ()
+  in
+  Obs.Health.set_enabled h true;
+  d.health <- Some h
+
+let disable_health (d : t) : unit =
+  (match d.health with Some h -> Obs.Health.set_enabled h false | None -> ());
+  d.health <- None
+
+let health (d : t) : Obs.Health.t option = d.health
+
+let health_snapshot (d : t) : Obs.Health.snapshot option =
+  Option.map Obs.Health.snapshot d.health
 
 (* Make sure we have per-thread kernel instances and row buffers. *)
 let ensure_threads (d : t) (nthreads : int) : unit =
@@ -266,12 +328,35 @@ let kernel_args (d : t) ~(start : int) ~(stop : int) ~(rows : floatarray list)
 let compute_stage ?(nthreads = 1) (d : t) : unit =
   ensure_threads d nthreads;
   let w = width d in
+  (* resolve the health probe once per step: [None] when monitoring is
+     off or this step is not due, so the hot path pays one atomic load *)
+  let probe =
+    match d.health with
+    | Some h when Obs.Health.due h ~step:d.steps_done -> Some h
+    | _ -> None
+  in
+  let vm_buf =
+    match probe with Some _ -> List.assoc_opt "Vm" d.exts | None -> None
+  in
+  let sample h ~lo ~hi =
+    (* clamp to the real cell count: padded lanes mirror real cells and
+       would double-count their values *)
+    let hi = min hi d.ncells in
+    if hi > lo then
+      Obs.Tracer.with_span "driver.health" (fun () ->
+          Obs.Health.sample_chunk h ~sv:d.sv ~vm:vm_buf ~lo ~hi
+            ~step:d.steps_done)
+  in
   Obs.Tracer.with_span "driver.compute" (fun () ->
-      if nthreads = 1 then
+      if nthreads = 1 then begin
         let args =
           kernel_args d ~start:0 ~stop:d.ncells_pad ~rows:d.rows.(0)
         in
-        ignore (d.runners.(0) args)
+        ignore (d.runners.(0) args);
+        match probe with
+        | Some h -> sample h ~lo:0 ~hi:d.ncells
+        | None -> ()
+      end
       else
         (* chunk boundaries must be aligned to the vector width, so the
            parallel-for runs over AoSoA blocks rather than cells; for the
@@ -289,9 +374,22 @@ let compute_stage ?(nthreads = 1) (d : t) : unit =
             Obs.Tracer.with_span "driver.chunk" (fun () ->
                 let start = ulo * uw
                 and stop = min (uhi * uw) d.ncells_pad in
-                if stop > start then
+                if stop > start then begin
                   let args = kernel_args d ~start ~stop ~rows:d.rows.(k) in
-                  ignore (d.runners.(k) args))))
+                  ignore (d.runners.(k) args);
+                  (* reduce this chunk into the worker Domain's own
+                     accumulators while its cells are still cache-hot *)
+                  match probe with
+                  | Some h -> sample h ~lo:start ~hi:stop
+                  | None -> ()
+                end)));
+  match probe with
+  | Some h ->
+      Obs.Health.note_sampled h;
+      (* trips recorded by worker Domains surface here, on the caller:
+         [Warn] prints each once, [Abort] raises {!Obs.Health.Tripped} *)
+      Obs.Health.enforce h
+  | None -> ()
 
 let find_ext_buf (d : t) (name : string) : floatarray =
   match List.assoc_opt name d.exts with

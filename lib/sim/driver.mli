@@ -39,6 +39,7 @@ type t = {
   mutable rows : floatarray list array;
   mutable t_now : float;
   mutable steps_done : int;
+  mutable health : Obs.Health.t option;
 }
 
 val create :
@@ -76,6 +77,27 @@ val create_cached :
 
 val reset : t -> unit
 (** Back to the initial state (also rebuilds tables). *)
+
+val enable_health :
+  ?cfg:Obs.Health.config -> ?warn:(string -> unit) -> t -> unit
+(** Attach a numerical-health monitor ({!Obs.Health}): per-variable
+    streaming min/max/mean, NaN/Inf counts, gate clamp-violation
+    counters and a configurable membrane-potential watchdog, sampled
+    inside the compute stage's chunks every [cfg.stride] steps.
+    Reducers only read — monitored runs stay bitwise identical to
+    unmonitored ones.  Under [cfg.policy = Abort] the compute stage
+    raises {!Obs.Health.Tripped} on NaN / Inf / Vm-range trips; [Warn]
+    (the default) reports each trip once through [warn], which defaults
+    to an {!Easyml.Diag}-formatted line on stderr. *)
+
+val disable_health : t -> unit
+(** Detach the monitor (sampling stops immediately). *)
+
+val health : t -> Obs.Health.t option
+(** The attached monitor, e.g. for {!Obs.Health.unhealthy}. *)
+
+val health_snapshot : t -> Obs.Health.snapshot option
+(** Merged statistics from the attached monitor, if any. *)
 
 val compute_stage : ?nthreads:int -> t -> unit
 (** One pass of the generated kernel over all cells; chunk boundaries are

@@ -19,4 +19,5 @@ let () =
       ("models", Test_models.suite);
       ("machine", Test_machine.suite);
       ("obs", Test_obs.suite);
+      ("health", Test_health.suite);
     ]

@@ -197,6 +197,116 @@ let chrome_roundtrip =
       | _, Error e -> QCheck.Test.fail_reportf "invalid trace: %s" e
       | Ok _, Ok n -> n = 2 * List.length pairs)
 
+(* -- Prometheus exposition -------------------------------------------- *)
+
+let test_prometheus_validator () =
+  let ok text =
+    match E.validate_prometheus text with
+    | Ok n -> n
+    | Error e -> Alcotest.failf "rejected valid exposition: %s" e
+  in
+  let bad ~why text =
+    match E.validate_prometheus text with
+    | Ok _ -> Alcotest.failf "accepted exposition with %s" why
+    | Error _ -> ()
+  in
+  Alcotest.(check int) "empty exposition" 0 (ok "");
+  Alcotest.(check int) "minimal family" 1
+    (ok "# HELP m_up Up.\n# TYPE m_up gauge\nm_up 1\n");
+  Alcotest.(check int) "labels, escapes, nonfinite, timestamp" 3
+    (ok
+       ("# HELP m_x X.\n# TYPE m_x counter\n"
+      ^ "m_x{a=\"q\\\"uo\\\\te\\n\"} 1.5e3\nm_x{a=\"b\"} +Inf\n"
+      ^ "m_x{a=\"c\"} NaN 1700000000\n"));
+  bad ~why:"no trailing newline" "# HELP m_up Up.\n# TYPE m_up gauge\nm_up 1";
+  bad ~why:"TYPE without HELP" "# TYPE m_up gauge\nm_up 1\n";
+  bad ~why:"duplicate TYPE"
+    "# HELP m Up.\n# TYPE m gauge\n# TYPE m gauge\nm 1\n";
+  bad ~why:"bad metric name" "# HELP 1m Up.\n# TYPE 1m gauge\n1m 1\n";
+  bad ~why:"bad metric type" "# HELP m Up.\n# TYPE m gouge\nm 1\n";
+  bad ~why:"illegal escape" "m{a=\"\\t\"} 1\n";
+  bad ~why:"unterminated label value" "m{a=\"x} 1\n";
+  bad ~why:"lowercase nonfinite (the %g spelling)" "m inf\n";
+  bad ~why:"lowercase nan" "m nan\n";
+  bad ~why:"hex float" "m 0x1p3\n";
+  bad ~why:"bad timestamp" "m 1 soon\n";
+  bad ~why:"interleaved families"
+    ("# HELP a A.\n# TYPE a gauge\na 1\n"
+   ^ "# HELP b B.\n# TYPE b gauge\nb 1\na 2\n")
+
+let test_prometheus_nonfinite_values () =
+  (* regression: %g would render nan/inf in lowercase, which the
+     exposition format (and validate_prometheus) rejects *)
+  fresh ();
+  T.enable ();
+  T.gauge "worst_residual" Float.nan;
+  T.gauge "hard_ceiling" Float.infinity;
+  T.count "steps" 42.0;
+  T.disable ();
+  let text = E.prometheus (T.snapshot ()) in
+  Alcotest.(check bool) "NaN spelled canonically" true
+    (Helpers.contains text "NaN");
+  Alcotest.(check bool) "+Inf spelled canonically" true
+    (Helpers.contains text "+Inf");
+  match E.validate_prometheus text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "nonfinite gauges broke the exposition: %s" e
+
+let prometheus_roundtrip =
+  (* arbitrary span/counter names (quotes, backslashes, newlines)
+     recorded through the tracer must export to an exposition the
+     validator accepts, with one sample per span stat and counter *)
+  let arb =
+    QCheck.(
+      list_of_size (Gen.int_range 0 25)
+        (pair printable_string (float_range 0.0 10.0)))
+  in
+  Helpers.qtest ~count:100 "prometheus exposition round-trip" arb (fun pairs ->
+      fresh ();
+      T.enable ();
+      List.iter
+        (fun (name, x) ->
+          T.with_span ("s:" ^ name) (fun () -> T.count ("c:" ^ name) x))
+        pairs;
+      T.disable ();
+      let snap = T.snapshot () in
+      let text = E.prometheus snap in
+      match E.validate_prometheus text with
+      | Error e -> QCheck.Test.fail_reportf "invalid exposition: %s" e
+      | Ok n ->
+          (* span total + span count per distinct span name, one sample
+             per distinct counter name *)
+          let spans = List.length (E.summarize snap) in
+          n = (2 * spans) + List.length snap.T.counters)
+
+let test_prometheus_health_section () =
+  (* the health metric families render from a live monitor and validate *)
+  fresh ();
+  let h =
+    Obs.Health.create ~model:"model \"x\"\\v1" ~layout:Obs.Health.Cell_major
+      ~nvars:1 ~ncells_pad:2
+      ~vars:[ { Obs.Health.v_name = "g{a}"; v_slot = 0; v_gate = true } ]
+      ~warn:(fun _ -> ())
+      ()
+  in
+  let sv = Float.Array.make 2 0.5 in
+  Float.Array.set sv 1 Float.nan;
+  Obs.Health.sample_chunk h ~sv ~vm:None ~lo:0 ~hi:2 ~step:0;
+  Obs.Health.note_sampled h;
+  let text = E.prometheus ~health:(Obs.Health.snapshot h) (T.snapshot ()) in
+  (match E.validate_prometheus text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "health exposition invalid: %s" e);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (Helpers.contains text needle))
+    [
+      "limpetmlir_health_steps_sampled"; "limpetmlir_health_nan_total";
+      "limpetmlir_health_state"; "limpetmlir_health_unhealthy";
+      "stat=\"mean\"";
+    ]
+
 (* -- traced runs are bitwise identical ------------------------------- *)
 
 let test_traced_bitwise_identical () =
@@ -274,6 +384,12 @@ let suite =
     Alcotest.test_case "json parser" `Quick test_json_parse;
     json_roundtrip;
     chrome_roundtrip;
+    Alcotest.test_case "prometheus validator" `Quick test_prometheus_validator;
+    Alcotest.test_case "prometheus nonfinite values" `Quick
+      test_prometheus_nonfinite_values;
+    prometheus_roundtrip;
+    Alcotest.test_case "prometheus health section" `Quick
+      test_prometheus_health_section;
     Alcotest.test_case "traced runs bitwise identical (43 models)" `Quick
       test_traced_bitwise_identical;
     Alcotest.test_case "disabled tracing overhead" `Quick test_disabled_overhead;
