@@ -387,16 +387,26 @@ type wall_row = {
 
 (* Each engine variant knows how to build its driver; "fused-noelide"
    keeps every runtime bounds check so the row pair quantifies what the
-   bounds-proof elision pass buys on real hardware. *)
+   bounds-proof elision pass buys on real hardware.  The base rows pin
+   [~specialize:false] so their historical meaning is stable;
+   "batched-spec" is the same batched engine with the runtime
+   specializer on ([dt] and the padded cell count folded to IR
+   constants, constant rows prefilled), so the batched/batched-spec
+   pair measures what specialization buys. *)
 let wall_engines =
   [
-    ("interp", fun g n -> Sim.Driver.create ~engine:Sim.Driver.Reference g ~ncells:n ~dt:0.01);
-    ("closure", fun g n -> Sim.Driver.create ~engine:Sim.Driver.Compiled g ~ncells:n ~dt:0.01);
-    ("fused", fun g n -> Sim.Driver.create ~engine:Sim.Driver.Fused g ~ncells:n ~dt:0.01);
+    ("interp",
+     fun g n -> Sim.Driver.create ~engine:Sim.Driver.Reference ~specialize:false g ~ncells:n ~dt:0.01);
+    ("closure",
+     fun g n -> Sim.Driver.create ~engine:Sim.Driver.Compiled ~specialize:false g ~ncells:n ~dt:0.01);
+    ("fused",
+     fun g n -> Sim.Driver.create ~engine:Sim.Driver.Fused ~specialize:false g ~ncells:n ~dt:0.01);
     ("fused-noelide",
-     fun g n -> Sim.Driver.create ~engine:Sim.Driver.Fused ~elide:false g ~ncells:n ~dt:0.01);
+     fun g n -> Sim.Driver.create ~engine:Sim.Driver.Fused ~elide:false ~specialize:false g ~ncells:n ~dt:0.01);
     ("batched",
-     fun g n -> Sim.Driver.create ~engine:Sim.Driver.Batched g ~ncells:n ~dt:0.01);
+     fun g n -> Sim.Driver.create ~engine:Sim.Driver.Batched ~specialize:false g ~ncells:n ~dt:0.01);
+    ("batched-spec",
+     fun g n -> Sim.Driver.create ~engine:Sim.Driver.Batched ~specialize:true g ~ncells:n ~dt:0.01);
   ]
 
 let wall_configs =
@@ -405,15 +415,25 @@ let wall_configs =
 let wall_reps =
   [ "MitchellSchaeffer"; "LuoRudy91"; "TenTusscher"; "GrandiPanditVoigt" ]
 
-(* Short traced re-run: a handful of compute stages under the tracer,
-   so every BENCH_wall.json row carries a phase breakdown next to its
-   median.  Runs strictly after the bechamel measurement — tracing is
-   disabled while samples are taken. *)
+(* The wall rows time full stimulated steps (compute kernel plus the
+   O(ncells) membrane update, which the kernel dominates).  Driving the
+   compute stage alone holds Vm frozen while the gates integrate against
+   it; stiff models (GrandiPanditVoigt) walk off to NaN within a few
+   hundred such invocations, and timing a kernel over non-finite state
+   is meaningless — denormal/NaN slow paths inflate the IQR to the size
+   of the median.  S1 pacing keeps every trajectory physiological for
+   the whole bechamel quota. *)
+let wall_stim = Sim.Stim.default
+
+(* Short traced re-run: a handful of steps under the tracer, so every
+   BENCH_wall.json row carries a phase breakdown next to its median.
+   Runs strictly after the bechamel measurement — tracing is disabled
+   while samples are taken. *)
 let phase_breakdown (d : Sim.Driver.t) : (string * float) list =
   Obs.Tracer.reset ();
   Obs.Tracer.enable ();
   for _ = 1 to 3 do
-    Sim.Driver.compute_stage d
+    Sim.Driver.step ~stim:wall_stim d
   done;
   Obs.Tracer.disable ();
   let snap = Obs.Tracer.snapshot () in
@@ -424,15 +444,15 @@ let phase_breakdown (d : Sim.Driver.t) : (string * float) list =
 
 (* Short monitored re-run on the retained driver (strictly after the
    bechamel measurement, like the phase breakdown): every-step health
-   sampling over a couple of compute stages, so each row records whether
-   the kernel it timed was producing finite state. *)
+   sampling over a couple of steps, so each row records whether the
+   kernel it timed was producing finite state. *)
 let health_of (d : Sim.Driver.t) : int * int * int =
   Sim.Driver.enable_health
     ~cfg:{ Obs.Health.default_config with Obs.Health.stride = 1 }
     ~warn:(fun _ -> ())
     d;
   for _ = 1 to 2 do
-    Sim.Driver.compute_stage d
+    Sim.Driver.step ~stim:wall_stim d
   done;
   let totals =
     match Sim.Driver.health_snapshot d with
@@ -531,8 +551,8 @@ let wallclock () =
   hr ();
   Fmt.pr "Wall-clock microbenchmarks (bechamel): real execution of the@.";
   Fmt.pr "generated kernels on this host, {interp, closure, fused, batched}@.";
-  Fmt.pr "engines x {scalar, vector} configs; per-kernel median ns per@.";
-  Fmt.pr "invocation with the interquartile range recorded per row.@.";
+  Fmt.pr "engines x {scalar, vector} configs; median ns per stimulated@.";
+  Fmt.pr "step (kernel-dominated) with the interquartile range per row.@.";
   hr ();
   (* keep each label's driver so the phase breakdown below re-runs the
      exact kernel instance bechamel measured *)
@@ -550,7 +570,8 @@ let wallclock () =
                 let label = Printf.sprintf "%s/%s/%s" name cname ename in
                 Hashtbl.replace drivers label d;
                 Bechamel.Test.make ~name:label
-                  (Bechamel.Staged.stage (fun () -> Sim.Driver.compute_stage d)))
+                  (Bechamel.Staged.stage (fun () ->
+                       Sim.Driver.step ~stim:wall_stim d)))
               wall_engines)
           wall_configs)
       wall_reps
@@ -698,6 +719,24 @@ let wallclock () =
   Fmt.pr "large-class batched-vs-fused median speedup: scalar %.2fx, \
           vector %.2fx, geomean %.2fx@."
     bsc bve ball;
+  (* headline: runtime specialization on the batched engine, all model
+     classes (the specializer's wins are not class-specific) *)
+  let ssc =
+    geo_or_nan (ratios ~num:"batched" ~den:"batched-spec" ~cls_filter:any
+                  ~cfg_filter:(fun c -> c = "scalar"))
+  in
+  let sve =
+    geo_or_nan (ratios ~num:"batched" ~den:"batched-spec" ~cls_filter:any
+                  ~cfg_filter:(fun c -> c = "vector"))
+  in
+  let sall =
+    geo_or_nan
+      (ratios ~num:"batched" ~den:"batched-spec" ~cls_filter:any
+         ~cfg_filter:any)
+  in
+  Fmt.pr "specialized-vs-batched median speedup: scalar %.2fx, vector \
+          %.2fx, geomean %.2fx@."
+    ssc sve sall;
   (* bounds-elision delta: fused with every runtime check vs fused with
      proved checks dropped, all models and configs (>= 1 means elision
      did not regress) *)
@@ -731,6 +770,9 @@ let wallclock () =
           ("large_batched_vs_fused_scalar", bsc);
           ("large_batched_vs_fused_vector", bve);
           ("large_batched_vs_fused_geomean", ball);
+          ("specialized_vs_batched_scalar", ssc);
+          ("specialized_vs_batched_vector", sve);
+          ("specialized_vs_batched_geomean", sall);
           ("fused_elision_speedup_geomean", el);
           ("health_nan_total", float_of_int nan_total);
         ]

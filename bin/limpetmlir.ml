@@ -91,6 +91,14 @@ let tile_arg =
          ~doc:"Batched-engine tile size in vector blocks \
                (0 = auto-size for L1; ignored by the other engines).")
 
+let specialize_arg =
+  Arg.(value & opt bool true & info [ "specialize" ] ~docv:"BOOL"
+         ~doc:"Partially evaluate the kernel over the run constants \
+               ($(b,dt), padded cell count) before executing, and split \
+               the time loop into constant-stimulus phases.  Bitwise \
+               identical results either way; specialized artifacts are \
+               cached per binding environment.  Default $(b,true).")
+
 let write_text (path : string) (text : string) : unit =
   let oc = open_out path in
   output_string oc text;
@@ -287,7 +295,7 @@ let run_cmd =
            ~doc:"Sample health every N steps (with --health).")
   in
   let run name width layout no_lut autovec spline cells steps dt every threads
-      engine tile trace health health_stride =
+      engine tile specialize trace health health_stride =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
     if trace <> None then begin
@@ -295,7 +303,7 @@ let run_cmd =
       Obs.Tracer.enable ()
     end;
     let g = Codegen.Cache.generate cfg m in
-    let d = Sim.Driver.create ~engine ~tile g ~ncells:cells ~dt in
+    let d = Sim.Driver.create ~engine ~tile ~specialize g ~ncells:cells ~dt in
     if health then
       Sim.Driver.enable_health
         ~cfg:
@@ -346,7 +354,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
           $ autovec_arg $ spline_arg $ cells $ steps $ dt $ every $ threads
-          $ engine_arg $ tile_arg $ trace $ health $ health_stride)
+          $ engine_arg $ tile_arg $ specialize_arg $ trace $ health
+          $ health_stride)
 
 (* -- profile -------------------------------------------------------- *)
 
@@ -382,8 +391,8 @@ let profile_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the export to a file instead of stdout.")
   in
-  let run name width layout no_lut autovec spline engine tile cells steps dt
-      threads format output =
+  let run name width layout no_lut autovec spline engine tile specialize cells
+      steps dt threads format output =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
     (* Clear the kernel cache so the compile half (passes, codegen,
@@ -393,7 +402,7 @@ let profile_cmd =
     Obs.Tracer.reset ();
     Obs.Tracer.enable ();
     let g = Codegen.Cache.generate cfg m in
-    let d = Sim.Driver.create ~engine ~tile g ~ncells:cells ~dt in
+    let d = Sim.Driver.create ~engine ~tile ~specialize g ~ncells:cells ~dt in
     (* health section rides along in the profile (Warn policy: a sick
        model should still produce its profile) *)
     Sim.Driver.enable_health d;
@@ -424,8 +433,8 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
-          $ autovec_arg $ spline_arg $ engine_arg $ tile_arg $ cells $ steps
-          $ dt $ threads $ format $ output)
+          $ autovec_arg $ spline_arg $ engine_arg $ tile_arg $ specialize_arg
+          $ cells $ steps $ dt $ threads $ format $ output)
 
 (* -- serve ----------------------------------------------------------- *)
 
@@ -464,14 +473,14 @@ let serve_cmd =
     Arg.(value & opt float 0.0 & info [ "pace" ] ~docv:"SECONDS"
            ~doc:"Sleep between steps (throttle a demo run; 0 = flat out).")
   in
-  let run name width layout no_lut autovec spline engine tile port cells steps
-      dt threads health_stride refresh pace =
+  let run name width layout no_lut autovec spline engine tile specialize port
+      cells steps dt threads health_stride refresh pace =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
     Obs.Tracer.reset ();
     Obs.Tracer.enable ();
     let g = Codegen.Cache.generate cfg m in
-    let d = Sim.Driver.create ~engine ~tile g ~ncells:cells ~dt in
+    let d = Sim.Driver.create ~engine ~tile ~specialize g ~ncells:cells ~dt in
     Sim.Driver.enable_health
       ~cfg:
         { Obs.Health.default_config with Obs.Health.stride = health_stride }
@@ -553,8 +562,9 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
-          $ autovec_arg $ spline_arg $ engine_arg $ tile_arg $ port $ cells
-          $ steps $ dt $ threads $ health_stride $ refresh $ pace)
+          $ autovec_arg $ spline_arg $ engine_arg $ tile_arg $ specialize_arg
+          $ port $ cells $ steps $ dt $ threads $ health_stride $ refresh
+          $ pace)
 
 (* -- validate-metrics ------------------------------------------------ *)
 

@@ -242,6 +242,52 @@ let markov_diags (m : M.t) : Diag.t list =
       else None)
     m.M.states
 
+(* ------------------------------------------------------------------ *)
+(* run-constant discipline                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The runtime specializer ({!Codegen.Cache.specialize} over
+   [Passes.Specialize]) folds the driver-bound run constants — [dt] and
+   the declared [.param()]s — into kernels as literals.  A model that
+   *writes* one of these inside the per-step body breaks that contract
+   silently: parameter folding already replaced every read with the
+   compile-time value, so a same-named integrated state diverges from
+   what every read saw, and an assignment to [dt]/[t] shadows the value
+   the kernel was specialized on.  Both are rejected here. *)
+let run_constant_diags (m : M.t) : Diag.t list =
+  let param_states =
+    List.filter_map
+      (fun (p, v) ->
+        match M.find_state m p with
+        | Some _ ->
+            Some
+              (Diag.makef ~sev:Diag.Error
+                 ~loc:(M.find_loc m p)
+                 ~code:"run-constant-write"
+                 "parameter %s is a run constant (folded to %g at compile \
+                  time) but is also integrated as a state every step; reads \
+                  and the specializer use the constant while the state \
+                  silently diverges"
+                 p v)
+        | None -> None)
+      m.M.params
+  in
+  let reserved =
+    List.filter_map
+      (fun (x, _) ->
+        if String.equal x "dt" || String.equal x "t" then
+          Some
+            (Diag.makef ~sev:Diag.Error
+               ~loc:(M.find_loc m x)
+               ~code:"run-constant-write"
+               "%s is a driver-bound run constant; assigning it inside the \
+                step body shadows the value kernels are specialized on"
+               x)
+        else None)
+      m.M.assigns
+  in
+  param_states @ reserved
+
 let unused_diags (m : M.t) : Diag.t list =
   List.map
     (fun name ->
@@ -256,6 +302,7 @@ let unused_diags (m : M.t) : Diag.t list =
 (** All diagnostics for a model: the analyzer's own plus the lint's. *)
 let check (m : M.t) : Diag.t list =
   m.M.warnings @ unused_diags m @ lookup_diags m @ markov_diags m
+  @ run_constant_diags m
 
 let has_errors (ds : Diag.t list) : bool = List.exists Diag.is_error ds
 

@@ -26,6 +26,9 @@ type stats = {
   misses : int;
   evictions : int;
   compile_ms : float;  (** total milliseconds spent on cache misses *)
+  spec_hits : int;  (** specialized-artifact lookups served from cache *)
+  spec_misses : int;  (** specialization runs *)
+  spec_ms : float;  (** total milliseconds spent specializing *)
 }
 
 (* Pipeline identity: pass names in order.  Recorded into the key so a
@@ -39,6 +42,9 @@ let hits = ref 0
 let misses = ref 0
 let evictions = ref 0
 let compile_ms = ref 0.0
+let spec_hits = ref 0
+let spec_misses = ref 0
+let spec_ms = ref 0.0
 
 (* Optional LRU bound.  [last_use] stamps every lookup with a logical
    tick; when a capacity is set, inserts over it evict the
@@ -80,10 +86,19 @@ let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let key ~(optimize : bool) (cfg : Config.t) (name : string) : string =
-  Printf.sprintf "%s|%s|%s|%s" name (Config.describe cfg)
+(* [env] is the run-constant binding environment of a specialized
+   artifact, serialized canonically ({!Passes.Specialize.canon_env}:
+   sorted bindings, exact float bit patterns) — logically identical envs
+   always produce the same key regardless of binding order, and [-0.0]
+   never aliases [0.0]. *)
+let key ?(env : Passes.Specialize.env = []) ~(optimize : bool)
+    (cfg : Config.t) (name : string) : string =
+  Printf.sprintf "%s|%s|%s|%s%s" name (Config.describe cfg)
     (if optimize then pipeline_id else "no-opt")
     "v1"
+    (match env with
+    | [] -> ""
+    | env -> "|spec:" ^ Passes.Specialize.canon_env env)
 
 (** [generate_named ?optimize cfg ~name parse] returns the cached kernel
     for [name] under [cfg], calling [parse] (the parse+analyze front end)
@@ -133,6 +148,116 @@ let generate_named ?(optimize = true) (cfg : Config.t) ~(name : string)
 let generate ?optimize (cfg : Config.t) (model : M.t) : Kernel.t =
   generate_named ?optimize cfg ~name:model.M.name (fun () -> model)
 
+(* Content identity of a kernel module: an MD5 of the printed IR
+   ([%.17g] floats round-trip, so distinct constants stay distinct).
+   Specialized artifacts key on this rather than on the model name
+   alone — a kernel handed to {!specialize} need not have come through
+   this cache (tests and tools call {!Kernel.generate} directly), and
+   two different modules under one model name must never share
+   specializations.  Memoized per module instance (physical equality):
+   the common path specializes the same cached kernel repeatedly. *)
+let digest_memo : (Ir.Func.modl * string) list ref = ref []
+
+let kernel_digest (m : Ir.Func.modl) : string =
+  match
+    locked (fun () ->
+        List.find_opt (fun (m', _) -> m' == m) !digest_memo)
+  with
+  | Some (_, d) -> d
+  | None ->
+      let d = Digest.to_hex (Digest.string (Ir.Printer.module_to_string m)) in
+      locked (fun () ->
+          digest_memo :=
+            (m, d) :: List.filteri (fun i _ -> i < 127) !digest_memo);
+      d
+
+(* The kernel ABI positions of the run constants a driver binds for the
+   lifetime of a simulation: the compute kernel takes
+   [start; stop; ncells_pad; dt; t; …] and every LUT initializer takes
+   [table; dt] (see {!Kernel}). *)
+let spec_bindings ~(dt : float) ~(ncells_pad : int)
+    (fn : Ir.Func.func) : (Ir.Value.t * Passes.Specialize.binding) list =
+  let nth k = List.nth_opt fn.Ir.Func.f_params k in
+  if String.equal fn.Ir.Func.f_name Kernel.compute_name then
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (fun v -> (v, Passes.Specialize.BI ncells_pad)) (nth 2);
+        Option.map (fun v -> (v, Passes.Specialize.BF dt)) (nth 3);
+      ]
+  else if String.length fn.Ir.Func.f_name >= 9
+          && String.equal (String.sub fn.Ir.Func.f_name 0 9) "lut_init_" then
+    match nth 1 with
+    | Some v -> [ (v, Passes.Specialize.BF dt) ]
+    | None -> []
+  else []
+
+(** [specialize g ~dt ~ncells_pad] returns [g] with its module partially
+    evaluated over the driver's run constants ({!Passes.Specialize}):
+    [dt] and the padded cell count become IR constants and the pipeline
+    re-runs over them.  Semantically the identity — bitwise-equal
+    results on every engine — and the function signatures are unchanged,
+    so the returned kernel is a drop-in for [g].  Artifacts are cached
+    under the base kernel's key extended with the canonical binding-env
+    serialization, so repeated runs and concurrent tenants with the same
+    (model, config, dt, cell count) share one compile. *)
+let specialize ?(optimize = true) (g : Kernel.t) ~(dt : float)
+    ~(ncells_pad : int) : Kernel.t =
+  let name = g.Kernel.model.M.name in
+  let env =
+    [
+      ("dt", Passes.Specialize.BF dt);
+      ("ncells_pad", Passes.Specialize.BI ncells_pad);
+    ]
+  in
+  let k =
+    key ~env ~optimize g.Kernel.cfg name
+    ^ "|kd:"
+    ^ kernel_digest g.Kernel.modl
+  in
+  match
+    locked (fun () ->
+        let r = Hashtbl.find_opt table k in
+        if r <> None then touch k;
+        r)
+  with
+  | Some g' ->
+      locked (fun () -> incr spec_hits);
+      Obs.Tracer.count "specialize.hit" 1.0;
+      g'
+  | None ->
+      Obs.Tracer.count "specialize.miss" 1.0;
+      let t0 = Unix.gettimeofday () in
+      let g' =
+        Obs.Tracer.with_span ("specialize:" ^ name) (fun () ->
+            let modl, st =
+              Passes.Specialize.run ~optimize g.Kernel.modl
+                ~bind:(spec_bindings ~dt ~ncells_pad)
+            in
+            Ir.Verifier.verify_module_exn modl;
+            Obs.Tracer.count ("specialize.folded_ops:" ^ name)
+              (float_of_int (max 0 (st.Passes.Specialize.ops_before
+                                    - st.Passes.Specialize.ops_after)));
+            Obs.Tracer.count ("specialize.splat_folded:" ^ name)
+              (float_of_int st.Passes.Specialize.splat_folded);
+            { g with Kernel.modl })
+      in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      Obs.Tracer.count "specialize.ms" ms;
+      locked (fun () ->
+          match Hashtbl.find_opt table k with
+          | Some g'' ->
+              incr spec_hits;
+              touch k;
+              g''
+          | None ->
+              incr spec_misses;
+              spec_ms := !spec_ms +. ms;
+              Hashtbl.replace table k g';
+              touch k;
+              evict_to_capacity ();
+              g')
+
 (** Bound the number of resident kernels.  [Some n] evicts down to [n]
     entries LRU-first (and keeps future inserts within [n]); [None]
     removes the bound.  Safe at any point: evicted kernels regenerate on
@@ -152,6 +277,9 @@ let stats () : stats =
         misses = !misses;
         evictions = !evictions;
         compile_ms = !compile_ms;
+        spec_hits = !spec_hits;
+        spec_misses = !spec_misses;
+        spec_ms = !spec_ms;
       })
 
 let reset_stats () : unit =
@@ -159,7 +287,10 @@ let reset_stats () : unit =
       hits := 0;
       misses := 0;
       evictions := 0;
-      compile_ms := 0.0)
+      compile_ms := 0.0;
+      spec_hits := 0;
+      spec_misses := 0;
+      spec_ms := 0.0)
 
 (** Drop every entry (tests use this to force fresh compiles). *)
 let clear () : unit =
@@ -169,9 +300,15 @@ let clear () : unit =
       hits := 0;
       misses := 0;
       evictions := 0;
-      compile_ms := 0.0)
+      compile_ms := 0.0;
+      spec_hits := 0;
+      spec_misses := 0;
+      spec_ms := 0.0)
 
 let describe_stats () : string =
   let s = stats () in
-  Printf.sprintf "cache: %d hits / %d misses / %d evictions / %.1f ms compiling"
-    s.hits s.misses s.evictions s.compile_ms
+  Printf.sprintf
+    "cache: %d hits / %d misses / %d evictions / %.1f ms compiling; \
+     specialize: %d hits / %d misses / %.1f ms"
+    s.hits s.misses s.evictions s.compile_ms s.spec_hits s.spec_misses
+    s.spec_ms

@@ -10,6 +10,9 @@ type stats = {
   misses : int;
   evictions : int;
   compile_ms : float;  (** total milliseconds spent on cache misses *)
+  spec_hits : int;  (** specialized-artifact lookups served from cache *)
+  spec_misses : int;  (** specialization runs *)
+  spec_ms : float;  (** total milliseconds spent specializing *)
 }
 
 val pipeline_id : string
@@ -24,6 +27,27 @@ val generate_named :
 
 val generate : ?optimize:bool -> Config.t -> Easyml.Model.t -> Kernel.t
 (** {!generate_named} for an already-analyzed model, keyed on its name. *)
+
+val spec_bindings :
+  dt:float ->
+  ncells_pad:int ->
+  Ir.Func.func ->
+  (Ir.Value.t * Passes.Specialize.binding) list
+(** The run-constant bindings of one kernel function, by ABI position:
+    the compute kernel's [ncells_pad] (param 2) and [dt] (param 3), and
+    every LUT initializer's [dt] (param 1).  Other functions bind
+    nothing.  This is the [bind] callback {!specialize} hands to
+    {!Passes.Specialize.run}. *)
+
+val specialize :
+  ?optimize:bool -> Kernel.t -> dt:float -> ncells_pad:int -> Kernel.t
+(** Partial evaluation of a cached kernel over the driver's run
+    constants ([dt], padded cell count) via {!Passes.Specialize} —
+    semantically the identity, bitwise-equal results on every engine,
+    unchanged signatures.  Artifacts are memoized under the base
+    kernel's key extended with the canonical, order-independent binding
+    environment serialization (exact float bit patterns), so logically
+    identical envs never miss. *)
 
 val set_capacity : int option -> unit
 (** Bound the number of resident kernels.  [Some n] evicts down to [n]

@@ -1112,8 +1112,18 @@ let sel_op (c : E.fctx) ~(luts : (int, lut_site) Hashtbl.t)
 (* Planning: tileability gate, LUT sites, pairing, coalescing          *)
 (* ------------------------------------------------------------------ *)
 
+(* A live-in whose defining chain outside the loop is a literal constant
+   (or a broadcast of one).  Its row contents never change between tile
+   activations, so instead of re-importing it per activation (KImpVF
+   alone costs [n × w] writes each time) the row is filled once, at
+   compile time, and excluded from the executed stream. *)
+type pre = PreF of float | PreI of int | PreB of bool
+
 type plan = {
   p_stream : ainstr array;  (** imports then body, in order *)
+  p_prefill : (Value.t * pre) list;
+      (** constant-provenance live-ins: rows filled once per compile,
+          pinned live across the whole stream so they are never reused *)
   p_asn : Regalloc.assignment;
   p_strides : int array;  (** per LUT buffer: floats per tile block *)
   p_bytes : int;  (** coalesced register-file bytes per tile block *)
@@ -1309,30 +1319,66 @@ let plan_loop (c : E.fctx) ~(uc : (int, int) Hashtbl.t) (fn : Func.func)
                         | None -> raise Not_tileable))
                 ops
             in
-            (* live-in imports, in order of first use *)
+            (* constant provenance of values defined outside the loop:
+               literal consts and broadcasts of them (the specializer's
+               splat folding produces many of the latter).  Body-defined
+               values can land in this map too, but they are never import
+               candidates, so the lookup below only ever sees live-ins. *)
+            let prov : (int, pre) Hashtbl.t = Hashtbl.create 64 in
+            Op.iter_region
+              (fun (o : Op.op) ->
+                match (o.Op.kind, o.Op.results) with
+                | Op.ConstF x, [| res |] ->
+                    Hashtbl.replace prov res.Value.id (PreF x)
+                | Op.ConstI x, [| res |] ->
+                    Hashtbl.replace prov res.Value.id (PreI x)
+                | Op.ConstB x, [| res |] ->
+                    Hashtbl.replace prov res.Value.id (PreB x)
+                | Op.Broadcast, [| res |] -> (
+                    match Hashtbl.find_opt prov o.Op.operands.(0).Value.id with
+                    | Some p -> Hashtbl.replace prov res.Value.id p
+                    | None -> ())
+                | _ -> ())
+              fn.Func.f_body;
+            (* live-in imports, in order of first use; constant-provenance
+               live-ins become prefills instead of per-activation imports *)
             let defined = Hashtbl.create 64 in
-            let imports = ref [] in
+            let imports = ref [] and prefills = ref [] in
             List.iter
               (fun ai ->
                 List.iter
                   (fun (v : Value.t) ->
                     if not (Hashtbl.mem defined v.Value.id) then begin
                       Hashtbl.replace defined v.Value.id ();
-                      imports := import_of c ~iv v :: !imports
+                      match Hashtbl.find_opt prov v.Value.id with
+                      | Some p when v.Value.id <> iv.Value.id ->
+                          prefills := (v, p) :: !prefills
+                      | _ -> imports := import_of c ~iv v :: !imports
                     end)
                   ai.a_uses;
                 List.iter
                   (fun (v : Value.t) -> Hashtbl.replace defined v.Value.id ())
                   ai.a_defs)
               body_stream;
+            let prefills = List.rev !prefills in
             let stream = Array.of_list (List.rev !imports @ body_stream) in
-            let prog =
-              {
-                Regalloc.uses =
-                  Array.map (fun ai -> List.map areg_of ai.a_uses) stream;
-                defs = Array.map (fun ai -> List.map areg_of ai.a_defs) stream;
-              }
-            in
+            (* register allocation sees the prefill defs as leading
+               pseudo-instructions and one trailing pin that uses every
+               prefill row: their live ranges span the whole stream, so
+               linear scan never hands those rows to a body definition.
+               The executed stream excludes both ends. *)
+            let npre = List.length prefills in
+            let ns = Array.length stream in
+            let uses = Array.make (npre + ns + 1) []
+            and defs = Array.make (npre + ns + 1) [] in
+            List.iteri (fun i (v, _) -> defs.(i) <- [ areg_of v ]) prefills;
+            Array.iteri
+              (fun i ai ->
+                uses.(npre + i) <- List.map areg_of ai.a_uses;
+                defs.(npre + i) <- List.map areg_of ai.a_defs)
+              stream;
+            uses.(npre + ns) <- List.map (fun (v, _) -> areg_of v) prefills;
+            let prog = { Regalloc.uses; defs } in
             let asn = Regalloc.allocate prog in
             let bytes =
               List.fold_left
@@ -1342,7 +1388,14 @@ let plan_loop (c : E.fctx) ~(uc : (int, int) Hashtbl.t) (fn : Func.func)
                 0 asn.Regalloc.counts
               + Array.fold_left (fun acc s -> acc + (s * 8)) 0 strides
             in
-            Some { p_stream = stream; p_asn = asn; p_strides = strides; p_bytes = bytes }
+            Some
+              {
+                p_stream = stream;
+                p_prefill = prefills;
+                p_asn = asn;
+                p_strides = strides;
+                p_bytes = bytes;
+              }
           with Not_tileable -> None)
       | _ -> None)
   | _ -> None
@@ -1402,6 +1455,20 @@ let compile_tiled (c : E.fctx) ~(tile : int) ~(uc : (int, int) Hashtbl.t)
         | Some s -> Hashtbl.find bases a.Regalloc.vclass + s
         | None -> fail "batched: value %%%d has no row" v.Value.id
       in
+      (* constant rows: filled once here, for the full tile extent, so
+         any activation count [n <= t] reads prefilled data; the
+         executed stream never writes them (pinned in the allocation) *)
+      List.iter
+        (fun ((v : Value.t), pre) ->
+          let row = look v and ew = ew_of v in
+          match pre with
+          | PreF x -> Float.Array.fill fr.(row) 0 (t * ew) x
+          | PreI x -> Array.fill ir.(row) 0 (t * ew) x
+          | PreB x -> Array.fill br.(row) 0 (t * ew) x)
+        p.p_prefill;
+      if p.p_prefill <> [] then
+        Obs.Tracer.count "batched.prefill_rows"
+          (float_of_int (List.length p.p_prefill));
       let code = Array.map (fun ai -> ai.a_emit look) p.p_stream in
       let st = { fr; ir; br; lb; base = 0; stp = 1; n = 0 } in
       let run = exec_tile code st c.E.env in

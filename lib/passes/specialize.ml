@@ -1,0 +1,343 @@
+(** Runtime specialization: partial evaluation over run-constant
+    parameters.
+
+    The execution engines call generated kernels with a binding
+    environment that is constant for the lifetime of a driver — the time
+    step [dt], the padded cell count, folded model parameters.  This
+    pass implements the staging view of that contract
+    ([compile : (a -> b) -> (a -> b)]): given a lowered module and a set
+    of (parameter value → constant) bindings, it clones the module,
+    materializes each binding as an [arith.constant] op, and re-runs the
+    standard pass pipeline so constant folding, CSE, LICM and DCE see
+    through the former parameters.
+
+    Two invariants make specialization a semantic identity (the
+    differential tests check it bitwise across every model):
+
+    - every fold performs exactly the IEEE operation the engines would
+      have executed at run time (const-fold and the splat folder below
+      share {!Const_fold.eval_op}, which is the engines' own evaluation);
+    - function signatures never change — a bound parameter simply
+      becomes dead, so callers keep passing it and the ABI, the cache
+      and the driver's argument marshalling are untouched.
+
+    Beyond the scalar pipeline, specialization unlocks *splat folding*:
+    elementwise vector ops whose operands are all broadcasts of known
+    constants fold to a broadcast of the scalar result.  In an
+    unspecialized kernel those chains do not exist (literal-only
+    arithmetic is already folded at the AST level); with [dt] bound they
+    appear everywhere the integrators build coefficient vectors
+    ([dt/2], [dt/6], …), and the batched engine then materializes the
+    resulting constant rows once per kernel instance instead of
+    re-importing them on every tile activation. *)
+
+open Ir
+
+type binding = BF of float | BI of int
+
+type env = (string * binding) list
+
+(** Canonical, order-independent serialization of a binding environment,
+    suitable as a cache-key component: bindings sorted by name, floats
+    rendered by their exact bit pattern (so [-0.0] and [0.0] — and any
+    two distinct NaNs — never alias), ints in decimal. *)
+let canon_env (env : env) : string =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) env
+  |> List.map (fun (n, b) ->
+         match b with
+         | BF x -> Printf.sprintf "%s=f%016Lx" n (Int64.bits_of_float x)
+         | BI i -> Printf.sprintf "%s=i%d" n i)
+  |> String.concat ","
+
+type stats = {
+  bound : int;  (** parameter bindings substituted *)
+  splat_folded : int;  (** vector ops folded to broadcasts of constants *)
+  ops_before : int;  (** module op count before specialization *)
+  ops_after : int;  (** … and after the pipeline re-run *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Module cloning                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Fresh op records with fresh operand/result arrays (the passes mutate
+   region op lists and operand arrays in place; the source module may be
+   a shared cache entry).  Value records are immutable and stay shared —
+   ids remain unique because the clone lives in its own module. *)
+let rec copy_region (r : Op.region) : Op.region =
+  {
+    Op.r_args = r.Op.r_args;
+    r_ops = List.map copy_op r.Op.r_ops;
+  }
+
+and copy_op (o : Op.op) : Op.op =
+  {
+    o with
+    Op.operands = Array.copy o.Op.operands;
+    results = Array.copy o.Op.results;
+    regions = Array.map copy_region o.Op.regions;
+  }
+
+let copy_func (f : Func.func) : Func.func =
+  { f with Func.f_body = copy_region f.Func.f_body }
+
+let copy_module (m : Func.modl) : Func.modl =
+  {
+    Func.m_name = m.Func.m_name;
+    m_funcs = List.map copy_func m.Func.m_funcs;
+    m_externs = m.Func.m_externs;
+  }
+
+(* Highest value / op ids in use, so inserted constants get fresh ids. *)
+let max_ids (m : Func.modl) : int * int =
+  let mv = ref 0 and mo = ref 0 in
+  let note_v (v : Value.t) = if v.Value.id > !mv then mv := v.Value.id in
+  let rec region (r : Op.region) : unit =
+    List.iter note_v r.Op.r_args;
+    List.iter
+      (fun (o : Op.op) ->
+        if o.Op.o_id > !mo then mo := o.Op.o_id;
+        Array.iter note_v o.Op.operands;
+        Array.iter note_v o.Op.results;
+        Array.iter region o.Op.regions)
+      r.Op.r_ops
+  in
+  List.iter
+    (fun (f : Func.func) ->
+      List.iter note_v f.Func.f_params;
+      region f.Func.f_body)
+    m.Func.m_funcs;
+  (!mv, !mo)
+
+(* ------------------------------------------------------------------ *)
+(* Binding substitution                                                *)
+(* ------------------------------------------------------------------ *)
+
+let const_kind_of (b : binding) : Op.kind * Ty.t =
+  match b with BF x -> (Op.ConstF x, Ty.F64) | BI i -> (Op.ConstI i, Ty.I64)
+
+(* Prepend one constant per binding and rewrite every operand use of the
+   bound parameter to it.  The parameter stays in the signature (dead at
+   run time), so the caller ABI is unchanged. *)
+let substitute ~(fresh_v : Ty.t -> Value.t) ~(fresh_o : unit -> int)
+    (fn : Func.func) (bindings : (Value.t * binding) list) : int =
+  let bindings =
+    List.filter
+      (fun ((pv : Value.t), b) ->
+        let k, ty = const_kind_of b in
+        ignore k;
+        if pv.Value.ty <> ty then
+          invalid_arg
+            (Printf.sprintf "Specialize: binding for %%%d has type %s"
+               pv.Value.id
+               (Fmt.str "%a" Ty.pp pv.Value.ty))
+        else List.exists (fun (p : Value.t) -> Value.equal p pv) fn.Func.f_params)
+      bindings
+  in
+  if bindings = [] then 0
+  else begin
+    let repl : (int, Value.t) Hashtbl.t = Hashtbl.create 8 in
+    let const_ops =
+      List.map
+        (fun ((pv : Value.t), b) ->
+          let kind, ty = const_kind_of b in
+          let r = fresh_v ty in
+          Hashtbl.replace repl pv.Value.id r;
+          {
+            Op.o_id = fresh_o ();
+            kind;
+            operands = [||];
+            results = [| r |];
+            regions = [||];
+          })
+        bindings
+    in
+    let resolve (v : Value.t) : Value.t =
+      match Hashtbl.find_opt repl v.Value.id with Some r -> r | None -> v
+    in
+    let rec rewrite (r : Op.region) : unit =
+      List.iter
+        (fun (o : Op.op) ->
+          Array.iteri (fun k v -> o.Op.operands.(k) <- resolve v) o.Op.operands;
+          Array.iter rewrite o.Op.regions)
+        r.Op.r_ops
+    in
+    rewrite fn.Func.f_body;
+    fn.Func.f_body.Op.r_ops <- const_ops @ fn.Func.f_body.Op.r_ops;
+    List.length bindings
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Splat folding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* An elementwise vector op whose operands are all broadcasts of known
+   constants computes the same scalar in every lane; fold it to a
+   broadcast of that scalar.  Evaluation reuses {!Const_fold.eval_op}
+   (the same finite-result-only rules, the same {!Easyml.Builtins}
+   evaluators the engines run per lane), so folded and unfolded kernels
+   are bitwise identical. *)
+let splat_fold_func ~(fresh_v : Ty.t -> Value.t) ~(fresh_o : unit -> int)
+    (fn : Func.func) : int =
+  let folded = ref 0 in
+  (* value id -> scalar constant it splats (scalar consts included, so
+     [Broadcast] of a constant is recognized in one walk) *)
+  let splat : (int, Const_fold.cv) Hashtbl.t = Hashtbl.create 32 in
+  (* vector selects with a known condition substitute their result *)
+  let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 8 in
+  let resolve (v : Value.t) : Value.t =
+    match Hashtbl.find_opt subst v.Value.id with Some r -> r | None -> v
+  in
+  (* scalar constants available for reuse, keyed by exact bit pattern *)
+  let pool : (string, Value.t) Hashtbl.t = Hashtbl.create 32 in
+  let pool_key (cv : Const_fold.cv) : string =
+    match cv with
+    | Const_fold.CF x -> Printf.sprintf "f%016Lx" (Int64.bits_of_float x)
+    | Const_fold.CI i -> Printf.sprintf "i%d" i
+    | Const_fold.CB b -> if b then "b1" else "b0"
+  in
+  let const_op_of (cv : Const_fold.cv) : Op.op option * Value.t =
+    match Hashtbl.find_opt pool (pool_key cv) with
+    | Some v -> (None, v)
+    | None ->
+        let kind, ty =
+          match cv with
+          | Const_fold.CF x -> (Op.ConstF x, Ty.F64)
+          | Const_fold.CI i -> (Op.ConstI i, Ty.I64)
+          | Const_fold.CB b -> (Op.ConstB b, Ty.I1)
+        in
+        let v = fresh_v ty in
+        Hashtbl.replace pool (pool_key cv) v;
+        ( Some
+            {
+              Op.o_id = fresh_o ();
+              kind;
+              operands = [||];
+              results = [| v |];
+              regions = [||];
+            },
+          v )
+  in
+  let rec go (r : Op.region) : unit =
+    r.Op.r_ops <-
+      List.concat_map
+        (fun (o : Op.op) ->
+          Array.iteri (fun k v -> o.Op.operands.(k) <- resolve v) o.Op.operands;
+          Array.iter go o.Op.regions;
+          match (o.Op.kind, o.Op.results) with
+          | Op.ConstF x, [| r |] ->
+              Hashtbl.replace splat r.Value.id (Const_fold.CF x);
+              Hashtbl.replace pool (pool_key (Const_fold.CF x)) r;
+              [ o ]
+          | Op.ConstI x, [| r |] ->
+              Hashtbl.replace splat r.Value.id (Const_fold.CI x);
+              Hashtbl.replace pool (pool_key (Const_fold.CI x)) r;
+              [ o ]
+          | Op.ConstB x, [| r |] ->
+              Hashtbl.replace splat r.Value.id (Const_fold.CB x);
+              Hashtbl.replace pool (pool_key (Const_fold.CB x)) r;
+              [ o ]
+          | Op.Broadcast, [| r |] -> (
+              match Hashtbl.find_opt splat o.Op.operands.(0).Value.id with
+              | Some cv ->
+                  Hashtbl.replace splat r.Value.id cv;
+                  [ o ]
+              | None -> [ o ])
+          | Op.Select, [| r |]
+            when (match r.Value.ty with Ty.Vec _ -> true | _ -> false) -> (
+              (* known condition: the select is the chosen operand *)
+              match Hashtbl.find_opt splat o.Op.operands.(0).Value.id with
+              | Some (Const_fold.CB c) ->
+                  let chosen = o.Op.operands.(if c then 1 else 2) in
+                  Hashtbl.replace subst r.Value.id chosen;
+                  (match Hashtbl.find_opt splat chosen.Value.id with
+                  | Some cv -> Hashtbl.replace splat r.Value.id cv
+                  | None -> ());
+                  incr folded;
+                  []
+              | _ -> [ o ])
+          | _, [| r |]
+            when (match r.Value.ty with Ty.Vec _ -> true | _ -> false) -> (
+              let cv_of (v : Value.t) = Hashtbl.find_opt splat v.Value.id in
+              match Const_fold.eval_op o cv_of with
+              | Some cv ->
+                  let new_const, cval = const_op_of cv in
+                  Hashtbl.replace splat r.Value.id cv;
+                  incr folded;
+                  let bcast =
+                    {
+                      o with
+                      Op.kind = Op.Broadcast;
+                      operands = [| cval |];
+                      regions = [||];
+                    }
+                  in
+                  (match new_const with
+                  | Some c -> [ c; bcast ]
+                  | None -> [ bcast ])
+              | None -> [ o ])
+          | _ -> [ o ])
+        r.Op.r_ops
+  in
+  go fn.Func.f_body;
+  !folded
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let module_ops (m : Func.modl) : int =
+  List.fold_left (fun n f -> n + Func.op_count f) 0 m.Func.m_funcs
+
+(** [run m ~bind] clones [m], substitutes the bindings [bind] returns
+    for each function (pairs of a {e parameter} value and its constant;
+    non-parameter values are ignored, type mismatches raise
+    [Invalid_argument]), and re-runs the standard pipeline interleaved
+    with splat folding to a fixpoint.  Signatures are preserved; the
+    input module is never mutated. *)
+let run ?(optimize = true) (m : Func.modl)
+    ~(bind : Func.func -> (Value.t * binding) list) : Func.modl * stats =
+  let ops_before = module_ops m in
+  let m' = copy_module m in
+  let mv, mo = max_ids m' in
+  let next_v = ref (mv + 1) and next_o = ref (mo + 1) in
+  let fresh_v (ty : Ty.t) : Value.t =
+    let id = !next_v in
+    next_v := id + 1;
+    { Value.id; ty }
+  in
+  let fresh_o () : int =
+    let id = !next_o in
+    next_o := id + 1;
+    id
+  in
+  let bound =
+    List.fold_left
+      (fun n (f : Func.func) -> n + substitute ~fresh_v ~fresh_o f (bind f))
+      0 m'.Func.m_funcs
+  in
+  let splat_folded = ref 0 in
+  if optimize then begin
+    Pipeline.optimize m';
+    (* splat folding exposes new scalar folds (and vice versa); iterate
+       to a fixpoint — two rounds in practice *)
+    let continue_ = ref true in
+    let rounds = ref 0 in
+    while !continue_ && !rounds < 8 do
+      incr rounds;
+      let n =
+        List.fold_left
+          (fun n f -> n + splat_fold_func ~fresh_v ~fresh_o f)
+          0 m'.Func.m_funcs
+      in
+      splat_folded := !splat_folded + n;
+      if n > 0 then Pipeline.optimize m' else continue_ := false
+    done
+  end;
+  ( m',
+    {
+      bound;
+      splat_folded = !splat_folded;
+      ops_before;
+      ops_after = module_ops m';
+    } )

@@ -1,0 +1,39 @@
+(** Runtime specialization: partial evaluation over run-constant
+    parameters.
+
+    Clones a lowered module, substitutes a binding environment
+    (parameter value → float/int constant) as IR constants, and re-runs
+    the standard pass pipeline interleaved with splat folding (vector
+    ops over broadcasts of constants fold to broadcasts).  Semantically
+    the identity: every fold performs the exact IEEE operation the
+    engines execute at run time, and function signatures are preserved
+    so the caller ABI is unchanged. *)
+
+type binding = BF of float | BI of int
+
+type env = (string * binding) list
+(** Named bindings, for cache keys; the substitution itself is by
+    parameter {e value} (see {!run}). *)
+
+val canon_env : env -> string
+(** Canonical, order-independent serialization: sorted by name, floats
+    by exact bit pattern ([Int64.bits_of_float], so [-0.0] ≠ [0.0]),
+    ints in decimal. *)
+
+type stats = {
+  bound : int;  (** parameter bindings substituted *)
+  splat_folded : int;  (** vector ops folded to broadcasts of constants *)
+  ops_before : int;  (** module op count before specialization *)
+  ops_after : int;  (** … and after the pipeline re-run *)
+}
+
+val run :
+  ?optimize:bool ->
+  Ir.Func.modl ->
+  bind:(Ir.Func.func -> (Ir.Value.t * binding) list) ->
+  Ir.Func.modl * stats
+(** [run m ~bind] returns the specialized clone and fold statistics.
+    [bind] is called once per function with the function itself and
+    returns the (parameter value, constant) pairs to freeze; values that
+    are not parameters of that function are ignored.  [m] is never
+    mutated.  @raise Invalid_argument on a type-mismatched binding. *)

@@ -29,6 +29,11 @@ type t = {
   tile : int;
       (** resolved batched-engine tile size in vector blocks (1 for the
           other engines); Domain-parallel chunk boundaries align to it *)
+  specialized : bool;
+      (** the kernel was partially evaluated over this driver's run
+          constants ({!Codegen.Cache.specialize}); also enables the
+          stimulus phase split in {!run} — results are bitwise identical
+          either way *)
   registry : Rt.registry;
   proved : (int, unit) Hashtbl.t;
       (** access ops of the compute kernel proved in-bounds under this
@@ -153,8 +158,13 @@ let reset (d : t) : unit =
     [~elide:false] keeps every check, for differentials and ablation.
     [tile] overrides the batched engine's tile size in vector blocks
     (default: the config's [tile] knob, 0 = auto-size for L1); results
-    are bitwise identical for every tile size. *)
-let create ?(engine = Fused) ?(elide = true) ?(tile = 0)
+    are bitwise identical for every tile size.  [specialize] (default
+    true) partially evaluates the kernel over this driver's run
+    constants — [dt] and the padded cell count become IR constants and
+    the pass pipeline re-runs over them ({!Codegen.Cache.specialize});
+    the reference interpreter always runs the unspecialized module so
+    differentials keep a pristine baseline. *)
+let create ?(engine = Fused) ?(elide = true) ?(tile = 0) ?(specialize = true)
     (gen : Codegen.Kernel.t) ~(ncells : int) ~(dt : float) : t =
   if ncells <= 0 then fail "ncells must be positive";
   if dt <= 0.0 then fail "dt must be positive";
@@ -164,6 +174,12 @@ let create ?(engine = Fused) ?(elide = true) ?(tile = 0)
   (* pad the cell count so every vector chunk is full (openCARP pads its
      state arrays the same way) *)
   let ncells_pad = (ncells + w - 1) / w * w in
+  (* specialize before anything downstream: bounds proofs, tile planning
+     and compilation must all see the module that will actually run *)
+  let specialize = specialize && engine <> Reference in
+  let gen =
+    if specialize then Codegen.Cache.specialize gen ~dt ~ncells_pad else gen
+  in
   let layout = cfg.Codegen.Config.layout in
   let nvars = max 1 gen.Codegen.Kernel.nvars in
   let sv =
@@ -187,10 +203,16 @@ let create ?(engine = Fused) ?(elide = true) ?(tile = 0)
       gen.Codegen.Kernel.lut_plans
   in
   let registry = make_registry () in
+  (* proofs run on the module that will execute: op ids differ between
+     the base and specialized clones, so the proved set must match *)
   let proved =
     if elide then Kernel_facts.prove_bounds gen ~ncells_pad
     else Hashtbl.create 1
   in
+  if specialize then
+    Obs.Tracer.count
+      ("specialize.guards_elided:" ^ gen.Codegen.Kernel.model.M.name)
+      (float_of_int (Hashtbl.length proved));
   (* resolve the tile size once (planning is deterministic, so this is
      exactly what compilation will pick); parallel chunking aligns to it *)
   let tile =
@@ -213,6 +235,7 @@ let create ?(engine = Fused) ?(elide = true) ?(tile = 0)
       tables;
       engine;
       tile;
+      specialized = specialize;
       registry;
       proved;
       runners = [||];
@@ -229,9 +252,10 @@ let create ?(engine = Fused) ?(elide = true) ?(tile = 0)
     kernel for [model] under [cfg] via {!Codegen.Cache}, then build the
     driver.  Repeated drivers for the same model × config skip codegen
     entirely. *)
-let create_cached ?engine ?elide ?tile ?optimize (cfg : Codegen.Config.t)
-    (model : M.t) ~(ncells : int) ~(dt : float) : t =
-  create ?engine ?elide ?tile (Codegen.Cache.generate ?optimize cfg model)
+let create_cached ?engine ?elide ?tile ?specialize ?optimize
+    (cfg : Codegen.Config.t) (model : M.t) ~(ncells : int) ~(dt : float) : t =
+  create ?engine ?elide ?tile ?specialize
+    (Codegen.Cache.generate ?optimize cfg model)
     ~ncells ~dt
 
 (* ------------------------------------------------------------------ *)
@@ -396,14 +420,14 @@ let find_ext_buf (d : t) (name : string) : floatarray =
   | Some b -> b
   | None -> fail "model has no external variable %s" name
 
-(** Membrane update (solver-stage stand-in for single-cell runs):
-    [Vm += dt * (stim(t) - Iion)] on every cell, when the model exposes the
-    conventional [Vm]/[Iion] externals. *)
-let membrane_update ?(stim = Stim.none) (d : t) : unit =
+(** Membrane update with a precomputed stimulus current [s]:
+    [Vm += dt * (s - Iion)] on every cell, when the model exposes the
+    conventional [Vm]/[Iion] externals.  The phase-split {!run} calls
+    this directly with one constant current per phase. *)
+let membrane_update_current (d : t) (s : float) : unit =
   match (List.assoc_opt "Vm" d.exts, List.assoc_opt "Iion" d.exts) with
   | Some vm, Some iion ->
       Obs.Tracer.with_span "driver.update" (fun () ->
-          let s = Stim.at stim d.t_now in
           for c = 0 to d.ncells - 1 do
             Float.Array.set vm c
               (Float.Array.get vm c
@@ -415,6 +439,11 @@ let membrane_update ?(stim = Stim.none) (d : t) : unit =
             Float.Array.set vm c (Float.Array.get vm (d.ncells - 1))
           done)
   | _ -> ()
+
+(** Membrane update (solver-stage stand-in for single-cell runs):
+    [Vm += dt * (stim(t) - Iion)] on every cell. *)
+let membrane_update ?(stim = Stim.none) (d : t) : unit =
+  membrane_update_current d (Stim.at stim d.t_now)
 
 (** One full time step: compute stage + membrane update. *)
 let step ?(nthreads = 1) ?(stim = Stim.none) (d : t) : unit =
@@ -443,17 +472,39 @@ let tick (d : t) : unit =
   d.steps_done <- d.steps_done + 1
 
 (** Run [steps] time steps; returns wall-clock seconds spent in the compute
-    stage (the quantity the paper's figures report). *)
+    stage (the quantity the paper's figures report).
+
+    On a specialized driver the time loop is split into stimulus phases
+    ({!Stim.segments}): within each phase the stimulus current is a
+    constant, so the per-step body is branch-free — no pulse-edge test,
+    no [Float.rem] phase arithmetic.  The segment plan evaluates the
+    schedule at exactly the accumulated times the plain loop would use,
+    so both paths are bitwise identical. *)
 let run ?(nthreads = 1) ?(stim = Stim.none) (d : t) ~(steps : int) : float =
   let total = ref 0.0 in
-  for _ = 1 to steps do
-    let t0 = Unix.gettimeofday () in
-    compute_stage ~nthreads d;
-    total := !total +. (Unix.gettimeofday () -. t0);
-    membrane_update ~stim d;
-    d.t_now <- d.t_now +. d.dt;
-    d.steps_done <- d.steps_done + 1
-  done;
+  let phase (s : float) (n : int) : unit =
+    for _ = 1 to n do
+      let t0 = Unix.gettimeofday () in
+      compute_stage ~nthreads d;
+      total := !total +. (Unix.gettimeofday () -. t0);
+      membrane_update_current d s;
+      d.t_now <- d.t_now +. d.dt;
+      d.steps_done <- d.steps_done + 1
+    done
+  in
+  if d.specialized then
+    List.iter
+      (fun (s, n) -> phase s n)
+      (Stim.segments stim ~t0:d.t_now ~dt:d.dt ~steps)
+  else
+    for _ = 1 to steps do
+      let t0 = Unix.gettimeofday () in
+      compute_stage ~nthreads d;
+      total := !total +. (Unix.gettimeofday () -. t0);
+      membrane_update ~stim d;
+      d.t_now <- d.t_now +. d.dt;
+      d.steps_done <- d.steps_done + 1
+    done;
   !total
 
 (* ------------------------------------------------------------------ *)

@@ -30,6 +30,10 @@ type t = {
       (** resolved batched-engine tile size in vector blocks (1 for the
           other engines); parallel chunk boundaries align to
           [tile × width] cells *)
+  specialized : bool;
+      (** the kernel was partially evaluated over this driver's run
+          constants ([dt], padded cell count) and {!run} uses the
+          stimulus phase split — bitwise identical either way *)
   registry : Exec.Rt.registry;
   proved : (int, unit) Hashtbl.t;
       (** compute-kernel access ops proved in-bounds by
@@ -46,6 +50,7 @@ val create :
   ?engine:engine ->
   ?elide:bool ->
   ?tile:int ->
+  ?specialize:bool ->
   Codegen.Kernel.t ->
   ncells:int ->
   dt:float ->
@@ -58,7 +63,11 @@ val create :
     every check.  [tile] sets the batched engine's tile size in vector
     blocks (default: the config's [tile] knob; 0 = auto-size for L1);
     ignored by the other engines, and results are bitwise identical for
-    every value.
+    every value.  [specialize] (default true) partially evaluates the
+    kernel over this driver's run constants — [dt] and the padded cell
+    count become IR constants and the pass pipeline re-runs over them
+    ({!Codegen.Cache.specialize}); bitwise identical, and ignored by the
+    reference interpreter so differentials keep a pristine baseline.
     @raise Driver_error on non-positive [ncells]/[dt] or negative
     [tile]. *)
 
@@ -66,6 +75,7 @@ val create_cached :
   ?engine:engine ->
   ?elide:bool ->
   ?tile:int ->
+  ?specialize:bool ->
   ?optimize:bool ->
   Codegen.Config.t ->
   Easyml.Model.t ->

@@ -18,3 +18,10 @@ val make :
 
 val at : t -> float -> float
 (** Stimulus current at time [t] (ms). *)
+
+val segments : t -> t0:float -> dt:float -> steps:int -> (float * int) list
+(** Run-length encoding [(current, steps); …] of the stimulus over a
+    fixed-step run, evaluated at exactly the accumulated time sequence
+    the driver produces — a time loop split into these constant-current
+    phases is bitwise identical to calling {!at} every step.  The
+    segment step counts sum to [steps]. *)

@@ -275,6 +275,46 @@ let test_lint_flags_seeded_bad_model () =
   let _, warns, errs = A.Lint.count_by_severity ds in
   Alcotest.(check bool) "severity counts" true (warns >= 1 && errs >= 1)
 
+let test_lint_run_constant_writes () =
+  (* a declared .param() integrated as a state: every read was folded to
+     the compile-time value, the state silently diverges *)
+  let src_param =
+    "Vm; .external(); .nodal();\n\
+     Iion; .external(); .nodal();\n\
+     Vm_init = -65.0;\n\
+     k; .param();\n\
+     k = 0.5;\n\
+     k_init = 0.5;\n\
+     diff_k = 0.01*k;\n\
+     m; m_init = 0.1;\n\
+     diff_m = (0.2 - m)/1.0;\n\
+     Iion = k + m*(Vm + 65.0);\n"
+  in
+  let m = Easyml.Sema.analyze_source ~name:"bad_param" src_param in
+  let ds = A.Lint.check m in
+  Alcotest.(check bool) "param-as-state is an error" true
+    (List.exists
+       (fun (d : Easyml.Diag.t) ->
+         d.Easyml.Diag.code = "run-constant-write" && Easyml.Diag.is_error d)
+       ds);
+  (* assigning the driver-bound dt inside the step body *)
+  let src_dt =
+    "Vm; .external(); .nodal();\n\
+     Iion; .external(); .nodal();\n\
+     Vm_init = -65.0;\n\
+     m; m_init = 0.1;\n\
+     dt = 0.5;\n\
+     diff_m = (0.2 - m)/1.0;\n\
+     Iion = m*(Vm + 65.0) + dt;\n"
+  in
+  let m2 = Easyml.Sema.analyze_source ~name:"bad_dt" src_dt in
+  let ds2 = A.Lint.check m2 in
+  Alcotest.(check bool) "dt assignment is an error" true
+    (List.exists
+       (fun (d : Easyml.Diag.t) ->
+         d.Easyml.Diag.code = "run-constant-write" && Easyml.Diag.is_error d)
+       ds2)
+
 let test_lint_catalogue_error_free () =
   (* the bundled models may carry warnings, but never errors *)
   List.iter
@@ -304,6 +344,8 @@ let suite =
       test_all_models_deep_verify;
     Alcotest.test_case "lint flags the seeded bad model" `Quick
       test_lint_flags_seeded_bad_model;
+    Alcotest.test_case "lint: run-constant writes rejected" `Quick
+      test_lint_run_constant_writes;
     Alcotest.test_case "lint: catalogue has no errors" `Quick
       test_lint_catalogue_error_free;
   ]

@@ -11,6 +11,7 @@ let () =
     ("fused", Test_fused.suite);
       ("batched", Test_batched.suite);
       ("passes", Test_passes.suite);
+      ("specialize", Test_specialize.suite);
       ("integrators", Test_integrators.suite);
       ("runtime", Test_runtime.suite);
       ("solver", Test_solver.suite);
