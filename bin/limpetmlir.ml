@@ -166,7 +166,23 @@ let check_cmd =
                  and run the deep IR verifier (structural checks plus \
                  dataflow-backed range and initialization proofs).")
   in
-  let run models all format deep =
+  let validate_passes =
+    Arg.(value & flag & info [ "validate-passes" ]
+           ~doc:"Translation validation: compile each model's scalar and \
+                 vector kernels (and a specialized variant) with the \
+                 optimization pipeline in validating mode, proving every \
+                 pass application semantics-preserving.  A refutation is \
+                 an error (with the first diverging symbolic terms and \
+                 the responsible pass); an undecided obligation is a \
+                 warning.")
+  in
+  let certs_out =
+    Arg.(value & opt (some string) None & info [ "certs-out" ] ~docv:"FILE"
+           ~doc:"With --validate-passes, write all per-pass certificates \
+                 (pass id, IR digests, obligation count, verdict, time) \
+                 as JSON to $(docv).")
+  in
+  let run models all format deep validate_passes certs_out =
     let names =
       if all then List.map (fun (e : Models.Model_def.entry) -> e.name)
           Models.Registry.all
@@ -174,6 +190,10 @@ let check_cmd =
     in
     if names = [] then
       Fmt.failwith "no models to check (name one or pass --all)";
+    if validate_passes then begin
+      Codegen.Cache.set_validation true;
+      Codegen.Cache.clear ()
+    end;
     let json_items = ref [] in
     let n_err = ref 0 and n_warn = ref 0 and n_info = ref 0 in
     let emit_diag ~file (d : Easyml.Diag.t) =
@@ -213,8 +233,86 @@ let check_cmd =
                                Ir.Verifier.pp_error err
                                (Codegen.Config.describe cfg)))
                         (Analysis.Deep.verify_module g.Codegen.Kernel.modl))
+                [ Codegen.Config.baseline; Codegen.Config.mlir ~width:8 ];
+            if validate_passes then
+              List.iter
+                (fun cfg ->
+                  match Codegen.Cache.generate cfg m with
+                  | exception Codegen.Cache.Validation_failed cert ->
+                      Option.iter (emit_diag ~file:name)
+                        (Analysis.Transval.diag_of_cert cert)
+                  | exception e ->
+                      emit_diag ~file:name
+                        (Easyml.Diag.makef ~sev:Easyml.Diag.Error
+                           ~code:"codegen-failed" "%s (%s)"
+                           (Printexc.to_string e)
+                           (Codegen.Config.describe cfg))
+                  | g -> (
+                      (* Also validate the specialized pipeline, including
+                         the composite specialize obligation. *)
+                      match
+                        Codegen.Cache.specialize g ~dt:0.01 ~ncells_pad:64
+                      with
+                      | exception Codegen.Cache.Validation_failed cert ->
+                          Option.iter (emit_diag ~file:name)
+                            (Analysis.Transval.diag_of_cert cert)
+                      | exception e ->
+                          emit_diag ~file:name
+                            (Easyml.Diag.makef ~sev:Easyml.Diag.Error
+                               ~code:"specialize-failed" "%s (%s)"
+                               (Printexc.to_string e)
+                               (Codegen.Config.describe cfg))
+                      | _ -> ()))
                 [ Codegen.Config.baseline; Codegen.Config.mlir ~width:8 ])
       names;
+    if validate_passes then begin
+      let certs = Codegen.Cache.certificates () in
+      let n_certs = ref 0 and n_unknown = ref 0 and n_refuted = ref 0 in
+      let total_ms = ref 0.0 in
+      List.iter
+        (fun (key, cs) ->
+          List.iter
+            (fun (c : Analysis.Transval.cert) ->
+              incr n_certs;
+              total_ms := !total_ms +. c.Analysis.Transval.c_ms;
+              if Analysis.Transval.is_refuted c then incr n_refuted
+              else if Analysis.Transval.is_unknown c then begin
+                incr n_unknown;
+                Option.iter (emit_diag ~file:key)
+                  (Analysis.Transval.diag_of_cert c)
+              end)
+            cs)
+        certs;
+      (match certs_out with
+      | None -> ()
+      | Some file ->
+          let buf = Buffer.create 4096 in
+          Buffer.add_string buf "[";
+          let first = ref true in
+          List.iter
+            (fun (key, cs) ->
+              List.iter
+                (fun c ->
+                  if not !first then Buffer.add_string buf ",\n ";
+                  first := false;
+                  Buffer.add_string buf
+                    (Printf.sprintf "{\"key\": \"%s\", \"cert\": %s}"
+                       (Easyml.Diag.json_escape key)
+                       (Analysis.Transval.cert_to_json c)))
+                cs)
+            certs;
+          Buffer.add_string buf "]\n";
+          let oc = open_out file in
+          output_string oc (Buffer.contents buf);
+          close_out oc);
+      if format = `Text then
+        Fmt.pr
+          "validate-passes: %d certificate(s), %d proved, %d unknown, \
+           %d refuted (%.1f ms)@."
+          !n_certs
+          (!n_certs - !n_unknown - !n_refuted)
+          !n_unknown !n_refuted !total_ms
+    end;
     (match format with
     | `Text ->
         Fmt.pr "checked %d model(s): %d error(s), %d warning(s), %d info@."
@@ -224,7 +322,8 @@ let check_cmd =
     if !n_err > 0 then exit 1
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ models $ all $ format $ deep)
+    Term.(const run $ models $ all $ format $ deep $ validate_passes
+          $ certs_out)
 
 (* -- emit ----------------------------------------------------------- *)
 
@@ -294,16 +393,32 @@ let run_cmd =
     Arg.(value & opt int 16 & info [ "health-stride" ] ~docv:"N"
            ~doc:"Sample health every N steps (with --health).")
   in
+  let validate =
+    Arg.(value & flag & info [ "validate" ]
+           ~doc:"Run the optimization pipeline in validating mode: prove \
+                 every pass application (and the specializer) \
+                 semantics-preserving before simulating.  A refutation \
+                 aborts with exit code 4.")
+  in
   let run name width layout no_lut autovec spline cells steps dt every threads
-      engine tile specialize trace health health_stride =
+      engine tile specialize trace health health_stride validate =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
     if trace <> None then begin
       Obs.Tracer.reset ();
       Obs.Tracer.enable ()
     end;
-    let g = Codegen.Cache.generate cfg m in
-    let d = Sim.Driver.create ~engine ~tile ~specialize g ~ncells:cells ~dt in
+    if validate then Codegen.Cache.set_validation true;
+    let g, d =
+      try
+        let g = Codegen.Cache.generate cfg m in
+        (g, Sim.Driver.create ~engine ~tile ~specialize g ~ncells:cells ~dt)
+      with Codegen.Cache.Validation_failed cert ->
+        Fmt.epr "translation validation refuted pass %s:@.%s@."
+          cert.Analysis.Transval.c_pass
+          (Analysis.Transval.cert_to_json cert);
+        exit 4
+    in
     if health then
       Sim.Driver.enable_health
         ~cfg:
@@ -355,7 +470,7 @@ let run_cmd =
     Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
           $ autovec_arg $ spline_arg $ cells $ steps $ dt $ every $ threads
           $ engine_arg $ tile_arg $ specialize_arg $ trace $ health
-          $ health_stride)
+          $ health_stride $ validate)
 
 (* -- profile -------------------------------------------------------- *)
 

@@ -1,0 +1,65 @@
+(** Memory-footprint summaries.
+
+    Two views of "what memory does this code touch": {!of_func}, a
+    global interval-powered summary of every access as a buffer origin
+    plus a touched-index interval; and {!local_alias}, a purely
+    syntactic O(1) oracle for two accesses in the {e same} straight-line
+    block, used by the fused engine's load/store sinking rule. *)
+
+type access = {
+  acc_op : Ir.Op.op;
+  acc_origin : Interval.origin;
+  acc_itv : Itv.I.t;  (** touched element indices, all lanes included *)
+  acc_write : bool;
+}
+
+val pp_access : access Fmt.t
+
+val widen_by : Itv.I.t -> int -> Itv.I.t
+(** Vector ops at width [w] starting at index [i] touch [i .. i+w-1]:
+    widen the start-index interval by the lane span. *)
+
+val accesses_of : Interval.state -> Ir.Op.op -> access list
+(** Accesses performed by a single op, given converged interval facts.
+    Loads/stores/gathers/scatters report their index interval (vector
+    ops widened by the lane count); the LUT externs use a built-in
+    effect table; unknown externs are assumed to read and write every
+    memref operand in full.  Pure ops report nothing. *)
+
+val of_func : ?seed:(Ir.Value.t * Interval.v) list ->
+  Ir.Func.func -> Interval.state * access list
+(** Analyze [f] (optionally seeding parameter values — e.g. concrete
+    chunk bounds) and collect every access on the converged
+    environment.  Accesses in provably-dead loops are not reported. *)
+
+val writes : access list -> access list
+val reads : access list -> access list
+
+val by_origin : access list -> (Interval.origin * access list) list
+(** Accesses grouped per origin, origins in first-touch order. *)
+
+(** {2 Local (same-block) alias oracle} *)
+
+type rel =
+  | Same  (** identical buffer, identical index, identical width *)
+  | Disjoint  (** identical buffer, provably non-overlapping ranges *)
+  | DistinctMem  (** different SSA memref values *)
+  | May  (** same buffer, overlap not refutable *)
+
+val rel_name : rel -> string
+
+val chase_idx :
+  (Ir.Value.t -> Ir.Op.op option) -> Ir.Value.t -> int -> int ->
+  Ir.Value.t option * int
+(** [chase_idx defs v off fuel]: normalize an index to (symbolic root,
+    constant offset) by chasing [x + c] / [x - c] / [c] chains through
+    the defining-op map.  [None] root means a fully-constant index. *)
+
+val local_alias :
+  defs:(Ir.Value.t -> Ir.Op.op option) ->
+  Ir.Value.t * Ir.Value.t * int ->
+  Ir.Value.t * Ir.Value.t * int ->
+  rel
+(** Alias relation between two accesses [(mem, index, width)] in the
+    same block.  Sound under SSA: equal values denote equal runtime
+    addresses within one iteration. *)

@@ -1,0 +1,110 @@
+(** Interval lattices shared by every dataflow client.
+
+    Two numeric domains:
+    - {!I}: strided ("congruence") integer intervals [{lo..hi} ∩ (m·ℤ +
+      r)] with saturating endpoint arithmetic — precise enough to push
+      AoSoA address polynomials through exactly;
+    - {!F}: float intervals with an explicit may-be-NaN flag, closed
+      under IEEE arithmetic including infinities. *)
+
+val sat_add : int -> int -> int
+(** Saturating add: overflow clamps to [min_int]/[max_int]. *)
+
+val sat_neg : int -> int
+val sat_sub : int -> int -> int
+val sat_mul : int -> int -> int
+
+val gcd : int -> int -> int
+(** [gcd a b >= 0]; [gcd a 0 = abs a]. *)
+
+val emod : int -> int -> int
+(** Euclidean remainder: [emod a m] is in [\[0, abs m)] for [m <> 0]. *)
+
+(** Strided integer intervals. *)
+module I : sig
+  type t = { lo : int; hi : int; m : int; r : int }
+  (** The set [{x | lo <= x <= hi, x ≡ r (mod m)}].  Normalized: [bot]
+      iff [lo > hi]; constants have [m = 1, r = 0]; endpoints are tight
+      on the congruence class. *)
+
+  val bot : t
+  val top : t
+  val is_bot : t -> bool
+
+  val mk : int -> int -> int -> int -> t
+  (** [mk lo hi m r]: normalize a candidate interval (tighten endpoints
+      onto the congruence class, collapse empty ranges to {!bot}).
+      Strides beyond an internal cap degrade to stride 1. *)
+
+  val const : int -> t
+  val range : int -> int -> t
+  val is_const : t -> bool
+
+  val cong : t -> int * int
+  (** [(m, r)] view; constants answer [(0, value)]. *)
+
+  val equal : t -> t -> bool
+  val mem : int -> t -> bool
+  val pp : t Fmt.t
+
+  val join : t -> t -> t
+  val subset : t -> t -> bool
+  val overlap : t -> t -> bool
+  (** Can the two sets share an element?  (Sound: never a false
+      negative.) *)
+
+  val add : t -> t -> t
+  val neg : t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  (** OCaml [/] semantics (truncation toward zero); division by a range
+      containing 0 degrades rather than errors. *)
+
+  val rem : t -> t -> t
+  val min_ : t -> t -> t
+  val max_ : t -> t -> t
+end
+
+(** Float intervals with NaN tracking. *)
+module F : sig
+  type t = { lo : float; hi : float; nan : bool }
+  (** The set [\[lo, hi\] ∪ (nan ? {NaN} : ∅)].  [lo > hi] encodes the
+      empty range (possibly still NaN-only). *)
+
+  val bot : t
+  val top : t
+  val finite_top : t
+
+  val range_empty : t -> bool
+  (** No ordered values — the set is at most [{NaN}]. *)
+
+  val is_bot : t -> bool
+  val const : float -> t
+  (** [const nan] is the NaN-only interval. *)
+
+  val make : ?nan:bool -> float -> float -> t
+  val equal : t -> t -> bool
+  val mem : float -> t -> bool
+  val pp : t Fmt.t
+  val join : t -> t -> t
+  val contains_pinf : t -> bool
+  val contains_ninf : t -> bool
+  val contains_inf : t -> bool
+  val contains_zero : t -> bool
+  val is_finite : t -> bool
+
+  val add : t -> t -> t
+  (** IEEE semantics: [inf - inf] etc. set the NaN flag. *)
+
+  val neg : t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val min_ : t -> t -> t
+  val max_ : t -> t -> t
+  val rem : t -> t -> t
+
+  val mono : (float -> float) -> t -> t
+  (** Envelope of a monotone (non-decreasing) total function. *)
+end

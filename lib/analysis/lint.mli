@@ -1,0 +1,23 @@
+(** EasyML model lint — the analysis behind [limpetmlir check].
+
+    Combines the semantic analyzer's own diagnostics (missing inits,
+    silently-degraded integration methods, dead [.param()]s) with
+    model-level checks that need range reasoning: {b unused-state}
+    (integrated but observably dead state variables), {b lookup-range}
+    (table domains the variable starts outside of, or may escape within
+    one step) and {b markov-init} (occupancies initialized outside
+    [\[0, 1\]]).  The AST interval evaluator reuses
+    {!Interval.math_itv}, so model- and IR-level range conclusions agree
+    by construction. *)
+
+val eval_itv : (string -> Itv.F.t) -> Easyml.Ast.expr -> Itv.F.t
+(** Interval evaluation of an EasyML expression under an environment
+    mapping names to float intervals (booleans are numeric 0/1). *)
+
+val check : Easyml.Model.t -> Easyml.Diag.t list
+(** All diagnostics for a model, analyzer warnings included. *)
+
+val has_errors : Easyml.Diag.t list -> bool
+
+val count_by_severity : Easyml.Diag.t list -> int * int * int
+(** [(infos, warnings, errors)]. *)

@@ -86,6 +86,52 @@ let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+(* -- translation validation ------------------------------------------ *)
+
+exception Validation_failed of Analysis.Transval.cert
+
+(* Opt-in switch: the LIMPET_VALIDATE environment variable (1/true/on/
+   yes) or {!set_validation}.  When on, every pipeline run behind this
+   cache proves each pass application semantics-preserving and records
+   the certificates alongside the artifact's key. *)
+let validation =
+  ref
+    (match Sys.getenv_opt "LIMPET_VALIDATE" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | _ -> false)
+
+let set_validation (b : bool) : unit = locked (fun () -> validation := b)
+let validation_enabled () : bool = locked (fun () -> !validation)
+
+(* Certificates per cache key, most recent pass application last.
+   Stored even for refuted runs (the raise happens after recording), so
+   tooling can dump the full proof log of a failed pipeline. *)
+let certs : (string, Analysis.Transval.cert list) Hashtbl.t =
+  Hashtbl.create 64
+
+let record_cert (k : string) (c : Analysis.Transval.cert) : unit =
+  locked (fun () ->
+      Hashtbl.replace certs k
+        (c :: Option.value ~default:[] (Hashtbl.find_opt certs k)));
+  Obs.Tracer.count
+    ("transval." ^ Analysis.Transval.verdict_name c.Analysis.Transval.c_verdict)
+    1.0
+
+let certificates () : (string * Analysis.Transval.cert list) list =
+  locked (fun () ->
+      Hashtbl.fold (fun k cs acc -> (k, List.rev cs) :: acc) certs []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+(* The per-pass callback handed to {!Passes.Pipeline.optimize}: prove
+   input ≡ output, record the certificate under the artifact key, and
+   abort the pipeline on a refutation. *)
+let validator ?env (k : string) : string -> Ir.Func.modl -> Ir.Func.modl -> unit
+    =
+ fun pass_name pre post ->
+  let cert = Analysis.Transval.check_module ?env ~pass:pass_name pre post in
+  record_cert k cert;
+  if Analysis.Transval.is_refuted cert then raise (Validation_failed cert)
+
 (* [env] is the run-constant binding environment of a specialized
    artifact, serialized canonically ({!Passes.Specialize.canon_env}:
    sorted bindings, exact float bit patterns) — logically identical envs
@@ -122,7 +168,10 @@ let generate_named ?(optimize = true) (cfg : Config.t) ~(name : string)
       let g =
         Obs.Tracer.with_span ("cache.compile:" ^ name) (fun () ->
             let model = parse () in
-            let g = Kernel.generate ~optimize cfg model in
+            let validate =
+              if validation_enabled () then Some (validator k) else None
+            in
+            let g = Kernel.generate ~optimize ?validate cfg model in
             Ir.Verifier.verify_module_exn g.Kernel.modl;
             g)
       in
@@ -192,6 +241,30 @@ let spec_bindings ~(dt : float) ~(ncells_pad : int)
     | None -> []
   else []
 
+(* The same bindings as positional (param index, constant) pairs — the
+   binding environment under which {!Analysis.Transval} discharges the
+   specializer's composite obligation: source-under-environment must
+   equal the specialized output. *)
+let tv_env ~(dt : float) ~(ncells_pad : int) (fn : Ir.Func.func) :
+    (int * Analysis.Transval.const) list =
+  let pos_of (v : Ir.Value.t) : int option =
+    let rec go i = function
+      | [] -> None
+      | (p : Ir.Value.t) :: rest ->
+          if Ir.Value.equal p v then Some i else go (i + 1) rest
+    in
+    go 0 fn.Ir.Func.f_params
+  in
+  spec_bindings ~dt ~ncells_pad fn
+  |> List.filter_map (fun ((v : Ir.Value.t), b) ->
+         Option.map
+           (fun i ->
+             ( i,
+               match b with
+               | Passes.Specialize.BF x -> Analysis.Transval.KF x
+               | Passes.Specialize.BI x -> Analysis.Transval.KI x ))
+           (pos_of v))
+
 (** [specialize g ~dt ~ncells_pad] returns [g] with its module partially
     evaluated over the driver's run constants ({!Passes.Specialize}):
     [dt] and the padded cell count become IR constants and the pipeline
@@ -230,10 +303,25 @@ let specialize ?(optimize = true) (g : Kernel.t) ~(dt : float)
       let t0 = Unix.gettimeofday () in
       let g' =
         Obs.Tracer.with_span ("specialize:" ^ name) (fun () ->
+            let validating = validation_enabled () in
+            let validate = if validating then Some (validator k) else None in
             let modl, st =
-              Passes.Specialize.run ~optimize g.Kernel.modl
+              Passes.Specialize.run ~optimize ?validate g.Kernel.modl
                 ~bind:(spec_bindings ~dt ~ncells_pad)
             in
+            (* composite obligation: the unspecialized kernel, under the
+               binding environment, is equivalent to the specialized
+               output end to end *)
+            if validating then begin
+              let cert =
+                Analysis.Transval.check_module
+                  ~env:(tv_env ~dt ~ncells_pad) ~pass:"specialize"
+                  g.Kernel.modl modl
+              in
+              record_cert k cert;
+              if Analysis.Transval.is_refuted cert then
+                raise (Validation_failed cert)
+            end;
             Ir.Verifier.verify_module_exn modl;
             Obs.Tracer.count ("specialize.folded_ops:" ^ name)
               (float_of_int (max 0 (st.Passes.Specialize.ops_before
@@ -297,6 +385,7 @@ let clear () : unit =
   locked (fun () ->
       Hashtbl.reset table;
       Hashtbl.reset last_use;
+      Hashtbl.reset certs;
       hits := 0;
       misses := 0;
       evictions := 0;

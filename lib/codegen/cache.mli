@@ -19,6 +19,30 @@ val pipeline_id : string
 (** Identity of {!Passes.Pipeline.standard} (pass names, in order);
     part of every cache key. *)
 
+(** {2 Translation validation}
+
+    When enabled (the [LIMPET_VALIDATE] environment variable set to
+    [1]/[true]/[on]/[yes], or {!set_validation}), every pipeline run
+    behind this cache — kernel generation and specialization — proves
+    each pass application semantics-preserving with
+    {!Analysis.Transval.check_module}, and the specializer additionally
+    discharges its composite obligation (source under the binding
+    environment ≡ specialized output, pass id ["specialize"]).
+    Certificates are recorded per cache key, so cached kernels carry
+    their proof provenance. *)
+
+exception Validation_failed of Analysis.Transval.cert
+(** Raised from {!generate}/{!generate_named}/{!specialize} when a pass
+    application is refuted.  The certificate (including its
+    counterexample) is recorded before the raise. *)
+
+val set_validation : bool -> unit
+val validation_enabled : unit -> bool
+
+val certificates : unit -> (string * Analysis.Transval.cert list) list
+(** All recorded certificates, by cache key (sorted), each key's
+    certificates in pipeline order.  Cleared by {!clear}. *)
+
 val generate_named :
   ?optimize:bool -> Config.t -> name:string -> (unit -> Easyml.Model.t) -> Kernel.t
 (** Cached kernel for [name] under the config; [parse] runs only on a

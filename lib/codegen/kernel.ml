@@ -327,7 +327,9 @@ let gen_lut_init (ctx : Builder.ctx) (plan : lut_plan) : Func.func =
 (* Top level                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let generate ?(optimize = true) (cfg : Config.t) (model : M.t) : t =
+let generate ?(optimize = true)
+    ?(validate : (string -> Func.modl -> Func.modl -> unit) option)
+    (cfg : Config.t) (model : M.t) : t =
   let ctx = Builder.create_ctx () in
   let sanitized =
     String.map
@@ -354,7 +356,7 @@ let generate ?(optimize = true) (cfg : Config.t) (model : M.t) : t =
   Func.add_func modl
     (gen_compute ctx modl cfg model ~state_index ~param_order ~lut_plans
        ~updates ~assigns);
-  if optimize then Passes.Pipeline.optimize modl;
+  if optimize then Passes.Pipeline.optimize ?validate modl;
   {
     modl;
     cfg;

@@ -49,3 +49,29 @@ let callee_sig (m : modl) (name : string) : (Ty.t list * Ty.t list) option =
       | None -> None)
 
 let op_count (f : func) : int = Op.count_ops f.f_body
+
+(* -- deep copy ------------------------------------------------------- *)
+
+(* Fresh op records with fresh operand/result arrays (passes mutate
+   region op lists and operand arrays in place, so snapshots for
+   validation — and specialization of shared cache entries — must not
+   alias the source).  Value records are immutable and stay shared. *)
+let rec copy_region (r : Op.region) : Op.region =
+  { Op.r_args = r.Op.r_args; r_ops = List.map copy_op r.Op.r_ops }
+
+and copy_op (o : Op.op) : Op.op =
+  {
+    o with
+    Op.operands = Array.copy o.Op.operands;
+    results = Array.copy o.Op.results;
+    regions = Array.map copy_region o.Op.regions;
+  }
+
+let copy_func (f : func) : func = { f with f_body = copy_region f.f_body }
+
+let copy_module (m : modl) : modl =
+  {
+    m_name = m.m_name;
+    m_funcs = List.map copy_func m.m_funcs;
+    m_externs = m.m_externs;
+  }

@@ -1,0 +1,59 @@
+(** Generic hash-consing: maximal sharing with O(1) equality.
+
+    The translation validator ({!Analysis.Transval}) maps IR functions
+    to symbolic term DAGs; hash-consing every node gives it structural
+    equality by integer tag comparison and keeps the DAG maximally
+    shared — the properties the per-pass equivalence checker needs to
+    stay linear in practice.  The functor lives in [lib/ir] (rather than
+    with the validator) so any future IR client — printers memoizing
+    subtrees, pattern indexes — can reuse it.
+
+    Clients supply hashing and equality over nodes whose {e children}
+    are already hash-consed (so child comparison inside [equal] should
+    be by [tag]).  The table keeps strong references; a table's lifetime
+    should match the analysis that owns it. *)
+
+module type HashedType = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module type S = sig
+  type node
+  type t = private { node : node; tag : int; hkey : int }
+
+  type table
+
+  val create : int -> table
+  val hashcons : table -> node -> t
+  val length : table -> int
+end
+
+module Make (H : HashedType) : S with type node = H.t = struct
+  type node = H.t
+  type t = { node : node; tag : int; hkey : int }
+
+  module Tbl = Hashtbl.Make (struct
+    type t = node
+
+    let equal = H.equal
+    let hash = H.hash
+  end)
+
+  type table = { tbl : t Tbl.t; mutable next : int }
+
+  let create n = { tbl = Tbl.create (max 16 n); next = 0 }
+
+  let hashcons (t : table) (n : node) : t =
+    match Tbl.find_opt t.tbl n with
+    | Some x -> x
+    | None ->
+        let x = { node = n; tag = t.next; hkey = H.hash n } in
+        t.next <- t.next + 1;
+        Tbl.replace t.tbl n x;
+        x
+
+  let length (t : table) = Tbl.length t.tbl
+end

@@ -1,0 +1,39 @@
+(** Generic hash-consing: maximal sharing with O(1) equality.
+
+    Used by {!Analysis.Transval} to intern symbolic term DAGs: every
+    structurally distinct node is allocated once and identified by an
+    integer [tag], so term equality is tag comparison and shared
+    subterms are represented once.
+
+    The [equal]/[hash] a client supplies see nodes whose children are
+    already hash-consed — compare children by their [tag].  Tables hold
+    strong references; scope a table to the analysis that owns it. *)
+
+module type HashedType = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module type S = sig
+  type node
+
+  type t = private { node : node; tag : int; hkey : int }
+  (** [tag] is unique per table and dense from 0; [hkey] memoizes the
+      client hash. *)
+
+  type table
+
+  val create : int -> table
+  (** [create n] sizes the intern table for about [n] nodes. *)
+
+  val hashcons : table -> node -> t
+  (** Intern a node: the same (up to [H.equal]) node always returns the
+      physically same [t], so [t1 == t2] iff [t1.tag = t2.tag]. *)
+
+  val length : table -> int
+  (** Number of distinct nodes interned so far. *)
+end
+
+module Make (H : HashedType) : S with type node = H.t

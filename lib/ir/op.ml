@@ -123,6 +123,27 @@ let kind_name = function
   | Call f -> "func.call @" ^ f
   | Return -> "func.return"
 
+(* Short mnemonics for symbolic-term printers built on top of the IR
+   (the translation validator renders terms like [fadd(t1, t2)] rather
+   than full dialect names). *)
+let fbin_short = function
+  | FAdd -> "fadd"
+  | FSub -> "fsub"
+  | FMul -> "fmul"
+  | FDiv -> "fdiv"
+  | FMin -> "fmin"
+  | FMax -> "fmax"
+  | FRem -> "frem"
+
+let ibin_short = function
+  | IAdd -> "iadd"
+  | ISub -> "isub"
+  | IMul -> "imul"
+  | IDiv -> "idiv"
+  | IRem -> "irem"
+
+let bbin_short = function BAnd -> "and" | BOr -> "or" | BXor -> "xor"
+
 (** Is this op free of side effects (so CSE/DCE may touch it)? *)
 let pure (o : op) : bool =
   match o.kind with

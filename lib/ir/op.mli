@@ -67,6 +67,13 @@ val bbin_name : bbin -> string
 val cmp_name : cmp -> string
 val kind_name : kind -> string
 
+val fbin_short : fbin -> string
+(** Short mnemonic ([fadd], [fmul], …) for symbolic-term printers
+    ({!Analysis.Transval}); {!fbin_name} stays the dialect name. *)
+
+val ibin_short : ibin -> string
+val bbin_short : bbin -> string
+
 val pure : op -> bool
 (** Is this op free of side effects (so CSE/DCE may touch it)?  Loads are
     not [pure]: they are only movable in the absence of interleaved stores,

@@ -27,16 +27,28 @@ exception Verification_failed of string * Ir.Verifier.error list
     cache: every function a pass changes is invalidated in it, so passes
     and post-pipeline clients querying it always see facts for the
     current body.  Pass a cache in to keep using it after the pipeline
-    returns. *)
+    returns.
+
+    [validate] turns on translation validation: before each pass the
+    module is deep-copied, and after the pass the callback receives
+    [(pass_name, input, output)] — clients prove the two equivalent
+    ({!Analysis.Transval.check_module}) and decide what to do with the
+    resulting certificate. *)
 let run_pipeline ?(options = default_options)
-    ?(analyses = Analyses.create ()) (passes : t list) (m : Ir.Func.modl) :
-    unit =
+    ?(analyses = Analyses.create ())
+    ?(validate : (string -> Ir.Func.modl -> Ir.Func.modl -> unit) option)
+    (passes : t list) (m : Ir.Func.modl) : unit =
   let verify () =
     if options.deep_verify then Analysis.Deep.verify_module m
     else Ir.Verifier.verify_module m
   in
   List.iter
     (fun p ->
+      let snapshot =
+        match validate with
+        | Some _ -> Some (Ir.Func.copy_module m)
+        | None -> None
+      in
       Obs.Tracer.with_span ("pass:" ^ p.name) (fun () ->
           List.iter
             (fun f ->
@@ -45,6 +57,11 @@ let run_pipeline ?(options = default_options)
                 Analyses.invalidate analyses f
               end)
             m.Ir.Func.m_funcs);
+      (match (validate, snapshot) with
+      | Some v, Some pre ->
+          Obs.Tracer.with_span ("pass:validate:" ^ p.name) (fun () ->
+              v p.name pre m)
+      | _ -> ());
       if options.verify_each then
         Obs.Tracer.with_span "pass:verify" (fun () ->
             match verify () with

@@ -15,10 +15,14 @@ let standard : Pass.t list =
     Dce.pass;
   ]
 
-let optimize ?(verify = false) ?(deep = false) (m : Ir.Func.modl) : unit =
+(** [optimize ?validate m] runs the standard pipeline; [validate], when
+    given, is called after every pass with [(pass_name, input, output)]
+    for translation validation (see {!Pass.run_pipeline}). *)
+let optimize ?(verify = false) ?(deep = false) ?validate (m : Ir.Func.modl) :
+    unit =
   Pass.run_pipeline
     ~options:{ Pass.verify_each = verify; deep_verify = deep }
-    standard m
+    ?validate standard m
 
 (** Pass registry for the CLI's [-pass] flag. *)
 let by_name : (string * Pass.t) list =

@@ -63,30 +63,10 @@ type stats = {
 (* Fresh op records with fresh operand/result arrays (the passes mutate
    region op lists and operand arrays in place; the source module may be
    a shared cache entry).  Value records are immutable and stay shared —
-   ids remain unique because the clone lives in its own module. *)
-let rec copy_region (r : Op.region) : Op.region =
-  {
-    Op.r_args = r.Op.r_args;
-    r_ops = List.map copy_op r.Op.r_ops;
-  }
-
-and copy_op (o : Op.op) : Op.op =
-  {
-    o with
-    Op.operands = Array.copy o.Op.operands;
-    results = Array.copy o.Op.results;
-    regions = Array.map copy_region o.Op.regions;
-  }
-
-let copy_func (f : Func.func) : Func.func =
-  { f with Func.f_body = copy_region f.Func.f_body }
-
-let copy_module (m : Func.modl) : Func.modl =
-  {
-    Func.m_name = m.Func.m_name;
-    m_funcs = List.map copy_func m.Func.m_funcs;
-    m_externs = m.Func.m_externs;
-  }
+   ids remain unique because the clone lives in its own module.  The
+   deep copy itself lives in {!Ir.Func} (the validation snapshots in
+   {!Pass.run_pipeline} need it too). *)
+let copy_module = Func.copy_module
 
 (* Highest value / op ids in use, so inserted constants get fresh ids. *)
 let max_ids (m : Func.modl) : int * int =
@@ -294,9 +274,13 @@ let module_ops (m : Func.modl) : int =
     non-parameter values are ignored, type mismatches raise
     [Invalid_argument]), and re-runs the standard pipeline interleaved
     with splat folding to a fixpoint.  Signatures are preserved; the
-    input module is never mutated. *)
-let run ?(optimize = true) (m : Func.modl)
-    ~(bind : Func.func -> (Value.t * binding) list) : Func.modl * stats =
+    input module is never mutated.  [validate] is threaded to every
+    embedded pipeline run, and additionally called around each splat
+    folding round under the pass name ["splat-fold"]. *)
+let run ?(optimize = true)
+    ?(validate : (string -> Func.modl -> Func.modl -> unit) option)
+    (m : Func.modl) ~(bind : Func.func -> (Value.t * binding) list) :
+    Func.modl * stats =
   let ops_before = module_ops m in
   let m' = copy_module m in
   let mv, mo = max_ids m' in
@@ -318,20 +302,28 @@ let run ?(optimize = true) (m : Func.modl)
   in
   let splat_folded = ref 0 in
   if optimize then begin
-    Pipeline.optimize m';
+    Pipeline.optimize ?validate m';
     (* splat folding exposes new scalar folds (and vice versa); iterate
        to a fixpoint — two rounds in practice *)
     let continue_ = ref true in
     let rounds = ref 0 in
     while !continue_ && !rounds < 8 do
       incr rounds;
+      let pre =
+        match validate with
+        | Some _ -> Some (copy_module m')
+        | None -> None
+      in
       let n =
         List.fold_left
           (fun n f -> n + splat_fold_func ~fresh_v ~fresh_o f)
           0 m'.Func.m_funcs
       in
+      (match (validate, pre) with
+      | Some v, Some pre -> v "splat-fold" pre m'
+      | _ -> ());
       splat_folded := !splat_folded + n;
-      if n > 0 then Pipeline.optimize m' else continue_ := false
+      if n > 0 then Pipeline.optimize ?validate m' else continue_ := false
     done
   end;
   ( m',

@@ -29,6 +29,7 @@ type stats = {
 
 val run :
   ?optimize:bool ->
+  ?validate:(string -> Ir.Func.modl -> Ir.Func.modl -> unit) ->
   Ir.Func.modl ->
   bind:(Ir.Func.func -> (Ir.Value.t * binding) list) ->
   Ir.Func.modl * stats
@@ -36,4 +37,7 @@ val run :
     [bind] is called once per function with the function itself and
     returns the (parameter value, constant) pairs to freeze; values that
     are not parameters of that function are ignored.  [m] is never
-    mutated.  @raise Invalid_argument on a type-mismatched binding. *)
+    mutated.  [validate] receives [(pass_name, input, output)] around
+    every embedded pipeline pass and around each splat-folding round
+    (pass name ["splat-fold"]) for translation validation.
+    @raise Invalid_argument on a type-mismatched binding. *)

@@ -21,4 +21,5 @@ let () =
       ("machine", Test_machine.suite);
       ("obs", Test_obs.suite);
       ("health", Test_health.suite);
+      ("transval", Test_transval.suite);
     ]
