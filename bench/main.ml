@@ -409,6 +409,21 @@ let wall_engines =
      fun g n -> Sim.Driver.create ~engine:Sim.Driver.Batched ~specialize:true g ~ncells:n ~dt:0.01);
   ]
 
+(* The native (JIT-C) engine exists only when a C toolchain is actually
+   present: without one, Driver.create silently degrades to batched and
+   every native row — and the native_vs_batched headline gated in CI —
+   would be a fabricated 1.0.  Specialization on, like production
+   [--engine native].  Kept out of [wall_engines] because it is
+   measured in its own bechamel pass (see [wallclock]): retaining its
+   dlopen'ed kernels during the main matrix measurement perturbs the
+   batched/batched-spec rows by a few percent, enough to flip the
+   specialization geomean gate. *)
+let native_engine =
+  if Exec.Native.available () then
+    [ ("native",
+       fun g n -> Sim.Driver.create ~engine:Sim.Driver.Native ~specialize:true g ~ncells:n ~dt:0.01) ]
+  else []
+
 let wall_configs =
   [ ("scalar", Codegen.Config.baseline); ("vector", Codegen.Config.mlir ~width:8) ]
 
@@ -550,14 +565,14 @@ let wall_write_json (path : string) (rows : wall_row list)
 let wallclock () =
   hr ();
   Fmt.pr "Wall-clock microbenchmarks (bechamel): real execution of the@.";
-  Fmt.pr "generated kernels on this host, {interp, closure, fused, batched}@.";
-  Fmt.pr "engines x {scalar, vector} configs; median ns per stimulated@.";
+  Fmt.pr "generated kernels on this host, {interp, closure, fused, batched,@.";
+  Fmt.pr "native} engines x {scalar, vector} configs; median ns per stimulated@.";
   Fmt.pr "step (kernel-dominated) with the interquartile range per row.@.";
   hr ();
   (* keep each label's driver so the phase breakdown below re-runs the
      exact kernel instance bechamel measured *)
   let drivers : (string, Sim.Driver.t) Hashtbl.t = Hashtbl.create 64 in
-  let tests =
+  let mk_tests engines =
     List.concat_map
       (fun name ->
         let e = Models.Registry.find_exn name in
@@ -572,10 +587,11 @@ let wallclock () =
                 Bechamel.Test.make ~name:label
                   (Bechamel.Staged.stage (fun () ->
                        Sim.Driver.step ~stim:wall_stim d)))
-              wall_engines)
+              engines)
           wall_configs)
       wall_reps
   in
+  let tests = mk_tests wall_engines in
   let test = Bechamel.Test.make_grouped ~name:"kernels" ~fmt:"%s %s" tests in
   (* the preceding sections leave a large heap behind; compact so GC churn
      does not pollute the measurements *)
@@ -585,6 +601,22 @@ let wallclock () =
   let quota = if !wall_limit < 300 then 0.1 else 1.0 in
   let cfg = Benchmark.cfg ~limit:!wall_limit ~quota:(Time.second quota) () in
   let raw = Benchmark.all cfg [ instance ] test in
+  (* Second pass: the native (JIT-C) engine, measured with the main
+     matrix already done — its drivers (and the shared objects they
+     dlopen) must not be resident while the interpreted engines are
+     being timed, or the batched/batched-spec rows shift by a few
+     percent and the specialization gate flips on noise.  Labels merge
+     into the same raw table; medians are host-comparable since
+     bechamel runs everything sequentially anyway. *)
+  (match native_engine with
+  | [] -> ()
+  | nat ->
+      let ntest =
+        Test.make_grouped ~name:"kernels" ~fmt:"%s %s" (mk_tests nat)
+      in
+      Gc.compact ();
+      let nraw = Benchmark.all cfg [ instance ] ntest in
+      Hashtbl.iter (fun k v -> Hashtbl.replace raw k v) nraw);
   let clock = Measure.label instance in
   let median_of label : (float * float * int) option =
     match Hashtbl.find_opt raw ("kernels " ^ label) with
@@ -636,13 +668,13 @@ let wallclock () =
                       }
                       :: !rows;
                     Some (ename, ns))
-              wall_engines
+              (wall_engines @ native_engine)
           in
           let ns ename = List.assoc_opt ename by_engine in
-          match
-            ( ns "interp", ns "closure", ns "fused", ns "fused-noelide",
-              ns "batched" )
-          with
+          (match
+             ( ns "interp", ns "closure", ns "fused", ns "fused-noelide",
+               ns "batched" )
+           with
           | Some ti, Some tc, Some tf, Some tn, Some tb ->
               Fmt.pr
                 "%-24s %-6s interp %11.1f us  closure %9.1f us  fused %9.1f \
@@ -650,7 +682,12 @@ let wallclock () =
                  %.2fx, elision %.2fx)@."
                 name cname (ti /. 1e3) (tc /. 1e3) (tf /. 1e3) (tb /. 1e3)
                 (tc /. tf) (tf /. tb) (tn /. tf)
-          | _ -> Fmt.pr "%-24s %-6s (no estimate)@." name cname)
+          | _ -> Fmt.pr "%-24s %-6s (no estimate)@." name cname);
+          match (ns "native", ns "batched") with
+          | Some tnat, Some tb ->
+              Fmt.pr "%-24s %-6s native %11.1f us  (batched/native %.2fx)@."
+                name cname (tnat /. 1e3) (tb /. tnat)
+          | _ -> ())
         wall_configs)
     wall_reps;
   let rows = List.rev !rows in
@@ -737,6 +774,24 @@ let wallclock () =
   Fmt.pr "specialized-vs-batched median speedup: scalar %.2fx, vector \
           %.2fx, geomean %.2fx@."
     ssc sve sall;
+  (* headline: the JIT-C native engine vs the batched engine over every
+     model class (rows only exist when a toolchain is present; the
+     geomean is gated >= 1.0 in CI) *)
+  let nsc =
+    geo_or_nan (ratios ~num:"batched" ~den:"native" ~cls_filter:any
+                  ~cfg_filter:(fun c -> c = "scalar"))
+  in
+  let nve =
+    geo_or_nan (ratios ~num:"batched" ~den:"native" ~cls_filter:any
+                  ~cfg_filter:(fun c -> c = "vector"))
+  in
+  let nall =
+    geo_or_nan
+      (ratios ~num:"batched" ~den:"native" ~cls_filter:any ~cfg_filter:any)
+  in
+  Fmt.pr "native-vs-batched median speedup: scalar %.2fx, vector %.2fx, \
+          geomean %.2fx@."
+    nsc nve nall;
   (* bounds-elision delta: fused with every runtime check vs fused with
      proved checks dropped, all models and configs (>= 1 means elision
      did not regress) *)
@@ -773,6 +828,9 @@ let wallclock () =
           ("specialized_vs_batched_scalar", ssc);
           ("specialized_vs_batched_vector", sve);
           ("specialized_vs_batched_geomean", sall);
+          ("native_vs_batched_scalar", nsc);
+          ("native_vs_batched_vector", nve);
+          ("native_vs_batched_geomean", nall);
           ("fused_elision_speedup_geomean", el);
           ("health_nan_total", float_of_int nan_total);
         ]

@@ -77,14 +77,21 @@ let engine_arg =
        & opt
            (enum
               [ ("fused", Sim.Driver.Fused); ("batched", Sim.Driver.Batched);
+                ("native", Sim.Driver.Native);
                 ("closure", Sim.Driver.Compiled);
                 ("interp", Sim.Driver.Reference) ])
            Sim.Driver.Fused
        & info [ "engine" ] ~docv:"E"
            ~doc:"Execution engine: $(b,fused) (threaded code with \
                  superinstructions, default), $(b,batched) (tile-batched \
-                 loop inversion), $(b,closure), or $(b,interp) (slow \
-                 reference).  All engines are bitwise identical.")
+                 loop inversion over coalesced scratch rows), $(b,native) \
+                 (the lowered kernel emitted as C, compiled by the system \
+                 toolchain — \\$LIMPET_CC, else cc/gcc/clang — and \
+                 dlopen'ed; when no toolchain is found it degrades to \
+                 $(b,batched) with a warning, never an error), \
+                 $(b,closure) (per-op closures), or $(b,interp) (slow \
+                 tree-walking reference).  All five engines produce \
+                 bitwise-identical trajectories.")
 
 let tile_arg =
   Arg.(value & opt int 0 & info [ "tile" ] ~docv:"N"
@@ -145,7 +152,13 @@ let check_cmd =
   let doc =
     "Lint EasyML models: analyzer diagnostics plus range-based checks \
      (unused state variables, lookup-table domains, markov occupancies). \
-     Exits non-zero when any error-severity diagnostic is found."
+     Exits non-zero when any error-severity diagnostic is found.  A model \
+     that passes runs identically on all five execution engines — \
+     $(b,fused) (threaded code, default), $(b,batched) (tile-batched loop \
+     inversion), $(b,native) (JIT-compiled C; degrades to batched with a \
+     warning when no C toolchain is available), $(b,closure), and \
+     $(b,interp) (reference) — selected with $(b,--engine) on \
+     run/profile/serve."
   in
   let models =
     Arg.(value & pos_all string [] & info [] ~docv:"MODEL"
@@ -337,25 +350,44 @@ let emit_cmd =
            ~doc:"Write the IR to a file instead of stdout (re-loadable with \
                  the parse subcommand).")
   in
-  let run name width layout no_lut autovec spline no_opt output =
+  let c_out =
+    Arg.(value & flag & info [ "c" ]
+           ~doc:"Emit the C translation unit the native engine would \
+                 JIT-compile (the IR printed through the C backend, with \
+                 a provenance header) instead of the IR itself.")
+  in
+  let run name width layout no_lut autovec spline no_opt c_out output =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
     let g = Codegen.Cache.generate ~optimize:(not no_opt) cfg m in
     (match Ir.Verifier.verify_module g.modl with
     | [] -> ()
     | errs -> Fmt.epr "%s@." (Ir.Verifier.errors_to_string errs));
+    let text =
+      if c_out then
+        Codegen.C_backend.emit_module
+          ~banner:
+            [
+              "model:    " ^ m.Easyml.Model.name;
+              "config:   " ^ Codegen.Config.describe cfg;
+              "pipeline: " ^ Codegen.Cache.pipeline_id;
+              "flags:    " ^ String.concat " " Exec.Native.flags;
+            ]
+          g.modl
+      else Ir.Printer.module_to_string g.modl
+    in
     match output with
-    | None -> Fmt.pr "%a@." Ir.Printer.pp_module g.modl
+    | None -> Fmt.pr "%s@." text
     | Some path ->
         let oc = open_out path in
-        output_string oc (Ir.Printer.module_to_string g.modl);
+        output_string oc text;
         output_char oc '\n';
         close_out oc;
         Fmt.pr "wrote %s@." path
   in
   Cmd.v (Cmd.info "emit" ~doc)
     Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
-          $ autovec_arg $ spline_arg $ no_opt $ output)
+          $ autovec_arg $ spline_arg $ no_opt $ c_out $ output)
 
 (* -- run ------------------------------------------------------------ *)
 
@@ -528,9 +560,17 @@ let profile_cmd =
     Obs.Tracer.disable ();
     let snap = Obs.Tracer.snapshot () in
     let health = Sim.Driver.health_snapshot d in
+    let native_line =
+      match Exec.Native.toolchain () with
+      | Some tc ->
+          Printf.sprintf "native backend: available (%s)\n" tc.Exec.Native.id
+      | None ->
+          "native backend: unavailable (no C compiler; --engine native \
+           falls back to batched)\n"
+    in
     let text =
       match format with
-      | `Summary -> Obs.Export.summary ?health snap
+      | `Summary -> native_line ^ Obs.Export.summary ?health snap
       | `Chrome -> Obs.Export.chrome snap
       | `Prometheus -> Obs.Export.prometheus ?health snap
     in

@@ -29,6 +29,9 @@ type stats = {
   spec_hits : int;  (** specialized-artifact lookups served from cache *)
   spec_misses : int;  (** specialization runs *)
   spec_ms : float;  (** total milliseconds spent specializing *)
+  native_hits : int;  (** compiled shared objects served from cache *)
+  native_misses : int;  (** C emissions + toolchain invocations *)
+  cc_ms : float;  (** total milliseconds inside the C compiler *)
 }
 
 (* Pipeline identity: pass names in order.  Recorded into the key so a
@@ -45,6 +48,9 @@ let compile_ms = ref 0.0
 let spec_hits = ref 0
 let spec_misses = ref 0
 let spec_ms = ref 0.0
+let native_hits = ref 0
+let native_misses = ref 0
+let cc_ms = ref 0.0
 
 (* Optional LRU bound.  [last_use] stamps every lookup with a logical
    tick; when a capacity is set, inserts over it evict the
@@ -346,6 +352,117 @@ let specialize ?(optimize = true) (g : Kernel.t) ~(dt : float)
               evict_to_capacity ();
               g')
 
+(* -- native artifact cache ------------------------------------------- *)
+
+(* Compiled shared objects, keyed on IR content digest × compiler
+   identity × flags — never on the model name, so two modules that print
+   identically share one .so and a changed pipeline/config/specialization
+   (different printed IR) can never serve a stale library.  Entries are
+   kept for the whole process: bound closures hold raw function
+   pointers, so libraries are never dlclosed (and clear() below leaves
+   them loaded for the same reason). *)
+
+type native_entry = {
+  ne_lib : Exec.Native.lib;
+  ne_params : (string * Ir.Ty.t list) list;  (* per-function signatures *)
+}
+
+let native_table : (string, native_entry) Hashtbl.t = Hashtbl.create 16
+
+(* One fresh binding per call: bound closures reuse private marshalling
+   buffers, so each driver thread must get its own (exactly like the
+   closure-compiler engines allocate per-compile register files). *)
+let native_lookup (e : native_entry) (name : string) :
+    Exec.Rt.v array -> Exec.Rt.v array =
+  match List.assoc_opt name e.ne_params with
+  | Some params ->
+      Exec.Native.bind e.ne_lib ~symbol:(C_backend.symbol name) ~params
+  | None -> invalid_arg ("Cache.native: no such kernel function: " ^ name)
+
+let func_params (m : Ir.Func.modl) : (string * Ir.Ty.t list) list =
+  List.map
+    (fun (f : Ir.Func.func) ->
+      ( f.Ir.Func.f_name,
+        List.map (fun (v : Ir.Value.t) -> v.Ir.Value.ty) f.Ir.Func.f_params ))
+    m.Ir.Func.m_funcs
+
+(** [native g] returns a symbol-lookup function over [g]'s module
+    compiled to machine code by the system C toolchain, or a warning
+    diagnostic when that is impossible (no toolchain, IR with no C
+    lowering, compiler failure) — callers degrade to an OCaml engine,
+    they never crash. *)
+let native (g : Kernel.t) :
+    (string -> Exec.Rt.v array -> Exec.Rt.v array, Easyml.Diag.t) result =
+  match Exec.Native.toolchain () with
+  | None ->
+      Error
+        (Easyml.Diag.make ~code:"native-unavailable"
+           "no C compiler found (checked $LIMPET_CC, then cc/gcc/clang on \
+            $PATH); falling back to the batched engine")
+  | Some tc ->
+      let digest = kernel_digest g.Kernel.modl in
+      let k =
+        Printf.sprintf "native|%s|%s|%s" digest tc.Exec.Native.id
+          Exec.Native.flags_id
+      in
+      (match locked (fun () -> Hashtbl.find_opt native_table k) with
+      | Some e ->
+          locked (fun () -> incr native_hits);
+          Obs.Tracer.count "cache.native_hit" 1.0;
+          Ok (native_lookup e)
+      | None -> (
+          Obs.Tracer.count "cache.native_miss" 1.0;
+          try
+            let e =
+              Obs.Tracer.with_span "compile_c" (fun () ->
+                  let banner =
+                    [
+                      "model:    " ^ g.Kernel.model.M.name;
+                      "config:   " ^ Config.describe g.Kernel.cfg;
+                      "pipeline: " ^ pipeline_id;
+                      "digest:   " ^ digest;
+                      "cc:       " ^ tc.Exec.Native.id;
+                      "flags:    " ^ Exec.Native.flags_id;
+                    ]
+                  in
+                  let src = C_backend.emit_module ~banner g.Kernel.modl in
+                  let stem =
+                    Printf.sprintf "k_%s_%x"
+                      (String.sub digest 0 12)
+                      (Hashtbl.hash tc.Exec.Native.id land 0xffff)
+                  in
+                  let lib, ms = Exec.Native.compile tc ~stem ~src in
+                  locked (fun () -> cc_ms := !cc_ms +. ms);
+                  { ne_lib = lib; ne_params = func_params g.Kernel.modl })
+            in
+            let e =
+              locked (fun () ->
+                  (* keep a racing domain's entry so everyone shares one
+                     library instance *)
+                  match Hashtbl.find_opt native_table k with
+                  | Some e' ->
+                      incr native_hits;
+                      e'
+                  | None ->
+                      incr native_misses;
+                      Hashtbl.replace native_table k e;
+                      e)
+            in
+            Ok (native_lookup e)
+          with
+          | C_backend.Unsupported msg ->
+              Error
+                (Easyml.Diag.makef ~code:"native-unsupported"
+                   "kernel %s has no C lowering (%s); falling back to the \
+                    batched engine"
+                   g.Kernel.model.M.name msg)
+          | Exec.Native.Compile_error { cc; file; status; log } ->
+              Error
+                (Easyml.Diag.makef ~code:"cc-failed"
+                   "%s exited with status %d compiling %s: %s; falling back \
+                    to the batched engine"
+                   cc status file (String.trim log))))
+
 (** Bound the number of resident kernels.  [Some n] evicts down to [n]
     entries LRU-first (and keeps future inserts within [n]); [None]
     removes the bound.  Safe at any point: evicted kernels regenerate on
@@ -368,6 +485,9 @@ let stats () : stats =
         spec_hits = !spec_hits;
         spec_misses = !spec_misses;
         spec_ms = !spec_ms;
+        native_hits = !native_hits;
+        native_misses = !native_misses;
+        cc_ms = !cc_ms;
       })
 
 let reset_stats () : unit =
@@ -378,7 +498,10 @@ let reset_stats () : unit =
       compile_ms := 0.0;
       spec_hits := 0;
       spec_misses := 0;
-      spec_ms := 0.0)
+      spec_ms := 0.0;
+      native_hits := 0;
+      native_misses := 0;
+      cc_ms := 0.0)
 
 (** Drop every entry (tests use this to force fresh compiles). *)
 let clear () : unit =
@@ -386,18 +509,25 @@ let clear () : unit =
       Hashtbl.reset table;
       Hashtbl.reset last_use;
       Hashtbl.reset certs;
+      (* native entries survive clear(): bound closures hold raw function
+         pointers into the loaded libraries, so they are never unloaded;
+         the stats still reset so tests can count fresh compiles *)
       hits := 0;
       misses := 0;
       evictions := 0;
       compile_ms := 0.0;
       spec_hits := 0;
       spec_misses := 0;
-      spec_ms := 0.0)
+      spec_ms := 0.0;
+      native_hits := 0;
+      native_misses := 0;
+      cc_ms := 0.0)
 
 let describe_stats () : string =
   let s = stats () in
   Printf.sprintf
     "cache: %d hits / %d misses / %d evictions / %.1f ms compiling; \
-     specialize: %d hits / %d misses / %.1f ms"
+     specialize: %d hits / %d misses / %.1f ms; native: %d hits / %d misses \
+     / %.1f ms cc"
     s.hits s.misses s.evictions s.compile_ms s.spec_hits s.spec_misses
-    s.spec_ms
+    s.spec_ms s.native_hits s.native_misses s.cc_ms

@@ -13,6 +13,9 @@ type stats = {
   spec_hits : int;  (** specialized-artifact lookups served from cache *)
   spec_misses : int;  (** specialization runs *)
   spec_ms : float;  (** total milliseconds spent specializing *)
+  native_hits : int;  (** compiled shared objects served from cache *)
+  native_misses : int;  (** C emissions + toolchain invocations *)
+  cc_ms : float;  (** total milliseconds inside the C compiler *)
 }
 
 val pipeline_id : string
@@ -72,6 +75,22 @@ val specialize :
     kernel's key extended with the canonical, order-independent binding
     environment serialization (exact float bit patterns), so logically
     identical envs never miss. *)
+
+val native :
+  Kernel.t ->
+  (string -> Exec.Rt.v array -> Exec.Rt.v array, Easyml.Diag.t) result
+(** Machine-code artifact for a (typically specialized) kernel: emits C
+    with {!C_backend.emit_module}, compiles it with the probed system
+    toolchain ([Exec.Native]), and memoizes the loaded library under the
+    IR content digest × compiler identity × flags — so identical content
+    shares one [.so] across models and a changed pipeline, config, or
+    binding environment can never serve a stale library.  [Ok lookup]
+    returns a fresh binding per call (each driver thread gets private
+    marshalling buffers); [Error diag] covers every failure mode — no
+    toolchain, IR without a C lowering, compiler failure — so callers
+    degrade to an OCaml engine rather than crash.  Libraries are never
+    dlclosed (bound closures hold raw function pointers), and survive
+    {!clear}. *)
 
 val set_capacity : int option -> unit
 (** Bound the number of resident kernels.  [Some n] evicts down to [n]

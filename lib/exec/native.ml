@@ -1,0 +1,201 @@
+(* Runtime C compilation and dynamic loading (see native.mli). *)
+
+type toolchain = { cc : string; id : string }
+
+type lib = { c_path : string; s_path : string; handle : nativeint }
+
+let source_path (l : lib) = l.c_path
+let so_path (l : lib) = l.s_path
+
+let flags = [ "-O3"; "-shared"; "-fPIC"; "-ffp-contract=off"; "-fno-fast-math" ]
+let flags_id = String.concat " " flags
+
+exception
+  Compile_error of { cc : string; file : string; status : int; log : string }
+
+external dl_open : string -> nativeint = "limpet_native_dlopen"
+external dl_sym : nativeint -> string -> nativeint = "limpet_native_dlsym"
+external dl_close : nativeint -> unit = "limpet_native_dlclose"
+
+external call_kernel : nativeint -> int array -> floatarray -> floatarray array -> unit
+  = "limpet_native_call"
+
+let _ = dl_close (* dlclose is deliberately never called on cached libs:
+                    outstanding bound closures must stay valid *)
+
+(* -- toolchain probe ------------------------------------------------- *)
+
+let executable (p : string) : bool =
+  Sys.file_exists p
+  && (not (Sys.is_directory p))
+  && try Unix.access p [ Unix.X_OK ]; true with _ -> false
+
+let find_tool (name : string) : string option =
+  if String.contains name '/' then if executable name then Some name else None
+  else
+    let path = Option.value ~default:"" (Sys.getenv_opt "PATH") in
+    String.split_on_char ':' path
+    |> List.find_map (fun d ->
+           if d = "" then None
+           else
+             let p = Filename.concat d name in
+             if executable p then Some p else None)
+
+let version_line (cc : string) : string =
+  try
+    let ic =
+      Unix.open_process_in (Filename.quote cc ^ " --version 2>/dev/null")
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    line
+  with _ -> ""
+
+let mk_toolchain (path : string) : toolchain =
+  let v = version_line path in
+  { cc = path; id = (if v = "" then path else path ^ " | " ^ v) }
+
+let probe () : toolchain option =
+  match Sys.getenv_opt "LIMPET_CC" with
+  | Some cc when String.trim cc <> "" ->
+      (* explicit override: a broken value means "unavailable", it does
+         not fall back to other compilers *)
+      Option.map mk_toolchain (find_tool (String.trim cc))
+  | _ ->
+      Option.map mk_toolchain
+        (List.find_map find_tool [ "cc"; "gcc"; "clang" ])
+
+let probed : toolchain option Lazy.t = lazy (probe ())
+
+(* test hook: [Some forced] overrides the probe inside with_toolchain *)
+let forced : toolchain option option ref = ref None
+
+let toolchain () : toolchain option =
+  match !forced with Some tc -> tc | None -> Lazy.force probed
+
+let available () : bool = toolchain () <> None
+
+let with_toolchain (tc : toolchain option) (f : unit -> 'a) : 'a =
+  let saved = !forced in
+  forced := Some tc;
+  Fun.protect ~finally:(fun () -> forced := saved) f
+
+(* -- session artifact directory -------------------------------------- *)
+
+let session_dir : string option ref = ref None
+
+let dir () : string =
+  match !session_dir with
+  | Some d -> d
+  | None ->
+      let base = Filename.get_temp_dir_name () in
+      let rec mk n =
+        let d =
+          Filename.concat base
+            (Printf.sprintf "limpetmlir-%d-%d" (Unix.getpid ()) n)
+        in
+        match Unix.mkdir d 0o700 with
+        | () -> d
+        | exception Unix.Unix_error (Unix.EEXIST, _, _) -> mk (n + 1)
+      in
+      let d = mk 0 in
+      session_dir := Some d;
+      at_exit (fun () ->
+          (try
+             Array.iter
+               (fun f -> try Sys.remove (Filename.concat d f) with _ -> ())
+               (Sys.readdir d)
+           with _ -> ());
+          (try Unix.rmdir d with _ -> ());
+          session_dir := None);
+      d
+
+(* -- compile + load -------------------------------------------------- *)
+
+let read_log (path : string) : string =
+  try
+    let ic = open_in_bin path in
+    let n = min (in_channel_length ic) 8192 in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with _ -> ""
+
+let write_file (path : string) (s : string) : unit =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let compile (tc : toolchain) ~(stem : string) ~(src : string) : lib * float =
+  let d = dir () in
+  let c_path = Filename.concat d (stem ^ ".c") in
+  let s_path = Filename.concat d (stem ^ ".so") in
+  let log_path = Filename.concat d (stem ^ ".log") in
+  write_file c_path src;
+  let cmd =
+    String.concat " "
+      ((Filename.quote tc.cc :: flags)
+      @ [ "-o"; Filename.quote s_path; Filename.quote c_path; "-lm" ])
+    ^ " 2> " ^ Filename.quote log_path
+  in
+  let t0 = Unix.gettimeofday () in
+  let status = Sys.command cmd in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let log = read_log log_path in
+  if status <> 0 then
+    raise (Compile_error { cc = tc.cc; file = c_path; status; log });
+  match dl_open s_path with
+  | handle -> ({ c_path; s_path; handle }, ms)
+  | exception Failure msg ->
+      raise (Compile_error { cc = tc.cc; file = c_path; status = 0; log = msg })
+
+(* -- argument marshalling -------------------------------------------- *)
+
+type cls = CI | CF | CM
+
+let bind (l : lib) ~(symbol : string) ~(params : Ir.Ty.t list) :
+    Rt.v array -> Rt.v array =
+  let fn = dl_sym l.handle symbol in
+  let classes =
+    Array.of_list
+      (List.map
+         (fun (t : Ir.Ty.t) ->
+           match t with
+           | Ir.Ty.I64 | Ir.Ty.I1 -> CI
+           | Ir.Ty.F64 -> CF
+           | Ir.Ty.Memref -> CM
+           | Ir.Ty.Vec _ ->
+               invalid_arg ("Native.bind: vector parameter for " ^ symbol))
+         params)
+  in
+  let count c = Array.fold_left (fun n x -> if x = c then n + 1 else n) 0 classes in
+  (* preallocated packs: one bound closure per thread, like every engine *)
+  let ia = Array.make (count CI) 0 in
+  let fa = Float.Array.make (count CF) 0.0 in
+  let ma = Array.make (count CM) (Float.Array.create 0) in
+  fun (args : Rt.v array) ->
+    if Array.length args <> Array.length classes then
+      invalid_arg ("Native: arity mismatch calling " ^ symbol);
+    let ki = ref 0 and kf = ref 0 and km = ref 0 in
+    Array.iteri
+      (fun k (a : Rt.v) ->
+        match (classes.(k), a) with
+        | CI, Rt.I n ->
+            ia.(!ki) <- n;
+            incr ki
+        | CI, Rt.B b ->
+            ia.(!ki) <- (if b then 1 else 0);
+            incr ki
+        | CF, Rt.F x ->
+            Float.Array.set fa !kf x;
+            incr kf
+        | CM, Rt.M m ->
+            ma.(!km) <- m;
+            incr km
+        | _, a ->
+            invalid_arg
+              (Printf.sprintf "Native: argument %d of %s has type %s" k symbol
+                 (Rt.type_name a)))
+      args;
+    call_kernel fn ia fa ma;
+    [||]

@@ -1,0 +1,76 @@
+(** Native kernel execution: compile emitted C with the system toolchain
+    at runtime, [dlopen] the shared object and call into it.
+
+    This module is deliberately IR/codegen-agnostic — it ships source
+    text to a C compiler and marshals {!Rt.v} argument vectors to the
+    packed kernel ABI
+
+    {[ void <symbol>(const int64_t *ia, const double *fa,
+                     double *const *ma) ]}
+
+    where int-like scalar parameters are packed into [ia], float scalars
+    into [fa] and memrefs (as raw [floatarray] data pointers) into [ma],
+    each class in declaration order.  [Codegen.C_backend] emits wrappers
+    with exactly this convention.
+
+    Toolchain discovery runs once per process: [$LIMPET_CC] if set (an
+    explicit override that does {i not} fall back to other compilers
+    when it names nothing executable), otherwise the first of [cc],
+    [gcc], [clang] on [$PATH].  Compiled artifacts live in a session
+    temp directory removed via [at_exit]. *)
+
+type toolchain = {
+  cc : string;  (** resolved compiler path *)
+  id : string;  (** identity for cache keys: path + version line *)
+}
+
+type lib
+(** A loaded shared object (plus its source artifact paths). *)
+
+val flags : string list
+(** Compilation flags: [-O3 -shared -fPIC -ffp-contract=off
+    -fno-fast-math].  FP-contract off and no fast-math are load-bearing:
+    they forbid FMA contraction and libm substitution, keeping native
+    trajectories bitwise-comparable to the OCaml engines. *)
+
+val flags_id : string
+(** The flags as one string (cache-key component). *)
+
+exception
+  Compile_error of { cc : string; file : string; status : int; log : string }
+(** The toolchain rejected the source ([status] <> 0, [log] = captured
+    stderr) or the produced object failed to load ([status] = 0, [log] =
+    dlerror).  [file] is the kept [.c] path for post-mortems. *)
+
+val toolchain : unit -> toolchain option
+(** The probed (memoized) toolchain, [None] when no C compiler was
+    found. *)
+
+val available : unit -> bool
+(** [toolchain () <> None]. *)
+
+val with_toolchain : toolchain option -> (unit -> 'a) -> 'a
+(** Run [f] with the probe result forced to the given value (tests:
+    simulate a missing or broken toolchain); restores on exit. *)
+
+val compile : toolchain -> stem:string -> src:string -> lib * float
+(** Write [src] to [<session dir>/<stem>.c], compile it with {!flags}
+    into [<stem>.so], [dlopen] it.  Returns the library and the
+    compiler wall time in milliseconds.
+    @raise Compile_error on toolchain or loader failure. *)
+
+val bind :
+  lib -> symbol:string -> params:Ir.Ty.t list -> Rt.v array -> Rt.v array
+(** Resolve [symbol] and return a caller marshalling {!Rt.v} argument
+    vectors (matching [params], which must be scalar/memref only) to the
+    packed ABI.  The returned closure reuses preallocated marshalling
+    buffers, so it is not reentrant — obtain one closure per thread,
+    as the driver does for every engine.  Kernels return nothing; the
+    result is always [[||]].
+    @raise Failure if the symbol is missing.
+    @raise Invalid_argument on vector parameters or argument mismatch. *)
+
+val source_path : lib -> string
+(** The emitted [.c] on disk (kept until process exit for inspection). *)
+
+val so_path : lib -> string

@@ -14,7 +14,7 @@ exception Driver_error of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Driver_error s)) fmt
 
-type engine = Fused | Batched | Compiled | Reference
+type engine = Fused | Batched | Compiled | Reference | Native
 
 type t = {
   gen : Codegen.Kernel.t;
@@ -34,6 +34,11 @@ type t = {
           constants ({!Codegen.Cache.specialize}); also enables the
           stimulus phase split in {!run} — results are bitwise identical
           either way *)
+  native : (string -> Rt.v array -> Rt.v array) option;
+      (** symbol lookup into the JIT-compiled shared object
+          ({!Codegen.Cache.native}); [Some] exactly when [engine] is
+          {!Native} — each call returns a fresh binding with private
+          marshalling buffers, so per-thread runners stay independent *)
   registry : Rt.registry;
   proved : (int, unit) Hashtbl.t;
       (** access ops of the compute kernel proved in-bounds under this
@@ -57,8 +62,12 @@ let make_registry () : Rt.registry =
   r
 
 let make_runner (d_engine : engine) (registry : Rt.registry) ~proved
-    ~(tile : int) (modl : Ir.Func.modl) : Rt.v array -> Rt.v array =
+    ~(tile : int) ~native (modl : Ir.Func.modl) : Rt.v array -> Rt.v array =
   match d_engine with
+  | Native -> (
+      match native with
+      | Some lookup -> lookup Codegen.Kernel.compute_name
+      | None -> fail "native engine without a compiled library")
   | Fused ->
       let lookup = Fused.compile_module ~externs:registry ~proved modl in
       lookup Codegen.Kernel.compute_name
@@ -120,6 +129,10 @@ let reset (d : t) : unit =
   (* lookup tables *)
   let lookup =
     match d.engine with
+    | Native -> (
+        match d.native with
+        | Some lookup -> lookup
+        | None -> fail "native engine without a compiled library")
     | Fused ->
         Fused.compile_module ~externs:d.registry ~proved:d.proved
           d.gen.Codegen.Kernel.modl
@@ -180,6 +193,20 @@ let create ?(engine = Fused) ?(elide = true) ?(tile = 0) ?(specialize = true)
   let gen =
     if specialize then Codegen.Cache.specialize gen ~dt ~ncells_pad else gen
   in
+  (* the native engine resolves its machine-code artifact eagerly so a
+     missing/failing toolchain degrades here — once, with a warning, to
+     the batched engine — rather than raising later inside a worker *)
+  let engine, native =
+    match engine with
+    | Native -> (
+        match Codegen.Cache.native gen with
+        | Ok lookup -> (Native, Some lookup)
+        | Error diag ->
+            prerr_endline
+              (Easyml.Diag.to_string ~file:gen.Codegen.Kernel.model.M.name diag);
+            (Batched, None))
+    | e -> (e, None)
+  in
   let layout = cfg.Codegen.Config.layout in
   let nvars = max 1 gen.Codegen.Kernel.nvars in
   let sv =
@@ -221,7 +248,7 @@ let create ?(engine = Fused) ?(elide = true) ?(tile = 0) ?(specialize = true)
         let requested = if tile <> 0 then tile else cfg.Codegen.Config.tile in
         Exec.Batched.plan_tile ~tile:requested gen.Codegen.Kernel.modl
           ~name:Codegen.Kernel.compute_name
-    | Fused | Compiled | Reference -> 1
+    | Fused | Compiled | Reference | Native -> 1
   in
   let d =
     {
@@ -236,6 +263,7 @@ let create ?(engine = Fused) ?(elide = true) ?(tile = 0) ?(specialize = true)
       engine;
       tile;
       specialized = specialize;
+      native;
       registry;
       proved;
       runners = [||];
@@ -323,7 +351,7 @@ let ensure_threads (d : t) (nthreads : int) : unit =
     let extra_runners =
       Array.init (nthreads - cur) (fun _ ->
           make_runner d.engine d.registry ~proved:d.proved ~tile:d.tile
-            d.gen.Codegen.Kernel.modl)
+            ~native:d.native d.gen.Codegen.Kernel.modl)
     in
     let extra_rows =
       Array.init (nthreads - cur) (fun _ -> make_rows d.gen)

@@ -15,6 +15,12 @@ type engine =
           scratch rows, fused LUT macro-op (bitwise-identical results) *)
   | Compiled  (** closure engine (one instance per thread) *)
   | Reference  (** tree-walking interpreter (slow; differential tests) *)
+  | Native
+      (** machine code: the lowered (and specialized) kernel is emitted
+          as C, compiled by the system toolchain and [dlopen]ed
+          ({!Codegen.Cache.native}).  When no C compiler is available
+          (or the compile fails), {!create} degrades to {!Batched} with
+          an {!Easyml.Diag} warning on stderr — never an exception *)
 
 type t = {
   gen : Codegen.Kernel.t;
@@ -34,6 +40,9 @@ type t = {
       (** the kernel was partially evaluated over this driver's run
           constants ([dt], padded cell count) and {!run} uses the
           stimulus phase split — bitwise identical either way *)
+  native : (string -> Exec.Rt.v array -> Exec.Rt.v array) option;
+      (** symbol lookup into the JIT-compiled shared object; [Some]
+          exactly when [engine] is {!Native} *)
   registry : Exec.Rt.registry;
   proved : (int, unit) Hashtbl.t;
       (** compute-kernel access ops proved in-bounds by
@@ -68,6 +77,10 @@ val create :
     count become IR constants and the pass pipeline re-runs over them
     ({!Codegen.Cache.specialize}); bitwise identical, and ignored by the
     reference interpreter so differentials keep a pristine baseline.
+    [~engine:Native] resolves the machine-code artifact eagerly: if no C
+    toolchain is available or compilation fails, the driver is built on
+    {!Batched} instead (one warning on stderr, no exception) — check the
+    returned [engine] field to see which engine actually runs.
     @raise Driver_error on non-positive [ncells]/[dt] or negative
     [tile]. *)
 

@@ -22,4 +22,5 @@ let () =
       ("obs", Test_obs.suite);
       ("health", Test_health.suite);
       ("transval", Test_transval.suite);
+      ("native", Test_native.suite);
     ]
