@@ -836,6 +836,173 @@ let wallclock () =
         ]
 
 (* ------------------------------------------------------------------ *)
+(* Tissue-scale monodomain throughput                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Operator-split 1-D cable (tissue library) per execution engine:
+   cells/sec over full tissue steps (ionic stage + exchange + implicit
+   diffusion solve) plus the measured conduction velocity — which must
+   agree across engines, since tissue trajectories are engine-bitwise.
+   Tunables: [tissue-cells=N], [tissue-steps=N], [tissue-json=FILE]
+   (BENCH_tissue.json in-tree). *)
+let tissue_cells = ref 256
+let tissue_steps = ref 7_500
+let tissue_json : string option ref = ref None
+let tissue_model = "MitchellSchaeffer"
+let tissue_reps = 3
+
+type tissue_row = {
+  tr_engine : string;
+  tr_wall_s : float;  (** best-of-[tissue_reps] wall seconds *)
+  tr_cells_per_sec : float;
+  tr_cv : float option;  (** conduction velocity, cm/ms *)
+  tr_activated : int;
+}
+
+let tissue_engines () =
+  [
+    ("interp", Sim.Driver.Reference);
+    ("closure", Sim.Driver.Compiled);
+    ("fused", Sim.Driver.Fused);
+    ("batched", Sim.Driver.Batched);
+  ]
+  @ if Exec.Native.available () then [ ("native", Sim.Driver.Native) ] else []
+
+let tissue_write_json (path : string) (rows : tissue_row list) : unit =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"model\": %S,\n  \"geometry\": \"cable\",\n  \"cells\": %d,\n\
+       \  \"steps\": %d,\n  \"dt_ms\": 0.01,\n  \"sigma\": 0.001,\n\
+       \  \"splitting\": \"godunov\",\n  \"reps\": %d,\n"
+       tissue_model !tissue_cells !tissue_steps tissue_reps);
+  Buffer.add_string b "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"engine\": %S, \"wall_s\": %.4f, \"cells_per_sec\": %.0f, \
+            \"cv_cm_per_ms\": %s, \"activated\": %d}%s\n"
+           r.tr_engine r.tr_wall_s r.tr_cells_per_sec
+           (match r.tr_cv with
+           | Some cv -> Printf.sprintf "%.9g" cv
+           | None -> "null")
+           r.tr_activated
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  let fastest =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some b when b.tr_cells_per_sec >= r.tr_cells_per_sec -> acc
+        | _ -> Some r)
+      None rows
+  in
+  Buffer.add_string b "  ],\n  \"summary\": {\n";
+  (match fastest with
+  | Some f ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"fastest_engine\": %S,\n" f.tr_engine)
+  | None -> ());
+  let speedup num den =
+    match
+      ( List.find_opt (fun r -> r.tr_engine = num) rows,
+        List.find_opt (fun r -> r.tr_engine = den) rows )
+    with
+    | Some a, Some d when d.tr_cells_per_sec > 0.0 ->
+        Printf.sprintf "%.4f" (a.tr_cells_per_sec /. d.tr_cells_per_sec)
+    | _ -> "null"
+  in
+  Buffer.add_string b
+    (Printf.sprintf "    \"fused_vs_closure\": %s,\n"
+       (speedup "fused" "closure"));
+  Buffer.add_string b
+    (Printf.sprintf "    \"native_vs_batched\": %s\n"
+       (speedup "native" "batched"));
+  Buffer.add_string b "  }\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Fmt.pr "(wrote %s)@." path
+
+let tissue_bench () =
+  hr ();
+  Fmt.pr "Tissue monodomain throughput: operator-split 1-D cable (%d cells,@."
+    !tissue_cells;
+  Fmt.pr "%d steps of 0.01 ms, S1 planar wave) per execution engine; cells/sec@."
+    !tissue_steps;
+  Fmt.pr "over full tissue steps and the measured conduction velocity.@.";
+  hr ();
+  let e = Models.Registry.find_exn tissue_model in
+  let g = gen (Codegen.Config.mlir ~width:8) e in
+  let geom = Tissue.Geometry.cable ~n:!tissue_cells ~dx:0.01 in
+  let run_once engine =
+    let sim =
+      Tissue.Monodomain.create ~engine g ~geom ~dt:0.01
+        ~protocol:(Tissue.Protocol.s1 geom)
+    in
+    let wall = Tissue.Monodomain.run sim ~steps:!tissue_steps in
+    (wall, sim)
+  in
+  let rows =
+    List.map
+      (fun (name, engine) ->
+        Gc.compact ();
+        let best_wall = ref Float.infinity and last_sim = ref None in
+        for _ = 1 to tissue_reps do
+          let wall, sim = run_once engine in
+          if wall < !best_wall then best_wall := wall;
+          last_sim := Some sim
+        done;
+        let sim = Option.get !last_sim in
+        let act = Tissue.Monodomain.activation sim in
+        let row =
+          {
+            tr_engine = name;
+            tr_wall_s = !best_wall;
+            tr_cells_per_sec =
+              float_of_int (!tissue_cells * !tissue_steps) /. !best_wall;
+            tr_cv = Tissue.Monodomain.conduction_velocity sim;
+            tr_activated = Tissue.Activation.activated act;
+          }
+        in
+        Fmt.pr "%-8s %8.3f s   %12.0f cells/s   cv %s   activated %d/%d@."
+          name row.tr_wall_s row.tr_cells_per_sec
+          (match row.tr_cv with
+          | Some cv -> Printf.sprintf "%.4f cm/ms" cv
+          | None -> "n/a")
+          row.tr_activated !tissue_cells;
+        row)
+      (tissue_engines ())
+  in
+  (* the trajectories — and so the measured CV — must agree across
+     engines (native within its documented ULP bound) *)
+  (match
+     List.filter_map (fun r -> r.tr_cv) rows |> function
+     | [] -> None
+     | cv :: rest -> Some (cv, rest)
+   with
+  | Some (cv0, rest) ->
+      List.iter
+        (fun cv ->
+          if Float.abs (cv -. cv0) > 1e-6 *. Float.abs cv0 then
+            Fmt.pr "WARNING: cross-engine CV drift: %.9g vs %.9g@." cv cv0)
+        rest
+  | None -> Fmt.pr "WARNING: no engine measured a conduction velocity@.");
+  with_csv "tissue" "engine,wall_s,cells_per_sec,cv_cm_per_ms,activated"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%s,%.4f,%.0f,%s,%d" r.tr_engine r.tr_wall_s
+           r.tr_cells_per_sec
+           (match r.tr_cv with
+           | Some cv -> Printf.sprintf "%.9g" cv
+           | None -> "")
+           r.tr_activated)
+       rows);
+  match !tissue_json with
+  | None -> ()
+  | Some path -> tissue_write_json path rows
 
 let sections =
   [
@@ -849,6 +1016,7 @@ let sections =
     ("icc", icc_ablation);
     ("spline", spline_ablation);
     ("wall", wallclock);
+    ("tissue", tissue_bench);
   ]
 
 let () =
@@ -875,6 +1043,15 @@ let () =
             false
         | Some ("json", v) ->
             wall_json := Some v;
+            false
+        | Some ("tissue-json", v) ->
+            tissue_json := Some v;
+            false
+        | Some ("tissue-cells", v) ->
+            tissue_cells := posint "tissue-cells" v;
+            false
+        | Some ("tissue-steps", v) ->
+            tissue_steps := posint "tissue-steps" v;
             false
         | Some ("cells", v) ->
             wall_cells := posint "cells" v;

@@ -504,6 +504,196 @@ let run_cmd =
           $ engine_arg $ tile_arg $ specialize_arg $ trace $ health
           $ health_stride $ validate)
 
+(* -- tissue --------------------------------------------------------- *)
+
+let engine_name = function
+  | Sim.Driver.Fused -> "fused"
+  | Sim.Driver.Batched -> "batched"
+  | Sim.Driver.Compiled -> "closure"
+  | Sim.Driver.Reference -> "interp"
+  | Sim.Driver.Native -> "native"
+
+let tissue_cmd =
+  let doc =
+    "Tissue-scale monodomain simulation: the generated ionic kernel on \
+     every node of a 1-D cable or 2-D sheet, coupled to an implicit \
+     diffusion solve by operator splitting.  Measures the activation \
+     map, conduction velocity and reentry (reactivation) counts."
+  in
+  let nx =
+    Arg.(value & opt int 128 & info [ "nx" ] ~docv:"N"
+           ~doc:"Nodes along x.")
+  in
+  let ny =
+    Arg.(value & opt int 1 & info [ "ny" ] ~docv:"N"
+           ~doc:"Nodes along y (1 = cable, >1 = sheet).")
+  in
+  let dx =
+    Arg.(value & opt float 0.01 & info [ "dx" ] ~docv:"CM"
+           ~doc:"Node spacing, cm.")
+  in
+  let dt = Arg.(value & opt float 0.01 & info [ "dt" ] ~docv:"MS") in
+  let steps =
+    Arg.(value & opt int 5_000 & info [ "steps" ] ~docv:"N"
+           ~doc:"Number of time steps.")
+  in
+  let sigma =
+    Arg.(value & opt float 0.001 & info [ "sigma" ] ~docv:"S"
+           ~doc:"Effective diffusivity, cm²/ms.")
+  in
+  let splitting =
+    Arg.(value
+         & opt (enum [ ("godunov", Tissue.Monodomain.Godunov);
+                       ("strang", Tissue.Monodomain.Strang) ])
+             Tissue.Monodomain.Godunov
+         & info [ "splitting" ] ~docv:"S"
+             ~doc:"Operator splitting: $(b,godunov) (ionic then IMEX \
+                   diffusion, the Solver.Cable convention, default) or \
+                   $(b,strang) (half diffusion / full ionic / half \
+                   diffusion, second-order).")
+  in
+  let protocol =
+    Arg.(value
+         & opt (enum [ ("s1", `S1); ("s1s2", `S1s2);
+                       ("restitution", `Restitution) ])
+             `S1
+         & info [ "protocol" ] ~docv:"P"
+             ~doc:"Stimulus protocol: $(b,s1) (planar wave from the x=0 \
+                   strip, default), $(b,s1s2) (cross-field shock for \
+                   spiral induction; set --s2-start), or \
+                   $(b,restitution) (S1 pacing train plus premature S2; \
+                   set --s1-count/--s1-interval/--s2-coupling).")
+  in
+  let stim_width =
+    Arg.(value & opt int 5 & info [ "stim-width" ] ~docv:"N"
+           ~doc:"Stimulated strip width in cells.")
+  in
+  let s2_start =
+    Arg.(value & opt float 340.0 & info [ "s2-start" ] ~docv:"MS"
+           ~doc:"S2 shock time for --protocol=s1s2.")
+  in
+  let s1_count =
+    Arg.(value & opt int 4 & info [ "s1-count" ] ~docv:"N"
+           ~doc:"S1 pulses in the restitution train.")
+  in
+  let s1_interval =
+    Arg.(value & opt float 400.0 & info [ "s1-interval" ] ~docv:"MS"
+           ~doc:"S1 pacing interval for --protocol=restitution.")
+  in
+  let s2_coupling =
+    Arg.(value & opt float 300.0 & info [ "s2-coupling" ] ~docv:"MS"
+           ~doc:"S2 coupling interval after the last S1.")
+  in
+  let threads = Arg.(value & opt int 1 & info [ "threads" ] ~docv:"T") in
+  let block_check =
+    Arg.(value & opt float 0.0 & info [ "block-check" ] ~docv:"MS"
+           ~doc:"Arm the conduction-block detector: trip unless \
+                 propagation left the stimulated region by this time \
+                 (0 = off).")
+  in
+  let health =
+    Arg.(value & flag & info [ "health" ]
+           ~doc:"Numerical-health monitoring with the Abort policy: a \
+                 hard trip (NaN, Inf, Vm range, conduction block) exits \
+                 with code 3.")
+  in
+  let map_out =
+    Arg.(value & opt (some string) None & info [ "map" ] ~docv:"FILE"
+           ~doc:"Write the activation map to $(docv): CSV rows \
+                 (cell,x,y,activation_ms,reactivations) when the name \
+                 ends in .csv, a JSON object otherwise.")
+  in
+  let run name width layout no_lut autovec spline engine tile specialize nx ny
+      dx dt steps sigma splitting protocol stim_width s2_start s1_count
+      s1_interval s2_coupling threads block_check health map_out =
+    let m = load_model name in
+    let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
+    let geom =
+      if ny <= 1 then Tissue.Geometry.cable ~n:nx ~dx
+      else Tissue.Geometry.sheet ~nx ~ny ~dx
+    in
+    let proto =
+      match protocol with
+      | `S1 -> Tissue.Protocol.s1 ~width:stim_width geom
+      | `S1s2 -> Tissue.Protocol.s1s2 ~width:stim_width ~s2_start geom
+      | `Restitution ->
+          Tissue.Protocol.restitution ~width:stim_width ~n_s1:s1_count
+            ~interval:s1_interval ~s2_coupling geom
+    in
+    let tcfg =
+      {
+        Tissue.Monodomain.default_config with
+        Tissue.Monodomain.sigma;
+        splitting;
+        block_check_ms = (if block_check > 0.0 then Some block_check else None);
+      }
+    in
+    let g = Codegen.Cache.generate cfg m in
+    let sim =
+      Tissue.Monodomain.create ~engine ~tile ~specialize ~config:tcfg
+        ~nthreads:threads g ~geom ~dt ~protocol:proto
+    in
+    let d = Tissue.Monodomain.driver sim in
+    if health then
+      Sim.Driver.enable_health
+        ~cfg:{ Obs.Health.default_config with policy = Obs.Health.Abort }
+        d;
+    Fmt.pr "# tissue model=%s %s engine=%s splitting=%s protocol=%s \
+            dt=%gms sigma=%g threads=%d@."
+      m.name
+      (Tissue.Geometry.describe geom)
+      (engine_name d.Sim.Driver.engine)
+      (match splitting with
+      | Tissue.Monodomain.Godunov -> "godunov"
+      | Tissue.Monodomain.Strang -> "strang")
+      proto.Tissue.Protocol.name dt sigma threads;
+    let wall =
+      try Tissue.Monodomain.run sim ~steps
+      with Obs.Health.Tripped msg ->
+        Fmt.epr "%s@." msg;
+        exit 3
+    in
+    let act = Tissue.Monodomain.activation sim in
+    let n = Tissue.Geometry.cells geom in
+    Fmt.pr "# steps=%d time=%gms wall=%.3fs cells/sec=%.0f@." steps
+      (Tissue.Monodomain.time sim)
+      wall
+      (float_of_int (n * steps) /. wall);
+    Fmt.pr "# activated %d/%d cell(s); %d reactivated; conduction block: %s@."
+      (Tissue.Activation.activated act)
+      n
+      (Tissue.Activation.reactivated act)
+      (if Tissue.Monodomain.blocked sim then "TRIPPED" else "no");
+    let pa, pb = Tissue.Monodomain.probes sim in
+    (match Tissue.Monodomain.conduction_velocity sim with
+    | Some cv ->
+        Fmt.pr "# conduction velocity cells %d->%d: %.4f cm/ms (%.1f cm/s)@."
+          pa pb cv (cv *. 1000.0)
+    | None ->
+        Fmt.pr "# conduction velocity cells %d->%d: wave did not reach both \
+                probes@."
+          pa pb);
+    match map_out with
+    | None -> ()
+    | Some path ->
+        let text =
+          if Filename.check_suffix path ".csv" then
+            Tissue.Activation.to_csv act geom
+          else
+            Tissue.Activation.to_json
+              ?cv:(Tissue.Monodomain.conduction_velocity sim)
+              act geom
+        in
+        write_text path text;
+        Fmt.pr "# activation map -> %s@." path
+  in
+  Cmd.v (Cmd.info "tissue" ~doc)
+    Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
+          $ autovec_arg $ spline_arg $ engine_arg $ tile_arg $ specialize_arg
+          $ nx $ ny $ dx $ dt $ steps $ sigma $ splitting $ protocol
+          $ stim_width $ s2_start $ s1_count $ s1_interval $ s2_coupling
+          $ threads $ block_check $ health $ map_out)
+
 (* -- profile -------------------------------------------------------- *)
 
 let profile_cmd =
@@ -628,14 +818,52 @@ let serve_cmd =
     Arg.(value & opt float 0.0 & info [ "pace" ] ~docv:"SECONDS"
            ~doc:"Sleep between steps (throttle a demo run; 0 = flat out).")
   in
+  let tissue_flag =
+    Arg.(value & flag & info [ "tissue" ]
+           ~doc:"Serve a tissue run instead of a single-cell population: \
+                 a 1-D S1-paced monodomain cable of $(b,--cells) nodes, \
+                 with the limpetmlir_tissue_* metric families \
+                 (activation coverage, conduction-block trips, measured \
+                 conduction velocity) added to /metrics.")
+  in
   let run name width layout no_lut autovec spline engine tile specialize port
-      cells steps dt threads health_stride refresh pace =
+      cells steps dt threads health_stride refresh pace tissue =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
     Obs.Tracer.reset ();
     Obs.Tracer.enable ();
     let g = Codegen.Cache.generate cfg m in
-    let d = Sim.Driver.create ~engine ~tile ~specialize g ~ncells:cells ~dt in
+    let tsim =
+      if not tissue then None
+      else begin
+        let n = max 2 cells in
+        let geom = Tissue.Geometry.cable ~n ~dx:0.01 in
+        let pulse =
+          Sim.Stim.make ~amplitude:80.0 ~start:1.0 ~duration:2.0
+            ~period:1000.0 ()
+        in
+        let proto =
+          {
+            Tissue.Protocol.name = "s1-paced";
+            stims = [ Sim.Stim.region pulse ~n ~lo:0 ~hi:(min 5 n) ];
+          }
+        in
+        let tcfg =
+          {
+            Tissue.Monodomain.default_config with
+            Tissue.Monodomain.block_check_ms = Some 100.0;
+          }
+        in
+        Some
+          (Tissue.Monodomain.create ~engine ~tile ~specialize ~config:tcfg
+             ~nthreads:threads g ~geom ~dt ~protocol:proto)
+      end
+    in
+    let d =
+      match tsim with
+      | Some s -> Tissue.Monodomain.driver s
+      | None -> Sim.Driver.create ~engine ~tile ~specialize g ~ncells:cells ~dt
+    in
     Sim.Driver.enable_health
       ~cfg:
         { Obs.Health.default_config with Obs.Health.stride = health_stride }
@@ -649,7 +877,8 @@ let serve_cmd =
     let publish () =
       let snap = Obs.Tracer.snapshot () in
       let health = Sim.Driver.health_snapshot d in
-      Atomic.set metrics (Obs.Export.prometheus ?health snap)
+      let tissue = Option.map Tissue.Monodomain.stats tsim in
+      Atomic.set metrics (Obs.Export.prometheus ?health ?tissue snap)
     in
     publish ();
     let stop = Atomic.make false in
@@ -696,7 +925,9 @@ let serve_cmd =
        while
          (not (Atomic.get stop)) && (steps = 0 || !n < steps)
        do
-         Sim.Driver.step ~nthreads:threads ~stim d;
+         (match tsim with
+         | Some s -> Tissue.Monodomain.step s
+         | None -> Sim.Driver.step ~nthreads:threads ~stim d);
          incr n;
          if !n mod refresh = 0 then publish ();
          if pace > 0.0 then Unix.sleepf pace
@@ -719,7 +950,7 @@ let serve_cmd =
     Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
           $ autovec_arg $ spline_arg $ engine_arg $ tile_arg $ specialize_arg
           $ port $ cells $ steps $ dt $ threads $ health_stride $ refresh
-          $ pace)
+          $ pace $ tissue_flag)
 
 (* -- validate-metrics ------------------------------------------------ *)
 
@@ -870,8 +1101,8 @@ let main =
   Cmd.group (Cmd.info "limpetmlir" ~doc)
     [
       list_cmd; inspect_cmd; check_cmd; emit_cmd; parse_cmd; run_cmd;
-      serve_cmd; profile_cmd; validate_metrics_cmd; passes_cmd; cost_cmd;
-      import_mmt_cmd;
+      tissue_cmd; serve_cmd; profile_cmd; validate_metrics_cmd; passes_cmd;
+      cost_cmd; import_mmt_cmd;
     ]
 
 let () = exit (Cmd.eval main)

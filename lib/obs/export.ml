@@ -353,8 +353,55 @@ let prom_health (b : Buffer.t) (h : Health.snapshot) : unit =
         (Printf.sprintf "%s{model=\"%s\"} %d\n" name model
            (if h.Health.hs_unhealthy then 1 else 0)))
 
-let prometheus ?(health : Health.snapshot option) (s : Tracer.snapshot) :
-    string =
+(* Tissue-scale counters (activation coverage, conduction-block trips,
+   measured conduction velocity).  Defined here rather than in the
+   tissue library so the exposition layer stays dependency-free: the
+   monodomain engine fills this record in, obs renders it. *)
+type tissue_stats = {
+  tt_model : string;
+  tt_cells : int;  (** tissue size (real cells) *)
+  tt_activated : int;  (** cells whose upstroke was detected *)
+  tt_reactivated : int;  (** cells re-activated after full repolarization *)
+  tt_block_trips : int;  (** conduction-block detector trips *)
+  tt_cv : float option;  (** measured conduction velocity, cm/ms *)
+}
+
+let prom_tissue (b : Buffer.t) (t : tissue_stats) : unit =
+  let model = prom_label t.tt_model in
+  let family ~name ~help ~typ v =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
+    Buffer.add_string b
+      (Printf.sprintf "%s{model=\"%s\"} %s\n" name model v)
+  in
+  family ~name:"limpetmlir_tissue_cells"
+    ~help:"Tissue size in cells." ~typ:"gauge" (string_of_int t.tt_cells);
+  family ~name:"limpetmlir_tissue_activated_cells"
+    ~help:"Cells whose first upstroke was detected." ~typ:"gauge"
+    (string_of_int t.tt_activated);
+  family ~name:"limpetmlir_tissue_activation_coverage"
+    ~help:"Fraction of cells activated (activated / cells)." ~typ:"gauge"
+    (prom_value
+       (if t.tt_cells = 0 then Float.nan
+        else float_of_int t.tt_activated /. float_of_int t.tt_cells));
+  family ~name:"limpetmlir_tissue_reactivated_cells"
+    ~help:"Cells re-activated after full repolarization (reentry \
+           indicator)."
+    ~typ:"gauge"
+    (string_of_int t.tt_reactivated);
+  family ~name:"limpetmlir_tissue_conduction_block_total"
+    ~help:"Conduction-block watchdog trips (no activation past the \
+           stimulus site inside the plausibility window)."
+    ~typ:"counter"
+    (string_of_int t.tt_block_trips);
+  family ~name:"limpetmlir_tissue_conduction_velocity_cm_ms"
+    ~help:"Measured conduction velocity between the probe cells, cm/ms \
+           (NaN until both probes activated)."
+    ~typ:"gauge"
+    (prom_value (match t.tt_cv with Some cv -> cv | None -> Float.nan))
+
+let prometheus ?(health : Health.snapshot option)
+    ?(tissue : tissue_stats option) (s : Tracer.snapshot) : string =
   let b = Buffer.create 1024 in
   let spans = summarize s in
   Buffer.add_string b
@@ -391,6 +438,7 @@ let prometheus ?(health : Health.snapshot option) (s : Tracer.snapshot) :
            (prom_value v)))
     s.Tracer.gauges;
   Option.iter (prom_health b) health;
+  Option.iter (prom_tissue b) tissue;
   Buffer.contents b
 
 (* -- Prometheus exposition validator ---------------------------------- *)

@@ -34,12 +34,28 @@ val prom_value : float -> string
     [NaN] / [+Inf] / [-Inf] for nonfinite values (never the lowercase
     spellings [%g] would print), [%g] otherwise. *)
 
-val prometheus : ?health:Health.snapshot -> Tracer.snapshot -> string
+type tissue_stats = {
+  tt_model : string;
+  tt_cells : int;  (** tissue size (real cells) *)
+  tt_activated : int;  (** cells whose upstroke was detected *)
+  tt_reactivated : int;  (** cells re-activated after full repolarization *)
+  tt_block_trips : int;  (** conduction-block detector trips *)
+  tt_cv : float option;  (** measured conduction velocity, cm/ms *)
+}
+(** Tissue-scale counters filled in by the monodomain engine
+    ({!Tissue.Monodomain.stats}) and rendered by {!prometheus} as the
+    [limpetmlir_tissue_*] families. *)
+
+val prometheus :
+  ?health:Health.snapshot -> ?tissue:tissue_stats -> Tracer.snapshot -> string
 (** Prometheus text exposition: span totals and counts, counters,
     gauges, and — when [?health] is given — the
     [limpetmlir_health_*] metric families (steps sampled, per-variable
     sample/NaN/Inf/range counters, min/mean/max state gauges, tripped
-    and unhealthy flags). *)
+    and unhealthy flags).  [?tissue] appends the [limpetmlir_tissue_*]
+    families: cell count, activated cells, activation coverage,
+    reactivated cells, conduction-block trips and measured conduction
+    velocity (NaN until both probes activated). *)
 
 val validate_prometheus : string -> (int, string) result
 (** Check a Prometheus text exposition: [# HELP]/[# TYPE] pairing and

@@ -39,18 +39,21 @@ type layout =
 
 type policy = Warn | Abort
 
-type reason = Nan | Inf | Gate_range | Vm_range
+type reason = Nan | Inf | Gate_range | Vm_range | Conduction_block
 
 let reason_name = function
   | Nan -> "nan"
   | Inf -> "inf"
   | Gate_range -> "gate-range"
   | Vm_range -> "vm-range"
+  | Conduction_block -> "conduction-block"
 
 (* NaN and Inf poison results; a configured membrane-potential window is
-   an explicit divergence watchdog.  Gate excursions are only warned. *)
+   an explicit divergence watchdog; a conduction block means the tissue
+   simulation failed its purpose (the wavefront never left the stimulus
+   site).  Gate excursions are only warned. *)
 let hard_reason = function
-  | Nan | Inf | Vm_range -> true
+  | Nan | Inf | Vm_range | Conduction_block -> true
   | Gate_range -> false
 
 type config = {
@@ -293,6 +296,17 @@ let sample_chunk (h : t) ~(sv : floatarray) ~(vm : floatarray option)
   end
 
 let note_sampled (h : t) : unit = h.h_steps <- h.h_steps + 1
+
+(** Conduction-block detector hook for tissue-scale simulations: the
+    monodomain engine calls this when its plausibility window expired
+    with no activation past the stimulus site.  Records one
+    [Conduction_block] trip against [Vm] (deduped like every other
+    reason) and flips the unhealthy flag — the block surfaces through
+    {!enforce}, {!snapshot} and /healthz exactly like a NaN would. *)
+let note_block (h : t) ~(cell : int) ~(step : int) : unit =
+  if Atomic.get h.h_on then
+    offer_trip h ~var:"Vm" ~reason:Conduction_block ~cell ~step
+      ~value:Float.nan
 
 (* -- policy ----------------------------------------------------------- *)
 

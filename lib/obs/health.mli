@@ -15,7 +15,7 @@ type policy =
   | Warn  (** report each trip once through the warn sink *)
   | Abort  (** raise {!Tripped} on hard trips (NaN / Inf / Vm range) *)
 
-type reason = Nan | Inf | Gate_range | Vm_range
+type reason = Nan | Inf | Gate_range | Vm_range | Conduction_block
 
 val reason_name : reason -> string
 
@@ -86,6 +86,12 @@ val sample_chunk :
 val note_sampled : t -> unit
 (** Count one sampled step (call once per sampled step, outside the
     parallel region). *)
+
+val note_block : t -> cell:int -> step:int -> unit
+(** Conduction-block detector hook (tissue simulations): record one
+    [Conduction_block] trip against [Vm] — a {e hard} trip, so it flips
+    {!unhealthy} and aborts under the [Abort] policy.  Deduped like
+    every other (variable, reason) pair; no-op while disabled. *)
 
 exception Tripped of string
 

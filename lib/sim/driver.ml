@@ -540,6 +540,12 @@ let run ?(nthreads = 1) ?(stim = Stim.none) (d : t) ~(steps : int) : float =
 (* ------------------------------------------------------------------ *)
 
 let vm (d : t) (cell : int) : float = Float.Array.get (find_ext_buf d "Vm") cell
+
+(** The raw external buffer ([ncells_pad] entries, padded lanes mirror
+    the last real cell) — for solver stages that update Vm in place
+    (e.g. the tissue monodomain diffusion step).
+    @raise Driver_error when the model has no such external. *)
+let ext_buffer (d : t) (name : string) : floatarray = find_ext_buf d name
 let ext (d : t) (name : string) (cell : int) : float =
   Float.Array.get (find_ext_buf d name) cell
 

@@ -148,6 +148,13 @@ val time : t -> float
 
 val vm : t -> int -> float
 val ext : t -> string -> int -> float
+
+val ext_buffer : t -> string -> floatarray
+(** The raw external buffer ([ncells_pad] entries; padded lanes mirror
+    the last real cell).  Solver stages (e.g. the tissue monodomain
+    diffusion step) read and update it in place.
+    @raise Driver_error when the model has no such external. *)
+
 val state : t -> string -> int -> float
 val set_ext : t -> string -> int -> float -> unit
 val set_state : t -> string -> int -> float -> unit

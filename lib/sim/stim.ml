@@ -32,6 +32,43 @@ let at (s : t) (t : float) : float =
     if phase >= s.start && phase < s.start +. s.duration then s.amplitude
     else 0.0
 
+(* ------------------------------------------------------------------ *)
+(* Spatial addressing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-cell amplitude scaling for tissue-scale protocols.  [Uniform]
+    applies the pulse to every cell unscaled — {!at_cell} returns exactly
+    what {!at} returns, bit for bit, so single-cell callers can be lifted
+    to the spatial form without perturbing any trajectory.  [Weights]
+    scales the pulse per cell (0 outside the stimulated region). *)
+type mask = Uniform | Weights of floatarray
+
+type spatial = { pulse : t; mask : mask }
+
+let uniform (s : t) : spatial = { pulse = s; mask = Uniform }
+
+let weighted (s : t) (w : floatarray) : spatial = { pulse = s; mask = Weights w }
+
+(** Rectangular region on a linearized population: weight 1 on cells
+    [lo, hi), 0 elsewhere. *)
+let region (s : t) ~(n : int) ~(lo : int) ~(hi : int) : spatial =
+  if lo < 0 || hi > n || lo > hi then
+    invalid_arg "Stim.region: need 0 <= lo <= hi <= n";
+  let w = Float.Array.make n 0.0 in
+  for c = lo to hi - 1 do
+    Float.Array.set w c 1.0
+  done;
+  { pulse = s; mask = Weights w }
+
+(** Stimulus current for one cell at time [t].  With a [Uniform] mask
+    this is {e bitwise} [at s.pulse t] — no scaling is applied at all. *)
+let at_cell (s : spatial) ~(t : float) ~(cell : int) : float =
+  match s.mask with
+  | Uniform -> at s.pulse t
+  | Weights w ->
+      let a = at s.pulse t in
+      if a = 0.0 then 0.0 else a *. Float.Array.get w cell
+
 (** Phase plan for a fixed-step run: the run-length encoding
     [(current, steps); …] of the stimulus current over [steps] steps
     starting at [t0], evaluated at exactly the accumulated time sequence

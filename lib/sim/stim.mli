@@ -19,6 +19,28 @@ val make :
 val at : t -> float -> float
 (** Stimulus current at time [t] (ms). *)
 
+type mask = Uniform | Weights of floatarray
+(** Per-cell amplitude scaling: [Uniform] applies the pulse to every
+    cell unscaled; [Weights w] multiplies the pulse current by
+    [w.(cell)] (0 outside the stimulated region). *)
+
+type spatial = { pulse : t; mask : mask }
+(** A spatially addressed stimulus: one pulse schedule plus a per-cell
+    amplitude mask, the building block of tissue protocols
+    (S1 planar strips, S1–S2 cross-field, restitution trains). *)
+
+val uniform : t -> spatial
+val weighted : t -> floatarray -> spatial
+
+val region : t -> n:int -> lo:int -> hi:int -> spatial
+(** Weight 1 on cells [lo, hi) of an [n]-cell population, 0 elsewhere.
+    @raise Invalid_argument unless [0 <= lo <= hi <= n]. *)
+
+val at_cell : spatial -> t:float -> cell:int -> float
+(** Stimulus current for one cell at time [t].  With a [Uniform] mask
+    this is {e bitwise} identical to [at s.pulse t] — the scalar path is
+    untouched by the spatial lifting. *)
+
 val segments : t -> t0:float -> dt:float -> steps:int -> (float * int) list
 (** Run-length encoding [(current, steps); …] of the stimulus over a
     fixed-step run, evaluated at exactly the accumulated time sequence

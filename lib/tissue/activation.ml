@@ -1,0 +1,125 @@
+(** Per-cell upstroke detection and activation-map output. *)
+
+type t = {
+  n : int;
+  threshold : float;
+  reset : float;
+  first : float array;  (* first activation time, nan = never *)
+  react : int array;  (* activations beyond the first *)
+  prev : float array;  (* previous Vm sample *)
+  armed : bool array;  (* repolarized below [reset] since last upstroke *)
+  mutable primed : bool;
+}
+
+let create ?(threshold = -20.0) ?(reset = -60.0) ~(n : int) () : t =
+  if n <= 0 then invalid_arg "Activation.create: need n > 0";
+  if reset >= threshold then
+    invalid_arg "Activation.create: reset must lie below threshold";
+  {
+    n;
+    threshold;
+    reset;
+    first = Array.make n Float.nan;
+    react = Array.make n 0;
+    prev = Array.make n Float.nan;
+    armed = Array.make n false;
+    primed = false;
+  }
+
+let observe (a : t) ~(t_prev : float) ~(t_now : float) ~(vm : floatarray) :
+    unit =
+  if Float.Array.length vm < a.n then
+    invalid_arg "Activation.observe: vm shorter than the recorder";
+  if not a.primed then begin
+    for i = 0 to a.n - 1 do
+      let v = Float.Array.get vm i in
+      a.prev.(i) <- v;
+      a.armed.(i) <- v < a.threshold
+    done;
+    a.primed <- true
+  end
+  else
+    for i = 0 to a.n - 1 do
+      let v_prev = a.prev.(i) and v = Float.Array.get vm i in
+      if a.armed.(i) && v_prev < a.threshold && v >= a.threshold then begin
+        let t_act =
+          t_prev
+          +. (t_now -. t_prev) *. (a.threshold -. v_prev) /. (v -. v_prev)
+        in
+        if Float.is_nan a.first.(i) then a.first.(i) <- t_act
+        else a.react.(i) <- a.react.(i) + 1;
+        a.armed.(i) <- false
+      end
+      else if (not a.armed.(i)) && v < a.reset then a.armed.(i) <- true;
+      a.prev.(i) <- v
+    done
+
+let first_time (a : t) (cell : int) : float = a.first.(cell)
+let reactivations (a : t) (cell : int) : int = a.react.(cell)
+
+let activated (a : t) : int =
+  Array.fold_left (fun k t -> if Float.is_finite t then k + 1 else k) 0 a.first
+
+let reactivated (a : t) : int =
+  Array.fold_left (fun k r -> if r > 0 then k + 1 else k) 0 a.react
+
+let conduction_velocity (a : t) (g : Geometry.t) ~(from_cell : int)
+    ~(to_cell : int) : float option =
+  let ta = a.first.(from_cell) and tb = a.first.(to_cell) in
+  if Float.is_finite ta && Float.is_finite tb && tb > ta then begin
+    let xa, ya = Geometry.coords g from_cell
+    and xb, yb = Geometry.coords g to_cell in
+    let dist =
+      Geometry.dx g
+      *. Float.hypot (float_of_int (xb - xa)) (float_of_int (yb - ya))
+    in
+    Some (dist /. (tb -. ta))
+  end
+  else None
+
+let to_csv (a : t) (g : Geometry.t) : string =
+  let b = Buffer.create (a.n * 24) in
+  Buffer.add_string b "cell,x,y,activation_ms,reactivations\n";
+  for i = 0 to a.n - 1 do
+    let x, y = Geometry.coords g i in
+    Buffer.add_string b
+      (Printf.sprintf "%d,%d,%d,%s,%d\n" i x y
+         (if Float.is_finite a.first.(i) then
+            Printf.sprintf "%.6f" a.first.(i)
+          else "nan")
+         a.react.(i))
+  done;
+  Buffer.contents b
+
+let to_json ?(cv : float option) (a : t) (g : Geometry.t) : string =
+  let b = Buffer.create (a.n * 16) in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"geometry\": \"%s\",\n" (Geometry.describe g));
+  Buffer.add_string b
+    (Printf.sprintf "  \"nx\": %d,\n  \"ny\": %d,\n  \"dx_cm\": %g,\n"
+       (Geometry.nx g) (Geometry.ny g) (Geometry.dx g));
+  Buffer.add_string b
+    (Printf.sprintf "  \"threshold_mv\": %g,\n" a.threshold);
+  Buffer.add_string b (Printf.sprintf "  \"activated\": %d,\n" (activated a));
+  Buffer.add_string b
+    (Printf.sprintf "  \"reactivated\": %d,\n" (reactivated a));
+  (match cv with
+  | Some v ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"conduction_velocity_cm_ms\": %.9g,\n" v)
+  | None -> ());
+  Buffer.add_string b "  \"activation_ms\": [";
+  for i = 0 to a.n - 1 do
+    if i > 0 then Buffer.add_string b ", ";
+    Buffer.add_string b
+      (if Float.is_finite a.first.(i) then Printf.sprintf "%.6f" a.first.(i)
+       else "null")
+  done;
+  Buffer.add_string b "],\n  \"reactivations\": [";
+  for i = 0 to a.n - 1 do
+    if i > 0 then Buffer.add_string b ", ";
+    Buffer.add_string b (string_of_int a.react.(i))
+  done;
+  Buffer.add_string b "]\n}\n";
+  Buffer.contents b

@@ -1,0 +1,48 @@
+(** Activation-map measurement: per-cell upstroke detection with linear
+    time interpolation, reactivation counting (the reentry indicator)
+    and conduction-velocity estimation.
+
+    Observation only reads the membrane potential — recording an
+    activation map never perturbs the simulated trajectory. *)
+
+type t
+
+val create : ?threshold:float -> ?reset:float -> n:int -> unit -> t
+(** A recorder for [n] cells.  A cell {e activates} when Vm crosses
+    [threshold] (default −20 mV) upward; after activating it must
+    repolarize below [reset] (default −60 mV) before a further upward
+    crossing counts as a {e re}activation.
+    @raise Invalid_argument when [n <= 0] or [reset >= threshold]. *)
+
+val observe : t -> t_prev:float -> t_now:float -> vm:floatarray -> unit
+(** Feed the post-step membrane potential ([vm] may be padded; only the
+    first [n] entries are read).  The first call primes the previous
+    sample and detects nothing.  Crossing times are linearly
+    interpolated: [t_act = t_prev + (t_now − t_prev)·(θ − v_prev)/(v −
+    v_prev)]. *)
+
+val first_time : t -> int -> float
+(** First activation time of one cell, ms ([nan] when never). *)
+
+val reactivations : t -> int -> int
+val activated : t -> int
+(** Cells whose first upstroke was detected. *)
+
+val reactivated : t -> int
+(** Cells that re-activated after full repolarization — a sustained
+    reentrant wave re-excites tissue, so a nonzero count after the
+    stimuli ended is the spiral-wave/reentry signature. *)
+
+val conduction_velocity :
+  t -> Geometry.t -> from_cell:int -> to_cell:int -> float option
+(** Euclidean distance between the two cells over their first-activation
+    time difference, cm/ms; [None] unless both activated in order. *)
+
+val to_csv : t -> Geometry.t -> string
+(** [cell,x,y,activation_ms,reactivations] rows (activation [nan] when
+    never), with a header line. *)
+
+val to_json : ?cv:float -> t -> Geometry.t -> string
+(** JSON object: geometry, threshold, activated/reactivated counts,
+    optional conduction velocity, per-cell activation times ([null]
+    when never) and reactivation counts. *)

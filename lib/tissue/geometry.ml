@@ -1,0 +1,40 @@
+(** Tissue geometries: 1-D cable or 2-D sheet with uniform spacing. *)
+
+type t =
+  | Cable of { n : int; dx : float }
+  | Sheet of { nx : int; ny : int; dx : float }
+
+let cable ~(n : int) ~(dx : float) : t =
+  if n < 2 then invalid_arg "Geometry.cable: need at least two nodes";
+  if dx <= 0.0 then invalid_arg "Geometry.cable: dx must be positive";
+  Cable { n; dx }
+
+let sheet ~(nx : int) ~(ny : int) ~(dx : float) : t =
+  if nx < 2 || ny < 2 then
+    invalid_arg "Geometry.sheet: need at least 2x2 nodes";
+  if dx <= 0.0 then invalid_arg "Geometry.sheet: dx must be positive";
+  Sheet { nx; ny; dx }
+
+let cells = function Cable { n; _ } -> n | Sheet { nx; ny; _ } -> nx * ny
+let dx = function Cable { dx; _ } | Sheet { dx; _ } -> dx
+let nx = function Cable { n; _ } -> n | Sheet { nx; _ } -> nx
+let ny = function Cable _ -> 1 | Sheet { ny; _ } -> ny
+
+let index (g : t) ~(x : int) ~(y : int) : int =
+  match g with
+  | Cable { n; _ } ->
+      if x < 0 || x >= n || y <> 0 then invalid_arg "Geometry.index";
+      x
+  | Sheet { nx; ny; _ } ->
+      if x < 0 || x >= nx || y < 0 || y >= ny then
+        invalid_arg "Geometry.index";
+      (y * nx) + x
+
+let coords (g : t) (cell : int) : int * int =
+  match g with
+  | Cable _ -> (cell, 0)
+  | Sheet { nx; _ } -> (cell mod nx, cell / nx)
+
+let describe = function
+  | Cable { n; dx } -> Printf.sprintf "cable n=%d dx=%gcm" n dx
+  | Sheet { nx; ny; dx } -> Printf.sprintf "sheet %dx%d dx=%gcm" nx ny dx

@@ -1,0 +1,36 @@
+(** Tissue geometries: the spatial discretizations the monodomain
+    subsystem runs on — a 1-D cable (fibre) or a 2-D sheet, both with
+    uniform node spacing and no-flux (Neumann) boundaries. *)
+
+type t =
+  | Cable of { n : int; dx : float }
+      (** [n] nodes along a fibre, spacing [dx] cm *)
+  | Sheet of { nx : int; ny : int; dx : float }
+      (** [nx × ny] nodes, row-major ([cell = y·nx + x]), spacing [dx] cm *)
+
+val cable : n:int -> dx:float -> t
+(** @raise Invalid_argument when [n < 2] or [dx <= 0]. *)
+
+val sheet : nx:int -> ny:int -> dx:float -> t
+(** @raise Invalid_argument when [nx < 2], [ny < 2] or [dx <= 0]. *)
+
+val cells : t -> int
+(** Total node count. *)
+
+val dx : t -> float
+
+val nx : t -> int
+(** Nodes along x ([n] for a cable). *)
+
+val ny : t -> int
+(** Nodes along y (1 for a cable). *)
+
+val index : t -> x:int -> y:int -> int
+(** Row-major cell index.
+    @raise Invalid_argument out of range (cables require [y = 0]). *)
+
+val coords : t -> int -> int * int
+(** Inverse of {!index}: [cell -> (x, y)]. *)
+
+val describe : t -> string
+(** One-line human-readable description, e.g. ["cable n=256 dx=0.01cm"]. *)

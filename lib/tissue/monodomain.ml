@@ -1,0 +1,216 @@
+(** Operator-split monodomain engine: generated ionic kernel × implicit
+    diffusion.  See the interface for the splitting conventions. *)
+
+module Driver = Sim.Driver
+module Stim = Sim.Stim
+
+type splitting = Godunov | Strang
+
+type config = {
+  sigma : float;
+  cm : float;
+  splitting : splitting;
+  threshold : float;
+  reset : float;
+  block_check_ms : float option;
+  probes : (int * int) option;
+}
+
+let default_config : config =
+  {
+    sigma = 0.001;
+    cm = 1.0;
+    splitting = Godunov;
+    threshold = -20.0;
+    reset = -60.0;
+    block_check_ms = None;
+    probes = None;
+  }
+
+type t = {
+  driver : Driver.t;
+  geom : Geometry.t;
+  cfg : config;
+  nthreads : int;
+  protocol : Protocol.t;
+  op_full : Diffusion.t;  (* Godunov: the dt operator *)
+  op_half : Diffusion.t;  (* Strang: the dt/2 operator *)
+  act : Activation.t;
+  vm_buf : floatarray;  (* the driver's padded Vm external, in place *)
+  iion_buf : floatarray;
+  rhs : floatarray;  (* scratch, real cells only *)
+  stimulated : bool array;  (* union of the protocol's mask supports *)
+  probe_a : int;
+  probe_b : int;
+  mutable block_checked : bool;
+  mutable block_tripped : bool;
+}
+
+let default_probes (g : Geometry.t) : int * int =
+  let nx = Geometry.nx g in
+  let y = Geometry.ny g / 2 in
+  let clamp x = max 0 (min (nx - 1) x) in
+  ( Geometry.index g ~x:(clamp (nx / 5)) ~y,
+    Geometry.index g ~x:(clamp (4 * nx / 5)) ~y )
+
+(* cells any protocol pulse can reach (nonzero mask weight) *)
+let stimulated_cells (n : int) (p : Protocol.t) : bool array =
+  let s = Array.make n false in
+  List.iter
+    (fun (sp : Stim.spatial) ->
+      match sp.Stim.mask with
+      | Stim.Uniform -> Array.fill s 0 n true
+      | Stim.Weights w ->
+          for i = 0 to min n (Float.Array.length w) - 1 do
+            if Float.Array.get w i <> 0.0 then s.(i) <- true
+          done)
+    p.Protocol.stims;
+  s
+
+let create ?engine ?tile ?specialize ?(config = default_config)
+    ?(nthreads = 1) (gen : Codegen.Kernel.t) ~(geom : Geometry.t)
+    ~(dt : float) ~(protocol : Protocol.t) : t =
+  let n = Geometry.cells geom in
+  let driver = Driver.create ?engine ?tile ?specialize gen ~ncells:n ~dt in
+  let act =
+    Activation.create ~threshold:config.threshold ~reset:config.reset ~n ()
+  in
+  let vm_buf = Driver.ext_buffer driver "Vm" in
+  let iion_buf = Driver.ext_buffer driver "Iion" in
+  let probe_a, probe_b =
+    match config.probes with Some p -> p | None -> default_probes geom
+  in
+  (* prime the recorder with the initial (resting) potential *)
+  Activation.observe act ~t_prev:0.0 ~t_now:0.0 ~vm:vm_buf;
+  {
+    driver;
+    geom;
+    cfg = config;
+    nthreads;
+    protocol;
+    op_full = Diffusion.assemble geom ~sigma:config.sigma ~dt;
+    op_half = Diffusion.assemble geom ~sigma:config.sigma ~dt:(dt /. 2.0);
+    act;
+    vm_buf;
+    iion_buf;
+    rhs = Float.Array.make n 0.0;
+    stimulated = stimulated_cells n protocol;
+    probe_a;
+    probe_b;
+    block_checked = false;
+    block_tripped = false;
+  }
+
+let driver (m : t) = m.driver
+let geometry (m : t) = m.geom
+let activation (m : t) = m.act
+let protocol (m : t) = m.protocol
+let time (m : t) = Driver.time m.driver
+let probes (m : t) = (m.probe_a, m.probe_b)
+
+(* write the diffusion solution back into the driver's padded Vm buffer
+   (padded lanes mirror the last real cell — the driver's invariant) *)
+let write_back (m : t) (x : floatarray) : unit =
+  let n = Geometry.cells m.geom in
+  Float.Array.blit x 0 m.vm_buf 0 n;
+  let last = Float.Array.get x (n - 1) in
+  for i = n to Float.Array.length m.vm_buf - 1 do
+    Float.Array.set m.vm_buf i last
+  done
+
+let check_block (m : t) : unit =
+  match m.cfg.block_check_ms with
+  | Some check when (not m.block_checked) && time m >= check ->
+      m.block_checked <- true;
+      let n = Geometry.cells m.geom in
+      let escaped = ref false in
+      let first_outside = ref (-1) in
+      for i = 0 to n - 1 do
+        if not m.stimulated.(i) then begin
+          if !first_outside < 0 then first_outside := i;
+          if Float.is_finite (Activation.first_time m.act i) then
+            escaped := true
+        end
+      done;
+      if (not !escaped) && !first_outside >= 0 then begin
+        m.block_tripped <- true;
+        match Driver.health m.driver with
+        | Some h ->
+            Obs.Health.note_block h ~cell:!first_outside
+              ~step:m.driver.Driver.steps_done;
+            Obs.Health.enforce h
+        | None -> ()
+      end
+  | _ -> ()
+
+let step (m : t) : unit =
+  let n = Geometry.cells m.geom in
+  let t0 = Driver.time m.driver in
+  let dt = m.driver.Driver.dt in
+  (match m.cfg.splitting with
+  | Godunov ->
+      (* (1) ionic stage at the current state *)
+      Obs.Tracer.with_span "tissue.ionic" (fun () ->
+          Driver.compute_stage ~nthreads:m.nthreads m.driver);
+      (* (2) exchange: fold reaction and stimulus into the rhs … *)
+      Obs.Tracer.with_span "tissue.exchange" (fun () ->
+          for i = 0 to n - 1 do
+            let istim = Protocol.current m.protocol ~t:t0 ~cell:i in
+            Float.Array.set m.rhs i
+              (Float.Array.get m.vm_buf i
+              +. dt
+                 *. (istim -. Float.Array.get m.iion_buf i)
+                 /. m.cfg.cm)
+          done);
+      (* … then (3) the implicit diffusion solve *)
+      Obs.Tracer.with_span "tissue.diffusion" (fun () ->
+          write_back m (Diffusion.solve m.op_full m.rhs))
+  | Strang ->
+      (* (1) implicit diffusion over dt/2 *)
+      Obs.Tracer.with_span "tissue.diffusion" (fun () ->
+          Float.Array.blit m.vm_buf 0 m.rhs 0 n;
+          write_back m (Diffusion.solve m.op_half m.rhs));
+      (* (2) full-dt ionic stage + explicit reaction update *)
+      Obs.Tracer.with_span "tissue.ionic" (fun () ->
+          Driver.compute_stage ~nthreads:m.nthreads m.driver);
+      Obs.Tracer.with_span "tissue.exchange" (fun () ->
+          for i = 0 to n - 1 do
+            let istim = Protocol.current m.protocol ~t:t0 ~cell:i in
+            Float.Array.set m.vm_buf i
+              (Float.Array.get m.vm_buf i
+              +. dt
+                 *. (istim -. Float.Array.get m.iion_buf i)
+                 /. m.cfg.cm)
+          done);
+      (* (3) implicit diffusion over dt/2 *)
+      Obs.Tracer.with_span "tissue.diffusion" (fun () ->
+          Float.Array.blit m.vm_buf 0 m.rhs 0 n;
+          write_back m (Diffusion.solve m.op_half m.rhs)));
+  Driver.tick m.driver;
+  Activation.observe m.act ~t_prev:t0 ~t_now:(Driver.time m.driver)
+    ~vm:m.vm_buf;
+  check_block m
+
+let run (m : t) ~(steps : int) : float =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to steps do
+    step m
+  done;
+  Unix.gettimeofday () -. t0
+
+let conduction_velocity (m : t) : float option =
+  Activation.conduction_velocity m.act m.geom ~from_cell:m.probe_a
+    ~to_cell:m.probe_b
+
+let blocked (m : t) : bool = m.block_tripped
+
+let stats (m : t) : Obs.Export.tissue_stats =
+  {
+    Obs.Export.tt_model =
+      m.driver.Driver.gen.Codegen.Kernel.model.Easyml.Model.name;
+    tt_cells = Geometry.cells m.geom;
+    tt_activated = Activation.activated m.act;
+    tt_reactivated = Activation.reactivated m.act;
+    tt_block_trips = (if m.block_tripped then 1 else 0);
+    tt_cv = conduction_velocity m;
+  }

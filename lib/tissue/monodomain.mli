@@ -1,0 +1,99 @@
+(** Operator-split monodomain reaction–diffusion engine.
+
+    Couples the per-cell ionic step — the generated kernel running under
+    any of the five {!Sim.Driver} engines, with Domain-parallel chunks —
+    with an implicit diffusion step ({!Diffusion}: tridiagonal Thomas on
+    cables, CG on sheets):
+
+      Cm dVm/dt = σ ∇²Vm − Iion + Istim
+
+    {b Splitting order} (test-pinned, see DESIGN.md §12):
+    - [Godunov] — per step: (1) ionic compute stage at the current state,
+      (2) IMEX exchange+diffusion
+      [(I − dt·λ·L) Vm' = Vm + dt·(Istim − Iion)/Cm] — exactly the
+      {!Solver.Cable.step} convention, first-order in the splitting.
+    - [Strang] — per step: (1) implicit diffusion over [dt/2], (2) the
+      full-[dt] ionic stage plus explicit reaction update
+      [Vm += dt·(Istim − Iion)/Cm], (3) implicit diffusion over [dt/2]
+      — second-order.  The ionic kernel's [dt] is baked in by runtime
+      specialization, so only the diffusion operator is halved.
+
+    The stimulus is evaluated at the {e pre-step} time (the
+    {!Sim.Driver.membrane_update} convention).  Diffusion, exchange and
+    measurement are deterministic and single-threaded, and the ionic
+    stage is bitwise-reproducible across thread counts, so tissue
+    trajectories are bitwise identical across engines (native: the
+    kernels' ≤ 2 ULP bound) and across [nthreads]. *)
+
+type splitting = Godunov | Strang
+
+type config = {
+  sigma : float;  (** effective diffusivity σ/(Cm·χ), cm²/ms *)
+  cm : float;  (** membrane capacitance scale for the reaction term *)
+  splitting : splitting;
+  threshold : float;  (** upstroke detection threshold, mV *)
+  reset : float;  (** rearm threshold for reactivation counting, mV *)
+  block_check_ms : float option;
+      (** when set: at this simulation time, trip the conduction-block
+          detector unless some cell {e outside} every stimulated region
+          has activated *)
+  probes : (int * int) option;
+      (** conduction-velocity probe cells (defaults to 20% / 80% along
+          x, middle row on sheets) *)
+}
+
+val default_config : config
+(** σ = 0.001 cm²/ms, Cm = 1, [Godunov], threshold −20 mV, reset
+    −60 mV, no block check, default probes. *)
+
+type t
+
+val create :
+  ?engine:Sim.Driver.engine ->
+  ?tile:int ->
+  ?specialize:bool ->
+  ?config:config ->
+  ?nthreads:int ->
+  Codegen.Kernel.t ->
+  geom:Geometry.t ->
+  dt:float ->
+  protocol:Protocol.t ->
+  t
+(** A tissue simulation of [geom] running the generated kernel on every
+    node.  [nthreads] (default 1) Domain-parallelizes the ionic stage
+    via the driver's race-checked chunk partitioning; results are
+    bitwise identical for every value.
+    @raise Sim.Driver.Driver_error as {!Sim.Driver.create}. *)
+
+val driver : t -> Sim.Driver.t
+(** The underlying driver, e.g. for {!Sim.Driver.enable_health} (attach
+    it before stepping to arm the NaN/range and conduction-block
+    monitors). *)
+
+val geometry : t -> Geometry.t
+val activation : t -> Activation.t
+val protocol : t -> Protocol.t
+val time : t -> float
+(** Current simulation time, ms. *)
+
+val step : t -> unit
+(** One operator-split step: ionic stage(s), exchange, diffusion
+    solve(s), clock tick, activation observation, block check.  Phases
+    record {!Obs.Tracer} spans ([tissue.ionic], [tissue.exchange],
+    [tissue.diffusion]) when tracing is enabled. *)
+
+val run : t -> steps:int -> float
+(** [steps] full steps; returns total wall-clock seconds. *)
+
+val probes : t -> int * int
+val conduction_velocity : t -> float option
+(** Velocity between the probe cells, cm/ms ([None] until both
+    activated). *)
+
+val blocked : t -> bool
+(** The conduction-block detector tripped (propagation never left the
+    stimulated region by [block_check_ms]).  Also recorded as a hard
+    {!Obs.Health} trip when a monitor is attached. *)
+
+val stats : t -> Obs.Export.tissue_stats
+(** Prometheus-ready counters ({!Obs.Export.prometheus} [?tissue]). *)

@@ -15,6 +15,7 @@ let () =
       ("integrators", Test_integrators.suite);
       ("runtime", Test_runtime.suite);
       ("solver", Test_solver.suite);
+      ("tissue", Test_tissue.suite);
       ("codegen", Test_codegen.suite);
       ("driver", Test_driver.suite);
       ("models", Test_models.suite);

@@ -154,9 +154,102 @@ let test_conduction_velocity_helper () =
   | None -> ()
   | Some _ -> Alcotest.fail "unactivated cell must yield None"
 
+(* -- three-way oracle: Thomas == CG == dense Gaussian elimination ---- *)
+
+(* Dense Gaussian elimination with partial pivoting — the textbook
+   oracle both production solvers are checked against. *)
+let dense_ge_solve (m : float array array) (b : float array) : float array =
+  let n = Array.length b in
+  let a = Array.map Array.copy m and x = Array.copy b in
+  for k = 0 to n - 1 do
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs a.(i).(k) > Float.abs a.(!piv).(k) then piv := i
+    done;
+    let tmp = a.(k) in
+    a.(k) <- a.(!piv);
+    a.(!piv) <- tmp;
+    let tb = x.(k) in
+    x.(k) <- x.(!piv);
+    x.(!piv) <- tb;
+    for i = k + 1 to n - 1 do
+      let f = a.(i).(k) /. a.(k).(k) in
+      for j = k to n - 1 do
+        a.(i).(j) <- a.(i).(j) -. (f *. a.(k).(j))
+      done;
+      x.(i) <- x.(i) -. (f *. x.(k))
+    done
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (a.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !s /. a.(i).(i)
+  done;
+  x
+
+let solver_oracle =
+  (* The SPD family the diffusion step actually solves: I + λ·L with L
+     the Neumann 1-D Laplacian and λ = dt·σ/dx² > 0.  Tolerances: the
+     dense oracle and Thomas are both direct — they agree to ~1e-12
+     relative (cond(I + λL) ≤ 1 + 4λ ≤ 21 here); CG iterates to a 1e-12
+     relative residual, so 1e-8 absolute on these O(1) solutions leaves
+     two orders of headroom. *)
+  Helpers.qtest ~count:150 "tridiag == cg == dense GE on SPD Laplacian"
+    QCheck.(
+      triple (int_range 2 40)
+        (float_range 0.01 5.0)
+        (int_range 0 10_000))
+    (fun (n, lambda, seed) ->
+      let sub =
+        Float.Array.init n (fun i -> if i = 0 then 0.0 else -.lambda)
+      and sup =
+        Float.Array.init n (fun i -> if i = n - 1 then 0.0 else -.lambda)
+      and diag =
+        Float.Array.init n (fun i ->
+            let deg = (if i > 0 then 1.0 else 0.0) +. if i < n - 1 then 1.0 else 0.0 in
+            1.0 +. (lambda *. deg))
+      in
+      let rhs =
+        Float.Array.init n (fun i ->
+            Float.sin (float_of_int ((seed + (i * 37)) mod 1000) /. 31.0))
+      in
+      let x_thomas = Tridiag.solve ~a:sub ~b:diag ~c:sup ~d:rhs in
+      let triplets = ref [] in
+      for i = 0 to n - 1 do
+        triplets := (i, i, Float.Array.get diag i) :: !triplets;
+        if i > 0 then triplets := (i, i - 1, -.lambda) :: !triplets;
+        if i < n - 1 then triplets := (i, i + 1, -.lambda) :: !triplets
+      done;
+      let x_cg, _ =
+        Cg.solve ~tol:1e-12 ~max_iters:10_000
+          (Sparse.of_triplets ~n !triplets)
+          rhs
+      in
+      let dense =
+        Array.init n (fun i ->
+            Array.init n (fun j ->
+                if i = j then Float.Array.get diag i
+                else if abs (i - j) = 1 then -.lambda
+                else 0.0))
+      in
+      let x_ge =
+        dense_ge_solve dense (Array.init n (Float.Array.get rhs))
+      in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if not (Helpers.close ~tol:1e-10 (Float.Array.get x_thomas i) x_ge.(i))
+        then ok := false;
+        if not (Helpers.close ~tol:1e-8 (Float.Array.get x_cg i) x_ge.(i))
+        then ok := false
+      done;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "tridiag known system" `Quick test_tridiag_known;
+    solver_oracle;
     tridiag_residual;
     Alcotest.test_case "tridiag singular" `Quick test_tridiag_singular;
     Alcotest.test_case "csr mul" `Quick test_csr_mul;
