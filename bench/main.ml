@@ -507,6 +507,76 @@ let health_sweep () : (string * (int * int * int)) list =
    contribute to a geomean headline; they are dropped with a log line. *)
 let min_geo_samples = 10
 
+(* Flight-recorder cost: the same fused vector driver run to completion
+   with and without a checkpoint writer at the CLI's default stride
+   (1000 steps, keep 3, verify on — exactly what `limpetmlir run
+   --checkpoint-dir` attaches), wall-clock around the whole run so the
+   serialization and fsync cost is in the numerator.  Large models only:
+   they carry the most state per checkpoint and are the rows the paper's
+   figures care about.  The geomean is gated < 1.03 in CI. *)
+let ckpt_stride = 1_000
+let ckpt_steps = 3_000
+let ckpt_reps = 3
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let checkpoint_overhead () : (string * float) list =
+  let large =
+    List.filter
+      (fun n ->
+        (Models.Registry.find_exn n).Models.Model_def.cls
+        = Models.Model_def.Large)
+      wall_reps
+  in
+  List.map
+    (fun name ->
+      let e = Models.Registry.find_exn name in
+      let g = gen (Codegen.Config.mlir ~width:8) e in
+      let wall ~(ckpt : bool) () =
+        let d =
+          Sim.Driver.create ~engine:Sim.Driver.Fused g ~ncells:!wall_cells
+            ~dt:0.01
+        in
+        let writer, dir =
+          if not ckpt then (None, None)
+          else begin
+            let dir =
+              Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "limpet-ckpt-bench-%d-%s" (Unix.getpid ())
+                   name)
+            in
+            ( Some (Obs.Recorder.create_writer ~dir ~stride:ckpt_stride ()),
+              Some dir )
+          end
+        in
+        let t0 = Unix.gettimeofday () in
+        ignore (Sim.Driver.run ~stim:wall_stim ?ckpt:writer d ~steps:ckpt_steps);
+        let t = Unix.gettimeofday () -. t0 in
+        Option.iter rm_rf dir;
+        t
+      in
+      let best f =
+        let m = ref Float.infinity in
+        for _ = 1 to ckpt_reps do
+          Gc.compact ();
+          m := Float.min !m (f ())
+        done;
+        !m
+      in
+      (* interleave-free: all plain reps, then all checkpointed reps, on
+         freshly created drivers each time *)
+      let plain = best (wall ~ckpt:false) in
+      let ckpt = best (wall ~ckpt:true) in
+      (name, ckpt /. plain))
+    large
+
 let wall_write_json (path : string) (rows : wall_row list)
     (sweep : (string * (int * int * int)) list)
     (summary : (string * float) list) : unit =
@@ -802,6 +872,18 @@ let wallclock () =
   in
   Fmt.pr "bounds-check elision speedup (fused-noelide/fused geomean): %.2fx@."
     el;
+  (* flight-recorder cost on the large rows: full runs with the default
+     CLI writer attached vs without, wall-clock ratio *)
+  let ck_rows = checkpoint_overhead () in
+  List.iter
+    (fun (name, r) ->
+      Fmt.pr
+        "checkpoint overhead (%s, fused vector, stride %d over %d steps): \
+         %.4fx@."
+        name ckpt_stride ckpt_steps r)
+    ck_rows;
+  let ck = geo_or_nan (List.map snd ck_rows) in
+  Fmt.pr "checkpoint overhead geomean (gate < 1.03): %.4fx@." ck;
   Fmt.pr "(%d cells per kernel invocation)@." !wall_cells;
   match !wall_json with
   | None -> ()
@@ -832,6 +914,7 @@ let wallclock () =
           ("native_vs_batched_vector", nve);
           ("native_vs_batched_geomean", nall);
           ("fused_elision_speedup_geomean", el);
+          ("checkpoint_overhead_geomean", ck);
           ("health_nan_total", float_of_int nan_total);
         ]
 

@@ -47,6 +47,128 @@ let config ?(spline = false) ~width ~layout ~no_lut ~autovec () :
   in
   { base with use_lut = not no_lut; lut_spline = spline }
 
+(* -- flight recorder helpers ---------------------------------------- *)
+
+let limpetmlir_version = "0.10.0"
+
+let build_info () : Obs.Export.build_info =
+  {
+    Obs.Export.bi_version = limpetmlir_version;
+    bi_ocaml = Sys.ocaml_version;
+    bi_pipeline = Codegen.Cache.pipeline_id;
+    bi_toolchain =
+      (match Exec.Native.toolchain () with
+      | Some tc -> tc.Exec.Native.id
+      | None -> "unavailable");
+  }
+
+let bits_hex (v : float) : string =
+  Printf.sprintf "%016Lx" (Int64.bits_of_float v)
+
+let of_bits_hex (s : string) : float =
+  Int64.float_of_bits (Int64.of_string ("0x" ^ s))
+
+let engine_of_name : string -> Sim.Driver.engine option = function
+  | "fused" -> Some Sim.Driver.Fused
+  | "batched" -> Some Sim.Driver.Batched
+  | "closure" -> Some Sim.Driver.Compiled
+  | "interp" -> Some Sim.Driver.Reference
+  | "native" -> Some Sim.Driver.Native
+  | _ -> None
+
+(* SIGINT/SIGTERM land here when a flight recorder is armed, so the
+   main loop can write a crash dump before exiting with the
+   conventional 128+signum code. *)
+exception Interrupted of int
+
+let arm_signals () : unit =
+  let h code = Sys.Signal_handle (fun _ -> raise (Interrupted code)) in
+  Sys.set_signal Sys.sigint (h 130);
+  Sys.set_signal Sys.sigterm (h 143)
+
+let health_text (d : Sim.Driver.t) : string option =
+  match Sim.Driver.health_snapshot d with
+  | None -> None
+  | Some hs ->
+      let nan, inf, range = Obs.Health.totals hs in
+      Some
+        (Printf.sprintf
+           "%s: %d step(s) sampled, %d NaN, %d Inf, %d range violation(s)\n"
+           (if hs.Obs.Health.hs_unhealthy then "UNHEALTHY" else "ok")
+           hs.Obs.Health.hs_steps_sampled nan inf range)
+
+(* Post-mortem bundle: structured report, recent trace events, health
+   snapshot, and the newest on-disk checkpoint (when a writer ran). *)
+let dump_crash ~(dir : string) ~(reason : string) ~(message : string)
+    ~(d : Sim.Driver.t) (writer : Obs.Recorder.writer option) : unit =
+  let report =
+    let open Obs.Json in
+    Obj
+      [
+        ("reason", Str reason);
+        ("message", Str message);
+        ("model", Str d.Sim.Driver.gen.Codegen.Kernel.model.Easyml.Model.name);
+        ("engine", Str (Sim.Driver.engine_name d.Sim.Driver.engine));
+        ("step", Num (float_of_int d.Sim.Driver.steps_done));
+        ("time_ms", Num (Sim.Driver.time d));
+        ("version", Str limpetmlir_version);
+        ("pipeline", Str Codegen.Cache.pipeline_id);
+      ]
+  in
+  let bundle =
+    Obs.Recorder.crash_dump ~dir
+      ?last_checkpoint:(Option.bind writer Obs.Recorder.last)
+      ~events:(Obs.Tracer.tail ()) ?health:(health_text d) ~report ()
+  in
+  Fmt.epr "# crash dump -> %s@." bundle
+
+(* Run manifest: everything an operator needs to reproduce or audit the
+   run — model identity, engine/config/pipeline, toolchain, transval
+   certificate count, population and BENCH-comparable timings. *)
+let write_run_manifest ~(dir : string) ~(kind : string)
+    ~(m : Easyml.Model.t) ~(cfg : Codegen.Config.t) ~(d : Sim.Driver.t)
+    ~(steps : int) ~(threads : int) ~(wall_s : float) ~(compute_s : float)
+    ~(extra : (string * Obs.Json.t) list) : unit =
+  let open Obs.Json in
+  let certs =
+    List.fold_left
+      (fun n (_, cs) -> n + List.length cs)
+      0
+      (Codegen.Cache.certificates ())
+  in
+  let manifest =
+    Obj
+      ([
+         ("kind", Str kind);
+         ("version", Str limpetmlir_version);
+         ("ocaml", Str Sys.ocaml_version);
+         ("model", Str m.Easyml.Model.name);
+         ( "model_digest",
+           Str (Digest.to_hex (Digest.string (Fmt.str "%a" Easyml.Model.pp m)))
+         );
+         ("config", Str (Codegen.Config.describe cfg));
+         ("engine", Str (Sim.Driver.engine_name d.Sim.Driver.engine));
+         ("tile", Num (float_of_int d.Sim.Driver.tile));
+         ("specialized", Bool d.Sim.Driver.specialized);
+         ("threads", Num (float_of_int threads));
+         ("pipeline", Str Codegen.Cache.pipeline_id);
+         ("transval_certificates", Num (float_of_int certs));
+         ( "toolchain",
+           Str
+             (match Exec.Native.toolchain () with
+             | Some tc -> tc.Exec.Native.id
+             | None -> "unavailable") );
+         ("cells", Num (float_of_int d.Sim.Driver.ncells));
+         ("steps", Num (float_of_int steps));
+         ("dt_ms", Num d.Sim.Driver.dt);
+         ( "timings",
+           Obj [ ("compute_s", Num compute_s); ("wall_s", Num wall_s) ] );
+       ]
+      @ extra)
+  in
+  let path = Obs.Recorder.write_manifest ~dir manifest in
+  Fmt.pr "# run manifest -> %s@." path
+
 (* -- common args ---------------------------------------------------- *)
 
 let model_arg =
@@ -105,6 +227,31 @@ let specialize_arg =
                the time loop into constant-stimulus phases.  Bitwise \
                identical results either way; specialized artifacts are \
                cached per binding environment.  Default $(b,true).")
+
+let ckpt_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint-dir" ] ~docv:"DIR"
+           ~doc:"Arm the flight recorder: write periodic checkpoints (exact \
+                 Int64 bit patterns of every state buffer, with an MD5 \
+                 content digest) under $(docv), plus a run manifest at the \
+                 end and a crash-dump bundle on a hard health trip or \
+                 SIGINT/SIGTERM.  A run resumed from any checkpoint with \
+                 $(b,limpetmlir replay) finishes bitwise-identical to the \
+                 uninterrupted run (native engine: \u{2264} 2 ULP).")
+
+let ckpt_stride_arg =
+  Arg.(value & opt int 1000 & info [ "checkpoint-stride" ] ~docv:"N"
+         ~doc:"Checkpoint every N steps (with --checkpoint-dir).")
+
+let ckpt_keep_arg =
+  Arg.(value & opt int 3 & info [ "checkpoint-keep" ] ~docv:"K"
+         ~doc:"Keep only the newest K checkpoint files (rotation).")
+
+let final_digest_arg =
+  Arg.(value & flag & info [ "final-digest" ]
+         ~doc:"Print the MD5 content digest of the final state (always \
+               printed when --checkpoint-dir is set); two runs reaching \
+               the same state bit-for-bit print the same digest.")
 
 let write_text (path : string) (text : string) : unit =
   let oc = open_out path in
@@ -433,10 +580,13 @@ let run_cmd =
                  aborts with exit code 4.")
   in
   let run name width layout no_lut autovec spline cells steps dt every threads
-      engine tile specialize trace health health_stride validate =
+      engine tile specialize trace health health_stride validate ckpt_dir
+      ckpt_stride ckpt_keep final_digest =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
-    if trace <> None then begin
+    (* checkpointed runs keep the tracer on so a crash dump carries the
+       ring-buffer tail of recent events — tracing never changes results *)
+    if trace <> None || ckpt_dir <> None then begin
       Obs.Tracer.reset ();
       Obs.Tracer.enable ()
     end;
@@ -461,23 +611,71 @@ let run_cmd =
           }
         d;
     let stim = Sim.Stim.default in
+    let writer =
+      match ckpt_dir with
+      | None -> None
+      | Some dir ->
+          arm_signals ();
+          Some
+            (Obs.Recorder.create_writer ~keep:ckpt_keep
+               ~extra:
+                 [
+                   ("model_ref", name);
+                   ("steps_total", string_of_int steps);
+                   ("threads", string_of_int threads);
+                   ("cli_width", string_of_int width);
+                   ("cli_layout", layout);
+                   ("cli_no_lut", string_of_bool no_lut);
+                   ("cli_autovec", string_of_bool autovec);
+                   ("cli_spline", string_of_bool spline);
+                   ("engine_req", Sim.Driver.engine_name engine);
+                 ]
+               ~dir ~stride:ckpt_stride ())
+    in
     Fmt.pr "# model=%s config=%s cells=%d steps=%d dt=%gms@." m.name
       (Codegen.Config.describe cfg) cells steps dt;
     if every > 0 then Fmt.pr "# t_ms Vm Iion@.";
     let compute_time = ref 0.0 in
+    let wall0 = Unix.gettimeofday () in
     (try
        for s = 1 to steps do
          compute_time :=
            !compute_time +. Sim.Driver.step_timed ~nthreads:threads ~stim d;
+         (match writer with
+         | Some w when Obs.Recorder.due w ~step:d.Sim.Driver.steps_done ->
+             ignore (Obs.Recorder.record w (Sim.Driver.capture d))
+         | _ -> ());
          if every > 0 && s mod every = 0 then
            Fmt.pr "%8.2f %10.4f %10.4f@." (Sim.Driver.time d)
              (Sim.Driver.vm d 0)
              (Sim.Driver.ext d "Iion" 0)
        done
-     with Obs.Health.Tripped msg ->
-       Fmt.epr "%s@." msg;
-       exit 3);
+     with
+    | Obs.Health.Tripped msg ->
+        Fmt.epr "%s@." msg;
+        Option.iter
+          (fun dir -> dump_crash ~dir ~reason:"health-trip" ~message:msg ~d
+               writer)
+          ckpt_dir;
+        exit 3
+    | Interrupted code ->
+        let msg = Printf.sprintf "interrupted by signal (exit %d)" code in
+        Fmt.epr "%s@." msg;
+        Option.iter
+          (fun dir ->
+            dump_crash ~dir ~reason:"signal" ~message:msg ~d writer)
+          ckpt_dir;
+        exit code);
+    let wall_s = Unix.gettimeofday () -. wall0 in
     Fmt.pr "# compute stage: %.3f s wall clock@." !compute_time;
+    if final_digest || writer <> None then
+      Fmt.pr "# final state digest: %s@."
+        (Obs.Recorder.digest (Sim.Driver.capture d));
+    Option.iter
+      (fun dir ->
+        write_run_manifest ~dir ~kind:"cell" ~m ~cfg ~d ~steps ~threads
+          ~wall_s ~compute_s:!compute_time ~extra:[])
+      ckpt_dir;
     (match Sim.Driver.health_snapshot d with
     | None -> ()
     | Some hs ->
@@ -502,16 +700,10 @@ let run_cmd =
     Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
           $ autovec_arg $ spline_arg $ cells $ steps $ dt $ every $ threads
           $ engine_arg $ tile_arg $ specialize_arg $ trace $ health
-          $ health_stride $ validate)
+          $ health_stride $ validate $ ckpt_dir_arg $ ckpt_stride_arg
+          $ ckpt_keep_arg $ final_digest_arg)
 
 (* -- tissue --------------------------------------------------------- *)
-
-let engine_name = function
-  | Sim.Driver.Fused -> "fused"
-  | Sim.Driver.Batched -> "batched"
-  | Sim.Driver.Compiled -> "closure"
-  | Sim.Driver.Reference -> "interp"
-  | Sim.Driver.Native -> "native"
 
 let tissue_cmd =
   let doc =
@@ -605,9 +797,14 @@ let tissue_cmd =
   in
   let run name width layout no_lut autovec spline engine tile specialize nx ny
       dx dt steps sigma splitting protocol stim_width s2_start s1_count
-      s1_interval s2_coupling threads block_check health map_out =
+      s1_interval s2_coupling threads block_check health map_out ckpt_dir
+      ckpt_stride ckpt_keep final_digest =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
+    if ckpt_dir <> None then begin
+      Obs.Tracer.reset ();
+      Obs.Tracer.enable ()
+    end;
     let geom =
       if ny <= 1 then Tissue.Geometry.cable ~n:nx ~dx
       else Tissue.Geometry.sheet ~nx ~ny ~dx
@@ -638,21 +835,88 @@ let tissue_cmd =
       Sim.Driver.enable_health
         ~cfg:{ Obs.Health.default_config with policy = Obs.Health.Abort }
         d;
+    let splitting_name =
+      match splitting with
+      | Tissue.Monodomain.Godunov -> "godunov"
+      | Tissue.Monodomain.Strang -> "strang"
+    in
+    let proto_kind =
+      match protocol with
+      | `S1 -> "s1"
+      | `S1s2 -> "s1s2"
+      | `Restitution -> "restitution"
+    in
+    let writer =
+      match ckpt_dir with
+      | None -> None
+      | Some dir ->
+          arm_signals ();
+          Some
+            (Obs.Recorder.create_writer ~keep:ckpt_keep
+               ~extra:
+                 [
+                   ("model_ref", name);
+                   ("steps_total", string_of_int steps);
+                   ("threads", string_of_int threads);
+                   ("cli_width", string_of_int width);
+                   ("cli_layout", layout);
+                   ("cli_no_lut", string_of_bool no_lut);
+                   ("cli_autovec", string_of_bool autovec);
+                   ("cli_spline", string_of_bool spline);
+                   ("engine_req", Sim.Driver.engine_name engine);
+                   ("nx", string_of_int nx);
+                   ("ny", string_of_int ny);
+                   ("dx_bits", bits_hex dx);
+                   ("sigma_bits", bits_hex sigma);
+                   ("splitting", splitting_name);
+                   ("protocol", proto_kind);
+                   ("stim_width", string_of_int stim_width);
+                   ("s2_start_bits", bits_hex s2_start);
+                   ("s1_count", string_of_int s1_count);
+                   ("s1_interval_bits", bits_hex s1_interval);
+                   ("s2_coupling_bits", bits_hex s2_coupling);
+                   ("block_check_bits", bits_hex block_check);
+                 ]
+               ~dir ~stride:ckpt_stride ())
+    in
     Fmt.pr "# tissue model=%s %s engine=%s splitting=%s protocol=%s \
             dt=%gms sigma=%g threads=%d@."
       m.name
       (Tissue.Geometry.describe geom)
-      (engine_name d.Sim.Driver.engine)
-      (match splitting with
-      | Tissue.Monodomain.Godunov -> "godunov"
-      | Tissue.Monodomain.Strang -> "strang")
-      proto.Tissue.Protocol.name dt sigma threads;
+      (Sim.Driver.engine_name d.Sim.Driver.engine)
+      splitting_name proto.Tissue.Protocol.name dt sigma threads;
     let wall =
-      try Tissue.Monodomain.run sim ~steps
-      with Obs.Health.Tripped msg ->
-        Fmt.epr "%s@." msg;
-        exit 3
+      try Tissue.Monodomain.run ?ckpt:writer sim ~steps with
+      | Obs.Health.Tripped msg ->
+          Fmt.epr "%s@." msg;
+          Option.iter
+            (fun dir ->
+              dump_crash ~dir ~reason:"health-trip" ~message:msg ~d writer)
+            ckpt_dir;
+          exit 3
+      | Interrupted code ->
+          let msg = Printf.sprintf "interrupted by signal (exit %d)" code in
+          Fmt.epr "%s@." msg;
+          Option.iter
+            (fun dir ->
+              dump_crash ~dir ~reason:"signal" ~message:msg ~d writer)
+            ckpt_dir;
+          exit code
     in
+    if final_digest || writer <> None then
+      Fmt.pr "# final state digest: %s@."
+        (Obs.Recorder.digest (Tissue.Monodomain.capture sim));
+    Option.iter
+      (fun dir ->
+        write_run_manifest ~dir ~kind:"tissue" ~m ~cfg ~d ~steps ~threads
+          ~wall_s:wall ~compute_s:wall
+          ~extra:
+            [
+              ("geometry", Obs.Json.Str (Tissue.Geometry.describe geom));
+              ("splitting", Obs.Json.Str splitting_name);
+              ("protocol", Obs.Json.Str proto.Tissue.Protocol.name);
+            ])
+      ckpt_dir;
     let act = Tissue.Monodomain.activation sim in
     let n = Tissue.Geometry.cells geom in
     Fmt.pr "# steps=%d time=%gms wall=%.3fs cells/sec=%.0f@." steps
@@ -692,7 +956,183 @@ let tissue_cmd =
           $ autovec_arg $ spline_arg $ engine_arg $ tile_arg $ specialize_arg
           $ nx $ ny $ dx $ dt $ steps $ sigma $ splitting $ protocol
           $ stim_width $ s2_start $ s1_count $ s1_interval $ s2_coupling
-          $ threads $ block_check $ health $ map_out)
+          $ threads $ block_check $ health $ map_out $ ckpt_dir_arg
+          $ ckpt_stride_arg $ ckpt_keep_arg $ final_digest_arg)
+
+(* -- replay ---------------------------------------------------------- *)
+
+let replay_cmd =
+  let doc =
+    "Resume a simulation from a flight-recorder checkpoint (written by \
+     run/tissue/serve with --checkpoint-dir).  The checkpoint is \
+     self-describing: the model, configuration, engine and population \
+     are rebuilt from its metadata, the state buffers are restored \
+     bit-for-bit, and the remaining steps are executed.  The resumed \
+     trajectory finishes bitwise-identical to the uninterrupted run on \
+     every engine (native: the kernels' \u{2264} 2 ULP bound); compare \
+     the printed final state digests."
+  in
+  let file =
+    Arg.(required & pos 0 (some Arg.file) None & info [] ~docv:"CHECKPOINT")
+  in
+  let threads = Arg.(value & opt int 1 & info [ "threads" ] ~docv:"T") in
+  let steps_override =
+    Arg.(value & opt (some int) None & info [ "steps" ] ~docv:"N"
+           ~doc:"Steps to run from the checkpoint (default: the recorded \
+                 total minus the checkpoint's step index).")
+  in
+  let run file threads steps_override =
+    match Obs.Recorder.read file with
+    | Error d ->
+        Fmt.epr "%a@." (Easyml.Diag.pp ~file) d;
+        exit 1
+    | Ok ck -> (
+        let req key =
+          match Obs.Recorder.meta ck key with
+          | Some v -> v
+          | None ->
+              Fmt.failwith "checkpoint lacks required metadata key %s" key
+        in
+        let opt key = Obs.Recorder.meta ck key in
+        let m =
+          load_model (match opt "model_ref" with
+                      | Some r -> r
+                      | None -> req "model")
+        in
+        let cfg =
+          config
+            ~spline:
+              (match opt "cli_spline" with
+              | Some b -> bool_of_string b
+              | None -> false)
+            ~width:
+              (match opt "cli_width" with
+              | Some w -> int_of_string w
+              | None -> int_of_string (req "width"))
+            ~layout:(match opt "cli_layout" with
+                     | Some l -> l
+                     | None -> req "layout")
+            ~no_lut:
+              (match opt "cli_no_lut" with
+              | Some b -> bool_of_string b
+              | None -> false)
+            ~autovec:
+              (match opt "cli_autovec" with
+              | Some b -> bool_of_string b
+              | None -> false)
+            ()
+        in
+        let engine =
+          let name = req "engine" in
+          match engine_of_name name with
+          | Some e -> e
+          | None -> Fmt.failwith "checkpoint names unknown engine %s" name
+        in
+        let tile = int_of_string (req "tile") in
+        let specialize = bool_of_string (req "specialized") in
+        let dt = of_bits_hex (req "dt_bits") in
+        let steps_total =
+          match opt "steps_total" with
+          | Some s -> int_of_string s
+          | None -> ck.Obs.Recorder.ck_step
+        in
+        let remaining =
+          match steps_override with
+          | Some s -> s
+          | None -> max 0 (steps_total - ck.Obs.Recorder.ck_step)
+        in
+        let g = Codegen.Cache.generate cfg m in
+        let kind =
+          match opt "kind" with Some k -> k | None -> "cell"
+        in
+        match kind with
+        | "cell" ->
+            let ncells = int_of_string (req "ncells") in
+            let d =
+              Sim.Driver.create ~engine ~tile ~specialize g ~ncells ~dt
+            in
+            (match Sim.Driver.restore d ck with
+            | Error diag ->
+                Fmt.epr "%a@." (Easyml.Diag.pp ~file) diag;
+                exit 1
+            | Ok () -> ());
+            Fmt.pr
+              "# replay %s: model=%s engine=%s resuming at step %d/%d \
+               t=%gms (+%d step(s))@."
+              file m.Easyml.Model.name
+              (Sim.Driver.engine_name d.Sim.Driver.engine)
+              ck.Obs.Recorder.ck_step steps_total (Sim.Driver.time d)
+              remaining;
+            let compute =
+              Sim.Driver.run ~nthreads:threads ~stim:Sim.Stim.default d
+                ~steps:remaining
+            in
+            Fmt.pr "# compute stage: %.3f s wall clock@." compute;
+            Fmt.pr "# final state digest: %s@."
+              (Obs.Recorder.digest (Sim.Driver.capture d))
+        | "tissue" ->
+            let nx = int_of_string (req "nx")
+            and ny = int_of_string (req "ny")
+            and dx = of_bits_hex (req "dx_bits") in
+            let geom =
+              if ny <= 1 then Tissue.Geometry.cable ~n:nx ~dx
+              else Tissue.Geometry.sheet ~nx ~ny ~dx
+            in
+            let stim_width = int_of_string (req "stim_width") in
+            let proto =
+              match req "protocol" with
+              | "s1" -> Tissue.Protocol.s1 ~width:stim_width geom
+              | "s1s2" ->
+                  Tissue.Protocol.s1s2 ~width:stim_width
+                    ~s2_start:(of_bits_hex (req "s2_start_bits"))
+                    geom
+              | "restitution" ->
+                  Tissue.Protocol.restitution ~width:stim_width
+                    ~n_s1:(int_of_string (req "s1_count"))
+                    ~interval:(of_bits_hex (req "s1_interval_bits"))
+                    ~s2_coupling:(of_bits_hex (req "s2_coupling_bits"))
+                    geom
+              | p -> Fmt.failwith "checkpoint names unknown protocol %s" p
+            in
+            let block_check = of_bits_hex (req "block_check_bits") in
+            let tcfg =
+              {
+                Tissue.Monodomain.default_config with
+                Tissue.Monodomain.sigma = of_bits_hex (req "sigma_bits");
+                splitting =
+                  (match req "splitting" with
+                  | "strang" -> Tissue.Monodomain.Strang
+                  | _ -> Tissue.Monodomain.Godunov);
+                block_check_ms =
+                  (if block_check > 0.0 then Some block_check else None);
+              }
+            in
+            let sim =
+              Tissue.Monodomain.create ~engine ~tile ~specialize ~config:tcfg
+                ~nthreads:threads g ~geom ~dt ~protocol:proto
+            in
+            (match Tissue.Monodomain.restore sim ck with
+            | Error diag ->
+                Fmt.epr "%a@." (Easyml.Diag.pp ~file) diag;
+                exit 1
+            | Ok () -> ());
+            let d = Tissue.Monodomain.driver sim in
+            Fmt.pr
+              "# replay %s: tissue model=%s %s engine=%s resuming at step \
+               %d/%d t=%gms (+%d step(s))@."
+              file m.Easyml.Model.name
+              (Tissue.Geometry.describe geom)
+              (Sim.Driver.engine_name d.Sim.Driver.engine)
+              ck.Obs.Recorder.ck_step steps_total
+              (Tissue.Monodomain.time sim) remaining;
+            let wall = Tissue.Monodomain.run sim ~steps:remaining in
+            Fmt.pr "# wall: %.3f s@." wall;
+            Fmt.pr "# final state digest: %s@."
+              (Obs.Recorder.digest (Tissue.Monodomain.capture sim))
+        | k -> Fmt.failwith "checkpoint has unknown kind %s" k)
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ file $ threads $ steps_override)
 
 (* -- profile -------------------------------------------------------- *)
 
@@ -758,11 +1198,12 @@ let profile_cmd =
           "native backend: unavailable (no C compiler; --engine native \
            falls back to batched)\n"
     in
+    let build = build_info () in
     let text =
       match format with
-      | `Summary -> native_line ^ Obs.Export.summary ?health snap
+      | `Summary -> native_line ^ Obs.Export.summary ?health ~build snap
       | `Chrome -> Obs.Export.chrome snap
-      | `Prometheus -> Obs.Export.prometheus ?health snap
+      | `Prometheus -> Obs.Export.prometheus ?health ~build snap
     in
     (match output with
     | None -> print_string text
@@ -827,7 +1268,8 @@ let serve_cmd =
                  conduction velocity) added to /metrics.")
   in
   let run name width layout no_lut autovec spline engine tile specialize port
-      cells steps dt threads health_stride refresh pace tissue =
+      cells steps dt threads health_stride refresh pace tissue ckpt_dir
+      ckpt_stride ckpt_keep =
     let m = load_model name in
     let cfg = config ~spline ~width ~layout ~no_lut ~autovec () in
     Obs.Tracer.reset ();
@@ -870,15 +1312,41 @@ let serve_cmd =
       d;
     let h = Option.get (Sim.Driver.health d) in
     let stim = Sim.Stim.default in
+    let writer =
+      match ckpt_dir with
+      | None -> None
+      | Some dir ->
+          Some
+            (Obs.Recorder.create_writer ~keep:ckpt_keep
+               ~extra:
+                 [
+                   ("model_ref", name);
+                   ("steps_total", string_of_int steps);
+                   ("threads", string_of_int threads);
+                 ]
+               ~dir ~stride:ckpt_stride ())
+    in
     (* The sim loop publishes the exposition between steps; the HTTP
        thread only ever reads these atomics, so it never races the
        tracer's or the monitor's internals. *)
+    let build = build_info () in
     let metrics = Atomic.make "" in
     let publish () =
       let snap = Obs.Tracer.snapshot () in
       let health = Sim.Driver.health_snapshot d in
       let tissue = Option.map Tissue.Monodomain.stats tsim in
-      Atomic.set metrics (Obs.Export.prometheus ?health ?tissue snap)
+      let checkpoint = Option.map Obs.Recorder.stats writer in
+      let progress =
+        {
+          Obs.Export.pg_model = m.name;
+          pg_step = d.Sim.Driver.steps_done;
+          pg_steps_total = steps;
+          pg_time_ms = Sim.Driver.time d;
+        }
+      in
+      Atomic.set metrics
+        (Obs.Export.prometheus ?health ?tissue ~build ?checkpoint ~progress
+           snap)
     in
     publish ();
     let stop = Atomic.make false in
@@ -929,6 +1397,15 @@ let serve_cmd =
          | Some s -> Tissue.Monodomain.step s
          | None -> Sim.Driver.step ~nthreads:threads ~stim d);
          incr n;
+         (match writer with
+         | Some w when Obs.Recorder.due w ~step:d.Sim.Driver.steps_done ->
+             let ck =
+               match tsim with
+               | Some s -> Tissue.Monodomain.capture s
+               | None -> Sim.Driver.capture d
+             in
+             ignore (Obs.Recorder.record w ck)
+         | _ -> ());
          if !n mod refresh = 0 then publish ();
          if pace > 0.0 then Unix.sleepf pace
        done;
@@ -950,7 +1427,8 @@ let serve_cmd =
     Term.(const run $ model_arg $ width_arg $ layout_arg $ no_lut_arg
           $ autovec_arg $ spline_arg $ engine_arg $ tile_arg $ specialize_arg
           $ port $ cells $ steps $ dt $ threads $ health_stride $ refresh
-          $ pace $ tissue_flag)
+          $ pace $ tissue_flag $ ckpt_dir_arg $ ckpt_stride_arg
+          $ ckpt_keep_arg)
 
 (* -- validate-metrics ------------------------------------------------ *)
 
@@ -1101,8 +1579,8 @@ let main =
   Cmd.group (Cmd.info "limpetmlir" ~doc)
     [
       list_cmd; inspect_cmd; check_cmd; emit_cmd; parse_cmd; run_cmd;
-      tissue_cmd; serve_cmd; profile_cmd; validate_metrics_cmd; passes_cmd;
-      cost_cmd; import_mmt_cmd;
+      replay_cmd; tissue_cmd; serve_cmd; profile_cmd; validate_metrics_cmd;
+      passes_cmd; cost_cmd; import_mmt_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -61,6 +61,11 @@ type ctx = {
       (* value ids the C compiler could prove compile-time constant;
          transcendental calls over these are emitted behind a volatile
          guard (see [mark_const]) *)
+  pconsts : (int, unit) Hashtbl.t;
+      (* value ids constant along at least one execution path — a select
+         with a constant arm, or pure arithmetic over such a value.  GCC
+         distributes a libm call over the phi and folds the constant arm
+         with MPFR, so these need the same volatile guard. *)
 }
 
 let pr ctx ind fmt =
@@ -172,9 +177,21 @@ let all_operands_const ctx (o : Op.op) : bool =
        (fun (v : Value.t) -> Hashtbl.mem ctx.consts v.Value.id)
        o.Op.operands
 
+(* Constant along at least one path (which includes fully constant). *)
+let is_pconst ctx (v : Value.t) : bool =
+  Hashtbl.mem ctx.consts v.Value.id || Hashtbl.mem ctx.pconsts v.Value.id
+
+(* Every operand provably constant along some common path — the
+   condition under which a C compiler can fold a libm call over that
+   path (splitting the select into a phi and folding the constant
+   arm). *)
+let all_operands_pconst ctx (o : Op.op) : bool =
+  Array.length o.Op.operands > 0 && Array.for_all (is_pconst ctx) o.Op.operands
+
 (* Track what a C compiler's constant propagation could prove: constants
-   themselves, and pure element-wise ops fed only by constants.  Region
-   results (For/If), loads and calls stay opaque.  A guarded
+   themselves, pure element-wise ops fed only by constants, and —
+   path-wise — selects with a constant arm plus arithmetic over them.
+   Region results (For/If), loads and calls stay opaque.  A guarded
    transcendental's result is deliberately NOT marked — the volatile
    read below makes it unprovable, which also stops the guards from
    cascading. *)
@@ -184,14 +201,29 @@ let mark_const ctx (o : Op.op) : unit =
       (fun (r : Value.t) -> Hashtbl.replace ctx.consts r.Value.id ())
       o.Op.results
   in
+  let mark_p () =
+    Array.iter
+      (fun (r : Value.t) -> Hashtbl.replace ctx.pconsts r.Value.id ())
+      o.Op.results
+  in
   match o.Op.kind with
   | Op.ConstF _ | Op.ConstI _ | Op.ConstB _ | Op.Iota _ -> mark ()
-  | Op.BinF _ | Op.NegF | Op.BinI _ | Op.BinB _ | Op.NotB | Op.CmpF _
-  | Op.CmpI _ | Op.Select | Op.SIToFP | Op.FPToSI | Op.Broadcast
-  | Op.VecExtract _ ->
+  | Op.Select ->
       if all_operands_const ctx o then mark ()
+      else if
+        (* a constant data arm is foldable along the path that takes it,
+           whatever the condition or the other arm hold *)
+        Array.length o.Op.operands = 3
+        && (is_pconst ctx o.Op.operands.(1) || is_pconst ctx o.Op.operands.(2))
+      then mark_p ()
+  | Op.BinF _ | Op.NegF | Op.BinI _ | Op.BinB _ | Op.NotB | Op.CmpF _
+  | Op.CmpI _ | Op.SIToFP | Op.FPToSI | Op.Broadcast | Op.VecExtract _ ->
+      if all_operands_const ctx o then mark ()
+      else if all_operands_pconst ctx o then mark_p ()
   | Op.Math name ->
-      if all_operands_const ctx o && not (libm_folds name) then mark ()
+      if not (libm_folds name) then
+        if all_operands_const ctx o then mark ()
+        else if all_operands_pconst ctx o then mark_p ()
   | _ -> ()
 
 (* Element-wise op: scalar result defines a local directly; vector result
@@ -243,15 +275,17 @@ and emit_op_kind ctx ind (o : Op.op) : unit =
   | Op.FPToSI ->
       (* OCaml int_of_float truncates toward zero, as does the C cast *)
       emit_ew ctx ind o (fun x -> Printf.sprintf "(int64_t)%s" x.(0))
-  | Op.Math m when libm_folds m && all_operands_const ctx o ->
-      (* The C compiler can prove every argument constant and would fold
+  | Op.Math m when libm_folds m && all_operands_pconst ctx o ->
+      (* The C compiler can prove every argument constant — outright, or
+         along one arm of a select it is free to split — and would fold
          the call with its own correctly-rounded library (MPFR),
          diverging by 1 ULP from the glibc call the OCaml engines make
          at run time.  Route the first argument through a volatile
          temporary so the call survives to run time.  Post-pipeline IR
-         carries no such ops (the constant folder already ate them with
-         the host libm) — the scalar folder misses constant *splats*
-         though, so unspecialized vector kernels need this. *)
+         carries no fully-constant such ops (the constant folder already
+         ate them with the host libm) — the scalar folder misses
+         constant *splats* and constant select arms though, so those
+         need this. *)
       let r = o.Op.results.(0) in
       let g = vname ctx r ^ "_cg" in
       let guard x = Array.mapi (fun i e -> if i = 0 then g else e) x in
@@ -609,6 +643,7 @@ let emit_module ?(banner = []) (m : Func.modl) : string =
       names = Hashtbl.create 256;
       locals = Hashtbl.create 8;
       consts = Hashtbl.create 64;
+      pconsts = Hashtbl.create 64;
     }
   in
   List.iter

@@ -19,13 +19,15 @@
     A C compiler folds e.g. [tanh(<literal>)] at compile time with its
     own correctly-rounded library (MPFR), which can differ by 1 ULP from
     the glibc call the OCaml engines make at run time — so transcendental
-    calls whose arguments are provably compile-time constants are
-    emitted with one argument routed through a [volatile] temporary,
-    pinning evaluation to run time.  Post-pipeline IR rarely carries
-    such ops (the scalar constant folder already ate them, using the
-    host libm), but constant {e splats} in unspecialized vector kernels
-    do; exactly-specified builtins (sqrt, fabs, floor, fmod, …) fold
-    bitwise-identically and stay unguarded.
+    calls whose arguments are provably compile-time constants — outright
+    or along one arm of a select the compiler can split — are emitted
+    with one argument routed through a [volatile] temporary, pinning
+    evaluation to run time.  Post-pipeline IR rarely carries such ops
+    (the scalar constant folder already ate the fully-constant ones,
+    using the host libm), but constant {e splats} in unspecialized
+    vector kernels and constant select arms do; exactly-specified
+    builtins (sqrt, fabs, floor, fmod, …) fold bitwise-identically and
+    stay unguarded.
 
     Aliasing contract: because memref parameters are
     [restrict]-qualified, callers must pass pairwise-distinct buffers —

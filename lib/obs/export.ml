@@ -186,10 +186,47 @@ let validate_chrome (text : string) : (int, string) result =
   in
   go evs
 
+(* -- build identity ---------------------------------------------------- *)
+
+(* Who produced these numbers.  The CLI fills this in (obs cannot depend
+   on codegen or exec); the exposition renders it as the conventional
+   constant-1 info gauge, and the summary as a header line. *)
+type build_info = {
+  bi_version : string;
+  bi_ocaml : string;
+  bi_pipeline : string;
+  bi_toolchain : string;
+}
+
+(* Flight-recorder counters ({!Recorder.stats} fills this record). *)
+type checkpoint_stats = {
+  cp_last_step : int;
+  cp_writes : int;
+  cp_bytes : int;
+  cp_write_ms : float;
+  cp_verify_failures : int;
+}
+
+(* Step progress of a live run. *)
+type progress = {
+  pg_model : string;
+  pg_step : int;
+  pg_steps_total : int;
+  pg_time_ms : float;
+}
+
 (* -- human-readable summary ------------------------------------------- *)
 
-let summary ?(health : Health.snapshot option) (s : Tracer.snapshot) : string =
+let summary ?(health : Health.snapshot option) ?(build : build_info option)
+    (s : Tracer.snapshot) : string =
   let b = Buffer.create 1024 in
+  Option.iter
+    (fun bi ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "build: limpetmlir %s (ocaml %s, pipeline %s, toolchain %s)\n"
+           bi.bi_version bi.bi_ocaml bi.bi_pipeline bi.bi_toolchain))
+    build;
   let spans = summarize s in
   if spans <> [] then begin
     Buffer.add_string b
@@ -400,8 +437,65 @@ let prom_tissue (b : Buffer.t) (t : tissue_stats) : unit =
     ~typ:"gauge"
     (prom_value (match t.tt_cv with Some cv -> cv | None -> Float.nan))
 
+let prom_build (b : Buffer.t) (bi : build_info) : unit =
+  Buffer.add_string b
+    "# HELP limpetmlir_build_info Build identity (constant 1; the \
+     information is in the labels).\n";
+  Buffer.add_string b "# TYPE limpetmlir_build_info gauge\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "limpetmlir_build_info{version=\"%s\",ocaml=\"%s\",pipeline=\"%s\",\
+        toolchain=\"%s\"} 1\n"
+       (prom_label bi.bi_version) (prom_label bi.bi_ocaml)
+       (prom_label bi.bi_pipeline)
+       (prom_label bi.bi_toolchain))
+
+let prom_checkpoint (b : Buffer.t) (c : checkpoint_stats) : unit =
+  let family ~name ~help ~typ v =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
+    Buffer.add_string b (Printf.sprintf "%s %s\n" name v)
+  in
+  family ~name:"limpetmlir_checkpoint_last_step"
+    ~help:"Step index of the newest checkpoint (-1 before the first \
+           write)."
+    ~typ:"gauge"
+    (string_of_int c.cp_last_step);
+  family ~name:"limpetmlir_checkpoint_writes_total"
+    ~help:"Checkpoint files written." ~typ:"counter"
+    (string_of_int c.cp_writes);
+  family ~name:"limpetmlir_checkpoint_bytes_total"
+    ~help:"Serialized checkpoint bytes written." ~typ:"counter"
+    (string_of_int c.cp_bytes);
+  family ~name:"limpetmlir_checkpoint_write_ms_total"
+    ~help:"Milliseconds spent writing (and verifying) checkpoints."
+    ~typ:"counter"
+    (prom_value c.cp_write_ms);
+  family ~name:"limpetmlir_checkpoint_digest_verify_failures_total"
+    ~help:"Checkpoint re-reads whose content digest failed to verify."
+    ~typ:"counter"
+    (string_of_int c.cp_verify_failures)
+
+let prom_progress (b : Buffer.t) (p : progress) : unit =
+  let model = prom_label p.pg_model in
+  let family ~name ~help v =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
+    Buffer.add_string b (Printf.sprintf "%s{model=\"%s\"} %s\n" name model v)
+  in
+  family ~name:"limpetmlir_sim_step" ~help:"Simulation steps completed."
+    (string_of_int p.pg_step);
+  family ~name:"limpetmlir_sim_steps_total"
+    ~help:"Planned simulation steps (0 = run until stopped)."
+    (string_of_int p.pg_steps_total);
+  family ~name:"limpetmlir_sim_time_ms"
+    ~help:"Simulation clock, milliseconds."
+    (prom_value p.pg_time_ms)
+
 let prometheus ?(health : Health.snapshot option)
-    ?(tissue : tissue_stats option) (s : Tracer.snapshot) : string =
+    ?(tissue : tissue_stats option) ?(build : build_info option)
+    ?(checkpoint : checkpoint_stats option) ?(progress : progress option)
+    (s : Tracer.snapshot) : string =
   let b = Buffer.create 1024 in
   let spans = summarize s in
   Buffer.add_string b
@@ -439,6 +533,9 @@ let prometheus ?(health : Health.snapshot option)
     s.Tracer.gauges;
   Option.iter (prom_health b) health;
   Option.iter (prom_tissue b) tissue;
+  Option.iter (prom_build b) build;
+  Option.iter (prom_checkpoint b) checkpoint;
+  Option.iter (prom_progress b) progress;
   Buffer.contents b
 
 (* -- Prometheus exposition validator ---------------------------------- *)

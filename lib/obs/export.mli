@@ -10,6 +10,35 @@ type span_stat = {
   ss_max_us : float;
 }
 
+type build_info = {
+  bi_version : string;  (** limpetmlir release *)
+  bi_ocaml : string;  (** [Sys.ocaml_version] *)
+  bi_pipeline : string;  (** {!Codegen.Cache.pipeline_id} *)
+  bi_toolchain : string;
+      (** native C toolchain identity, or ["unavailable"] *)
+}
+(** Build identity rendered as the [limpetmlir_build_info] gauge and in
+    the summary header.  Filled by the CLI (obs cannot see codegen /
+    exec), rendered here — the same split as {!tissue_stats}. *)
+
+type checkpoint_stats = {
+  cp_last_step : int;  (** step of the newest checkpoint (-1 = none) *)
+  cp_writes : int;
+  cp_bytes : int;  (** cumulative serialized bytes *)
+  cp_write_ms : float;  (** cumulative write (+ verify) milliseconds *)
+  cp_verify_failures : int;  (** re-read digest verifications that failed *)
+}
+(** Flight-recorder counters filled by {!Recorder.stats} and rendered by
+    {!prometheus} as the [limpetmlir_checkpoint_*] families. *)
+
+type progress = {
+  pg_model : string;
+  pg_step : int;  (** steps completed *)
+  pg_steps_total : int;  (** planned steps (0 = unbounded) *)
+  pg_time_ms : float;  (** simulation clock *)
+}
+(** Step-progress gauges for a live run ([limpetmlir_sim_*]). *)
+
 val summarize : Tracer.snapshot -> span_stat list
 (** Per-name duration statistics over matched Begin/End pairs, sorted by
     total time descending. *)
@@ -24,10 +53,12 @@ val validate_chrome : string -> (int, string) result
     per tid, per-tid timestamps monotonic.  [Ok n] returns the number of
     span events. *)
 
-val summary : ?health:Health.snapshot -> Tracer.snapshot -> string
+val summary :
+  ?health:Health.snapshot -> ?build:build_info -> Tracer.snapshot -> string
 (** Human-readable table: spans (count/total/mean/min/max), counters,
     gauges, dropped-event note, plus a per-variable health section when
-    [?health] is given. *)
+    [?health] is given.  [?build] prepends the build-identity lines
+    (version, OCaml, pass-pipeline id, native toolchain). *)
 
 val prom_value : float -> string
 (** Render a sample value for the text exposition format: canonical
@@ -47,7 +78,13 @@ type tissue_stats = {
     [limpetmlir_tissue_*] families. *)
 
 val prometheus :
-  ?health:Health.snapshot -> ?tissue:tissue_stats -> Tracer.snapshot -> string
+  ?health:Health.snapshot ->
+  ?tissue:tissue_stats ->
+  ?build:build_info ->
+  ?checkpoint:checkpoint_stats ->
+  ?progress:progress ->
+  Tracer.snapshot ->
+  string
 (** Prometheus text exposition: span totals and counts, counters,
     gauges, and — when [?health] is given — the
     [limpetmlir_health_*] metric families (steps sampled, per-variable
@@ -55,7 +92,11 @@ val prometheus :
     and unhealthy flags).  [?tissue] appends the [limpetmlir_tissue_*]
     families: cell count, activated cells, activation coverage,
     reactivated cells, conduction-block trips and measured conduction
-    velocity (NaN until both probes activated). *)
+    velocity (NaN until both probes activated).  [?build] appends the
+    [limpetmlir_build_info] gauge (constant 1, identity in the labels),
+    [?checkpoint] the [limpetmlir_checkpoint_*] flight-recorder
+    families, and [?progress] the [limpetmlir_sim_*] step-progress
+    gauges.  Everything emitted passes {!validate_prometheus}. *)
 
 val validate_prometheus : string -> (int, string) result
 (** Check a Prometheus text exposition: [# HELP]/[# TYPE] pairing and

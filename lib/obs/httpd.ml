@@ -34,13 +34,18 @@ let write_all (fd : Unix.file_descr) (s : string) : unit =
     sent := !sent + Unix.write_substring fd s !sent (n - !sent)
   done
 
-let respond (fd : Unix.file_descr) (r : response) : unit =
+(* Every response carries Content-Length (so [curl -I] and keep-alive
+   clients can frame it); a HEAD response sends the headers — including
+   the Content-Length the GET body would have — but no body bytes, per
+   RFC 9110 §9.3.2. *)
+let respond ?(head = false) (fd : Unix.file_descr) (r : response) : unit =
   write_all fd
     (Printf.sprintf
        "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
         Connection: close\r\n\r\n%s"
        r.status (status_text r.status) r.content_type
-       (String.length r.body) r.body)
+       (String.length r.body)
+       (if head then "" else r.body))
 
 (* Read the request head (first line is all we route on); bounded so a
    hostile client cannot grow the buffer. *)
@@ -75,8 +80,9 @@ let handle_conn (handler : string -> response option) (fd : Unix.file_descr) :
   | Some line -> (
       match String.split_on_char ' ' line with
       | meth :: path :: _ ->
+          let head = meth = "HEAD" in
           let resp =
-            if meth <> "GET" then
+            if meth <> "GET" && not head then
               { status = 405; content_type = "text/plain";
                 body = "method not allowed\n" }
             else begin
@@ -90,7 +96,7 @@ let handle_conn (handler : string -> response option) (fd : Unix.file_descr) :
                     body = "internal error\n" }
             end
           in
-          (try respond fd resp with _ -> ())
+          (try respond ~head fd resp with _ -> ())
       | _ -> (
           try
             respond fd

@@ -10,9 +10,12 @@ type t
 val start : ?addr:string -> port:int -> (string -> response option) -> t
 (** [start ~port handler] binds [addr:port] (default [127.0.0.1]; port 0
     picks an ephemeral port — read it back with {!port}) and serves
-    [GET] requests on a dedicated thread: [handler path] returns the
-    response, [None] becomes a 404, a raising handler a 500, a non-GET
-    method a 405.  @raise Unix.Unix_error when the address cannot be
+    [GET] and [HEAD] requests on a dedicated thread: [handler path]
+    returns the response, [None] becomes a 404, a raising handler a 500,
+    any other method a 405.  Every response carries [Content-Length];
+    [HEAD] sends the same status and headers as the corresponding [GET]
+    (including the [Content-Length] of the body it is not sending) with
+    no body.  @raise Unix.Unix_error when the address cannot be
     bound. *)
 
 val port : t -> int

@@ -57,3 +57,12 @@ type snapshot = {
 val snapshot : unit -> snapshot
 (** Merge every domain's buffer.  Call while no other domain is
     recording (e.g. after the parallel region returned). *)
+
+val tail : ?limit:int -> unit -> event list
+(** The most recent [limit] (default 256) events across all rings,
+    balanced per domain, monotonic per track, sorted by timestamp.
+    Unlike {!snapshot}, [tail] is safe to call {e while other domains
+    are recording} (the crash-dump path runs it mid-flight): each ring
+    is copied once, the write counter is re-read after the copy, and
+    only the window provably untouched by concurrent overwrites is
+    kept — racing writers can shrink the tail but never corrupt it. *)

@@ -136,9 +136,15 @@ val step : ?nthreads:int -> ?stim:Stim.t -> t -> unit
 val step_timed : ?nthreads:int -> ?stim:Stim.t -> t -> float
 (** Like {!step}; returns the compute stage's wall-clock seconds. *)
 
-val run : ?nthreads:int -> ?stim:Stim.t -> t -> steps:int -> float
+val run :
+  ?nthreads:int -> ?stim:Stim.t -> ?ckpt:Obs.Recorder.writer -> t ->
+  steps:int -> float
 (** [steps] full steps; returns total compute-stage seconds (the quantity
-    the paper's figures report). *)
+    the paper's figures report).  [?ckpt] attaches a flight recorder:
+    after any step whose index is due ({!Obs.Recorder.due}) the driver
+    {!capture}s itself and records the checkpoint.  Captures copy every
+    buffer, so a checkpointed run is bitwise identical to a plain one;
+    the write cost is excluded from the returned compute-stage time. *)
 
 val tick : t -> unit
 (** Advance the clock only (callers driving their own solver stage). *)
@@ -162,3 +168,27 @@ val set_state : t -> string -> int -> float -> unit
 val snapshot : t -> int -> (string * float) list
 (** Every state plus every assigned external of one cell, for differential
     tests between configurations. *)
+
+(** {2 Flight recorder} *)
+
+val engine_name : engine -> string
+(** The CLI spelling: [fused], [batched], [closure], [interp],
+    [native]. *)
+
+val capture : t -> Obs.Recorder.checkpoint
+(** Snapshot the driver's mutable state — state variables (all three
+    layouts serialize through the same buffer), every external array,
+    the parameter buffer, step index and simulation clock — plus the
+    metadata to validate a restore (model, layout, width, population,
+    [dt] bit pattern, engine).  Lookup tables are rebuilt
+    deterministically at {!create}/{!reset} and therefore not captured.
+    Buffers are copied: capturing never perturbs the run. *)
+
+val restore : t -> Obs.Recorder.checkpoint -> (unit, Easyml.Diag.t) result
+(** Load a {!capture}d checkpoint into a driver created with the same
+    model, config, population and [dt].  Any mismatch (model, layout,
+    width, cell counts, [dt] bits, missing or mis-sized sections) is a
+    structured [checkpoint-mismatch] diagnostic and the driver is left
+    unmodified enough to discard; on [Ok ()] the driver continues
+    bitwise identically to the uninterrupted run.  Sections the driver
+    does not own (e.g. tissue activation state) are ignored. *)

@@ -54,6 +54,46 @@ let observe (a : t) ~(t_prev : float) ~(t_now : float) ~(vm : floatarray) :
       a.prev.(i) <- v
     done
 
+(* Flight-recorder support: the full detector state as float buffers
+   (reactivation counts and armed flags encode exactly in doubles), so a
+   tissue checkpoint restores activation maps bit-for-bit — including
+   NaN "never activated" markers and the un-primed state. *)
+let export_state (a : t) : (string * floatarray) list * bool =
+  let of_floats arr = Float.Array.init a.n (Array.get arr) in
+  ( [
+      ("act:first", of_floats a.first);
+      ("act:prev", of_floats a.prev);
+      ("act:react", Float.Array.init a.n (fun i -> float_of_int a.react.(i)));
+      ( "act:armed",
+        Float.Array.init a.n (fun i -> if a.armed.(i) then 1.0 else 0.0) );
+    ],
+    a.primed )
+
+let import_state (a : t) ~(sections : (string * floatarray) list)
+    ~(primed : bool) : (unit, string) result =
+  let find name =
+    match List.assoc_opt name sections with
+    | None -> Error (Printf.sprintf "missing section %s" name)
+    | Some data when Float.Array.length data <> a.n ->
+        Error
+          (Printf.sprintf "section %s holds %d value(s), recorder tracks %d"
+             name (Float.Array.length data) a.n)
+    | Some data -> Ok data
+  in
+  let ( let* ) = Result.bind in
+  let* first = find "act:first" in
+  let* prev = find "act:prev" in
+  let* react = find "act:react" in
+  let* armed = find "act:armed" in
+  for i = 0 to a.n - 1 do
+    a.first.(i) <- Float.Array.get first i;
+    a.prev.(i) <- Float.Array.get prev i;
+    a.react.(i) <- int_of_float (Float.Array.get react i);
+    a.armed.(i) <- Float.Array.get armed i <> 0.0
+  done;
+  a.primed <- primed;
+  Ok ()
+
 let first_time (a : t) (cell : int) : float = a.first.(cell)
 let reactivations (a : t) (cell : int) : int = a.react.(cell)
 

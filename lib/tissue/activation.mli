@@ -21,6 +21,19 @@ val observe : t -> t_prev:float -> t_now:float -> vm:floatarray -> unit
     interpolated: [t_act = t_prev + (t_now − t_prev)·(θ − v_prev)/(v −
     v_prev)]. *)
 
+val export_state : t -> (string * floatarray) list * bool
+(** Flight-recorder serialization: the detector state as named float
+    buffers ([act:first], [act:prev], [act:react], [act:armed] — counts
+    and flags encode exactly in doubles) plus the primed flag.  Buffers
+    are copies; exporting never perturbs detection. *)
+
+val import_state :
+  t -> sections:(string * floatarray) list -> primed:bool ->
+  (unit, string) result
+(** Restore a state exported from a recorder of the same size.  A
+    missing or mis-sized section is an [Error] describing it (the
+    recorder is then partially overwritten and should be discarded). *)
+
 val first_time : t -> int -> float
 (** First activation time of one cell, ms ([nan] when never). *)
 

@@ -191,10 +191,100 @@ let step (m : t) : unit =
     ~vm:m.vm_buf;
   check_block m
 
-let run (m : t) ~(steps : int) : float =
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Tissue checkpoint: the driver's capture (state variables, Vm and the
+    other externals, params, clock) extended with the activation
+    detector's state and the conduction-block latches, so a resumed
+    tissue run reproduces activation maps and block verdicts exactly —
+    not just voltages. *)
+let capture (m : t) : Obs.Recorder.checkpoint =
+  let ck = Driver.capture m.driver in
+  let act_sections, primed = Activation.export_state m.act in
+  let ck =
+    {
+      ck with
+      Obs.Recorder.ck_sections =
+        ck.Obs.Recorder.ck_sections
+        @ List.map
+            (fun (name, data) ->
+              { Obs.Recorder.sec_name = name; sec_data = data })
+            act_sections;
+    }
+  in
+  let ck = Obs.Recorder.set_meta ck "kind" "tissue" in
+  let ck = Obs.Recorder.set_meta ck "geometry" (Geometry.describe m.geom) in
+  let ck = Obs.Recorder.set_meta ck "act_primed" (string_of_bool primed) in
+  let ck =
+    Obs.Recorder.set_meta ck "block_checked" (string_of_bool m.block_checked)
+  in
+  Obs.Recorder.set_meta ck "block_tripped" (string_of_bool m.block_tripped)
+
+let restore (m : t) (ck : Obs.Recorder.checkpoint) :
+    (unit, Easyml.Diag.t) result =
+  let ( let* ) = Result.bind in
+  let mismatch fmt =
+    Fmt.kstr
+      (fun s ->
+        Error
+          (Easyml.Diag.make ~sev:Easyml.Diag.Error ~code:"checkpoint-mismatch"
+             s))
+      fmt
+  in
+  let* () =
+    match Obs.Recorder.meta ck "kind" with
+    | Some "tissue" -> Ok ()
+    | Some k -> mismatch "checkpoint kind=%s, expected tissue" k
+    | None -> mismatch "checkpoint missing kind metadata"
+  in
+  let* () =
+    match Obs.Recorder.meta ck "geometry" with
+    | Some g when g = Geometry.describe m.geom -> Ok ()
+    | Some g ->
+        mismatch "checkpoint geometry %s, this simulation is %s" g
+          (Geometry.describe m.geom)
+    | None -> mismatch "checkpoint missing geometry metadata"
+  in
+  let* () = Driver.restore m.driver ck in
+  let bool_meta key =
+    match Obs.Recorder.meta ck key with
+    | Some "true" -> Ok true
+    | Some "false" -> Ok false
+    | Some v -> mismatch "checkpoint has %s=%s, expected a boolean" key v
+    | None -> mismatch "checkpoint missing required metadata key %s" key
+  in
+  let* primed = bool_meta "act_primed" in
+  let* block_checked = bool_meta "block_checked" in
+  let* block_tripped = bool_meta "block_tripped" in
+  let sections =
+    List.map
+      (fun s -> (s.Obs.Recorder.sec_name, s.Obs.Recorder.sec_data))
+      ck.Obs.Recorder.ck_sections
+  in
+  let* () =
+    match Activation.import_state m.act ~sections ~primed with
+    | Ok () -> Ok ()
+    | Error msg -> mismatch "activation state: %s" msg
+  in
+  m.block_checked <- block_checked;
+  m.block_tripped <- block_tripped;
+  Ok ()
+
+let run ?ckpt (m : t) ~(steps : int) : float =
   let t0 = Unix.gettimeofday () in
+  let maybe_ckpt () =
+    match ckpt with
+    | Some w
+      when Obs.Recorder.due w ~step:m.driver.Driver.steps_done ->
+        Obs.Tracer.with_span "tissue.checkpoint" (fun () ->
+            ignore (Obs.Recorder.record w (capture m)))
+    | _ -> ()
+  in
   for _ = 1 to steps do
-    step m
+    step m;
+    maybe_ckpt ()
   done;
   Unix.gettimeofday () -. t0
 

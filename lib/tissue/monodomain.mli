@@ -82,8 +82,12 @@ val step : t -> unit
     record {!Obs.Tracer} spans ([tissue.ionic], [tissue.exchange],
     [tissue.diffusion]) when tracing is enabled. *)
 
-val run : t -> steps:int -> float
-(** [steps] full steps; returns total wall-clock seconds. *)
+val run : ?ckpt:Obs.Recorder.writer -> t -> steps:int -> float
+(** [steps] full steps; returns total wall-clock seconds.  [?ckpt]
+    attaches a flight recorder: after any step whose index is due
+    ({!Obs.Recorder.due}) the simulation {!capture}s itself and records
+    the checkpoint.  Captures copy every buffer, so a checkpointed run
+    is bitwise identical to a plain one. *)
 
 val probes : t -> int * int
 val conduction_velocity : t -> float option
@@ -97,3 +101,19 @@ val blocked : t -> bool
 
 val stats : t -> Obs.Export.tissue_stats
 (** Prometheus-ready counters ({!Obs.Export.prometheus} [?tissue]). *)
+
+(** {2 Flight recorder} *)
+
+val capture : t -> Obs.Recorder.checkpoint
+(** {!Sim.Driver.capture} of the inner driver (state variables, Vm and
+    the other externals, clock) extended with the activation detector's
+    full state ([act:*] sections) and the conduction-block latches, under
+    [kind=tissue] metadata.  A restored tissue run reproduces activation
+    maps and block verdicts exactly, not just voltages. *)
+
+val restore : t -> Obs.Recorder.checkpoint -> (unit, Easyml.Diag.t) result
+(** Load a {!capture}d tissue checkpoint into a simulation created with
+    the same model, config, geometry, protocol and [dt].  Mismatches
+    (kind, geometry, or anything {!Sim.Driver.restore} validates) are
+    structured [checkpoint-mismatch] diagnostics; on [Ok ()] the
+    simulation continues bitwise identically to the uninterrupted run. *)

@@ -420,6 +420,23 @@ let test_httpd_serves () =
         (status_of (http_request port "/boom"));
       Alcotest.(check int) "non-GET 405" 405
         (status_of (http_request ~meth:"POST" port "/metrics"));
+      (* HEAD: same status and headers as GET — including the
+         Content-Length of the body it would have sent — but no body *)
+      let head = http_request ~meth:"HEAD" port "/metrics" in
+      Alcotest.(check int) "HEAD 200" 200 (status_of head);
+      Alcotest.(check bool) "HEAD carries the GET content length" true
+        (Helpers.contains head
+           (Printf.sprintf "Content-Length: %d"
+              (String.length "limpetmlir_up 1\n")));
+      Alcotest.(check bool) "HEAD sends no body" false
+        (Helpers.contains head "limpetmlir_up");
+      Alcotest.(check int) "HEAD on unknown path 404" 404
+        (status_of (http_request ~meth:"HEAD" port "/nope"));
+      (* every response declares its length (GET includes the body) *)
+      Alcotest.(check bool) "GET declares Content-Length" true
+        (Helpers.contains ok
+           (Printf.sprintf "Content-Length: %d"
+              (String.length "limpetmlir_up 1\n")));
       Alcotest.(check bool) "handler ran" true (Atomic.get calls > 0));
   (* stop is idempotent, and the port is released for a new server *)
   Obs.Httpd.stop server;

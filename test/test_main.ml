@@ -21,6 +21,7 @@ let () =
       ("models", Test_models.suite);
       ("machine", Test_machine.suite);
       ("obs", Test_obs.suite);
+      ("recorder", Test_recorder.suite);
       ("health", Test_health.suite);
       ("transval", Test_transval.suite);
       ("native", Test_native.suite);

@@ -371,6 +371,94 @@ let test_disabled_overhead () =
   if dt > 2.0 then
     Alcotest.failf "1M disabled calls took %.2f s (expected well under 2 s)" dt
 
+(* -- ring-buffer tail (crash-dump path) ------------------------------- *)
+
+(* the tail contract: at most [limit] events, globally sorted by
+   timestamp, and per domain both balanced (well-nested B/E) and
+   timestamp-monotonic *)
+let check_tail_invariants (evs : T.event list) ~(limit : int) : unit =
+  if List.length evs > limit then
+    Alcotest.failf "tail returned %d events, limit %d" (List.length evs) limit;
+  let rec sorted = function
+    | (a : T.event) :: (b :: _ as rest) ->
+        if a.T.ev_ts > b.T.ev_ts then
+          Alcotest.failf "global order broken: %.3f after %.3f" b.T.ev_ts
+            a.T.ev_ts;
+        sorted rest
+    | _ -> ()
+  in
+  sorted evs;
+  let doms = List.sort_uniq compare (List.map (fun e -> e.T.ev_dom) evs) in
+  List.iter
+    (fun dom ->
+      let mine = List.filter (fun e -> e.T.ev_dom = dom) evs in
+      let depth =
+        List.fold_left
+          (fun d (e : T.event) ->
+            let d = match e.T.ev_kind with T.Begin -> d + 1 | T.End -> d - 1 in
+            if d < 0 then Alcotest.failf "dom %d: unmatched End" dom;
+            d)
+          0 mine
+      in
+      if depth <> 0 then Alcotest.failf "dom %d: %d unclosed Begin(s)" dom depth;
+      ignore
+        (List.fold_left
+           (fun prev (e : T.event) ->
+             if e.T.ev_ts < prev then
+               Alcotest.failf "dom %d: timestamps not monotonic" dom;
+             e.T.ev_ts)
+           0.0 mine))
+    doms
+
+let tail_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:50
+       ~name:"tail invariants hold for random span counts and limits"
+       QCheck.(pair (int_range 0 200) (int_range 1 64))
+       (fun (nspans, limit) ->
+         fresh ();
+         T.enable ();
+         for i = 1 to nspans do
+           T.with_span (Printf.sprintf "s%d" (i mod 7)) (fun () -> ())
+         done;
+         let t = T.tail ~limit () in
+         T.disable ();
+         check_tail_invariants t ~limit;
+         (* with room to spare, the most recent spans are all present *)
+         if 2 * nspans <= limit && List.length t <> 2 * nspans then
+           QCheck.Test.fail_reportf "expected %d events, got %d" (2 * nspans)
+             (List.length t);
+         true))
+
+let test_tail_concurrent_writers () =
+  (* the crash-dump path reads the tail while other domains are still
+     recording; every observed tail must satisfy the invariants *)
+  fresh ();
+  T.enable ();
+  let stop = Atomic.make false in
+  let writers =
+    List.init 3 (fun w ->
+        Domain.spawn (fun () ->
+            let i = ref 0 in
+            while not (Atomic.get stop) do
+              incr i;
+              T.with_span (Printf.sprintf "w%d-%d" w (!i mod 5)) (fun () -> ())
+            done))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      List.iter Domain.join writers;
+      T.disable ())
+    (fun () ->
+      for _ = 1 to 200 do
+        check_tail_invariants (T.tail ~limit:128 ()) ~limit:128
+      done);
+  (* writers quiesced: the tail really holds recent events *)
+  let t = T.tail ~limit:64 () in
+  check_tail_invariants t ~limit:64;
+  Alcotest.(check bool) "tail nonempty after recording" true (t <> [])
+
 let suite =
   [
     Alcotest.test_case "disabled records nothing" `Quick
@@ -393,4 +481,7 @@ let suite =
     Alcotest.test_case "traced runs bitwise identical (43 models)" `Quick
       test_traced_bitwise_identical;
     Alcotest.test_case "disabled tracing overhead" `Quick test_disabled_overhead;
+    tail_qcheck;
+    Alcotest.test_case "tail under concurrent writers" `Quick
+      test_tail_concurrent_writers;
   ]
